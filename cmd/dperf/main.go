@@ -1,0 +1,123 @@
+// Command dperf runs the dPerf prediction pipeline for the obstacle
+// problem (or any mini-C source) on one of the three evaluation
+// platforms, printing the analysis report, the block-benchmarking
+// table, and t_predicted.
+//
+// Usage:
+//
+//	dperf -platform grid5000|xdsl|lan -peers 4 -level O3 [-src file.c]
+//	      [-emit-instrumented] [-emit-traces dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "grid5000", "target platform: grid5000, xdsl or lan")
+		peers        = flag.Int("peers", 4, "number of working peers")
+		levelName    = flag.String("level", "O0", "GCC optimization level: 0,1,2,3,s")
+		srcPath      = flag.String("src", "", "mini-C source file (default: embedded obstacle problem)")
+		emitInstr    = flag.Bool("emit-instrumented", false, "print the instrumented source and exit")
+		emitTraces   = flag.String("emit-traces", "", "directory to write per-rank trace files")
+		n            = flag.Int64("n", 0, "override grid dimension N")
+	)
+	flag.Parse()
+
+	level, err := costmodel.ParseLevel(*levelName)
+	if err != nil {
+		fatal(err)
+	}
+	source := core.ObstacleSource
+	if *srcPath != "" {
+		data, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fatal(err)
+		}
+		source = string(data)
+	}
+	a, err := core.Analyze(source, []string{"N"})
+	if err != nil {
+		fatal(err)
+	}
+	if *emitInstr {
+		fmt.Print(a.Instrumented)
+		return
+	}
+
+	params := core.DefaultObstacleParams()
+	if *n > 0 {
+		params.N = *n
+	}
+
+	// Static analysis report.
+	fmt.Printf("dPerf analysis: %d basic blocks, %d communication sites\n",
+		len(a.An.Blocks), len(a.An.Comm))
+	for kind, count := range a.An.CommSummary() {
+		fmt.Printf("  comm %-14s x%d\n", kind, count)
+	}
+
+	// Block benchmarking at the reduced size.
+	rep, err := core.Benchmark(a, level, map[string]int64{
+		"N": params.BenchN, "ROUNDS": 2, "SWEEPS": params.Sweeps,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nblock benchmarking (N=%d, level %s): total %.3f ms, instrumentation overhead %.2f%%\n",
+		params.BenchN, level, rep.TotalNS/1e6, rep.InstrumentationOverheadPct)
+	fmt.Printf("%-5s %-10s %-6s %-10s %-12s %-8s\n", "id", "pos", "depth", "count", "unit [ns]", "share")
+	for _, b := range rep.Blocks {
+		if b.SharePct < 1 {
+			continue
+		}
+		fmt.Printf("%-5d %-10s %-6d %-10d %-12.2f %6.2f%%\n",
+			b.ID, b.Pos, b.Depth, b.Count, b.UnitNS, b.SharePct)
+	}
+
+	// Prediction.
+	kind := platform.Kind(*platformName)
+	pred, err := core.PredictObstacle(kind, *peers, level, params)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nprediction for %s, %d peers, level %s (N=%d, %d rounds x %d sweeps):\n",
+		kind, *peers, level, params.N, params.Rounds, params.Sweeps)
+	fmt.Printf("  scatter  %8.3f s\n", pred.Scatter)
+	fmt.Printf("  compute  %8.3f s\n", pred.Compute)
+	fmt.Printf("  gather   %8.3f s\n", pred.Gather)
+	fmt.Printf("  t_predicted = %.3f s\n", pred.Predicted)
+
+	if *emitTraces != "" {
+		if err := os.MkdirAll(*emitTraces, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, tr := range pred.Traces {
+			path := filepath.Join(*emitTraces, fmt.Sprintf("rank-%d.trace", tr.Rank))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tr.Write(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d trace files to %s\n", len(pred.Traces), *emitTraces)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dperf:", err)
+	os.Exit(1)
+}

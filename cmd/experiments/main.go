@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Fig. 9, Fig. 10, Fig. 11 and Table I.
+//
+// Usage:
+//
+//	experiments -fig 9            # one figure
+//	experiments -table 1          # Table I
+//	experiments -all              # everything (minutes)
+//	experiments -fig 11 -peers 2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure to regenerate: 9, 10 or 11")
+		table   = flag.Int("table", 0, "table to regenerate: 1")
+		all     = flag.Bool("all", false, "regenerate every figure and table")
+		schemes = flag.Bool("schemes", false, "sync vs async scheme comparison (extension study)")
+		peerArg = flag.String("peers", "", "comma-separated peer counts (default 2,4,8,16,32)")
+	)
+	flag.Parse()
+
+	var peers []int
+	if *peerArg != "" {
+		for _, f := range strings.Split(*peerArg, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad peer count %q", f))
+			}
+			peers = append(peers, v)
+		}
+	}
+
+	ran := false
+	if *all || *fig == 9 {
+		ran = true
+		if _, err := experiments.Fig9(os.Stdout, peers); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *all || *fig == 10 {
+		ran = true
+		if _, err := experiments.Fig10(os.Stdout, peers); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	var fig11 []*experiments.Series
+	if *all || *fig == 11 || *table == 1 {
+		ran = true
+		s, err := experiments.Fig11(os.Stdout, peers)
+		if err != nil {
+			fatal(err)
+		}
+		fig11 = s
+		fmt.Println()
+	}
+	if *all || *table == 1 {
+		ran = true
+		if _, err := experiments.TableI(os.Stdout, fig11); err != nil {
+			fatal(err)
+		}
+	}
+	if *all || *schemes {
+		ran = true
+		if _, err := experiments.SchemeComparison(os.Stdout, 4, costmodel.O3); err != nil {
+			fatal(err)
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command p2pdc runs the obstacle problem natively under the simulated
+// P2PDC environment (the paper's reference execution) and prints the
+// measured time decomposition.
+//
+// Usage:
+//
+//	p2pdc -platform grid5000 -peers 8 -level O3 [-n 1200] [-numerics]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/costmodel"
+	"repro/internal/obstacle"
+	"repro/internal/p2pdc"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		platformName = flag.String("platform", "grid5000", "platform: grid5000, xdsl or lan")
+		peers        = flag.Int("peers", 4, "number of working peers")
+		levelName    = flag.String("level", "O0", "GCC optimization level: 0,1,2,3,s")
+		n            = flag.Int("n", 0, "grid dimension override")
+		rounds       = flag.Int("rounds", 0, "communication rounds override")
+		numerics     = flag.Bool("numerics", false, "really compute the grid (small n only)")
+		async        = flag.Bool("async", false, "use the asynchronous P2PSAP scheme")
+	)
+	flag.Parse()
+
+	level, err := costmodel.ParseLevel(*levelName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := obstacle.DefaultConfig(level)
+	if *n > 0 {
+		cfg.Problem.N = *n
+	}
+	if *rounds > 0 {
+		cfg.Rounds = *rounds
+	}
+	cfg.Numerics = *numerics
+	if *numerics && cfg.Problem.N > 256 {
+		fatal(fmt.Errorf("numerics mode is meant for small grids (n <= 256), got %d", cfg.Problem.N))
+	}
+
+	kind := platform.Kind(*platformName)
+	plat, err := platform.ForKind(kind, *peers)
+	if err != nil {
+		fatal(err)
+	}
+	env, err := p2pdc.NewEnvironment(plat)
+	if err != nil {
+		fatal(err)
+	}
+	hosts, err := p2pdc.HostsOf(plat, *peers)
+	if err != nil {
+		fatal(err)
+	}
+	scheme := p2psap.Synchronous
+	if *async {
+		scheme = p2psap.Asynchronous
+	}
+	spec := p2pdc.RunSpec{
+		Submitter:    plat.Frontend,
+		Hosts:        hosts,
+		Scheme:       scheme,
+		ScatterBytes: cfg.ScatterBytesPerPeer(*peers),
+		GatherBytes:  cfg.GatherBytesPerPeer(*peers),
+	}
+	var lastRes float64
+	app := obstacle.App(cfg, func(rank, round int, res float64) {
+		if rank == 0 {
+			lastRes = res
+		}
+	})
+	fmt.Printf("P2PDC: obstacle problem, %s, %d peers, level %s, grid %d², %d rounds x %d sweeps, %s scheme\n",
+		kind, *peers, level, cfg.Problem.N, cfg.Rounds, cfg.Sweeps, scheme)
+	res, err := env.Run(spec, app)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  scatter  %8.3f s\n", res.ScatterTime)
+	fmt.Printf("  compute  %8.3f s\n", res.ComputeTime)
+	fmt.Printf("  gather   %8.3f s\n", res.GatherTime)
+	fmt.Printf("  t_normal_execution = %.3f s\n", res.Total)
+	if cfg.Numerics {
+		fmt.Printf("  final residual = %.3e\n", lastRes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p2pdc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Capacity planning: the paper's headline use case — "how many
+// peer-to-peer desktop machines on a LAN (or behind xDSL lines) match
+// the computing power of a cluster?" dPerf answers by predicting the
+// same workload on candidate P2P configurations and finding the
+// smallest one that beats the cluster's measured time.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/platform"
+)
+
+func main() {
+	// Reduced workload to keep the example quick (compute-heavy enough
+	// that a LAN configuration can match the cluster, as in Table I).
+	params := core.ObstacleParams{N: 600, Rounds: 40, Sweeps: 30, BenchN: 24}
+	level := costmodel.O0
+	clusterPeers := 4
+
+	a, err := core.Analyze(core.ObstacleSource, []string{"N"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := core.PredictProgram(a, platform.KindCluster, clusterPeers, level, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target: %d cluster nodes finish in %.3f s\n\n", clusterPeers, cluster.Predicted)
+
+	for _, kind := range []platform.Kind{platform.KindLAN, platform.KindDaisy} {
+		fmt.Printf("searching the smallest %s configuration matching the cluster...\n", kind)
+		found := 0
+		for _, peers := range []int{2, 4, 8, 16, 32, 64} {
+			pred, err := core.PredictProgram(a, kind, peers, level, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			marker := " "
+			if found == 0 && pred.Predicted <= cluster.Predicted {
+				marker = "<-- first configuration at least as fast"
+				found = peers
+			}
+			fmt.Printf("  %2d peers on %-9s: %8.3f s %s\n", peers, kind, pred.Predicted, marker)
+			if found != 0 {
+				break
+			}
+		}
+		if found == 0 {
+			fmt.Printf("  no %s configuration up to 64 peers matches the cluster "+
+				"(communication dominates)\n", kind)
+		} else {
+			fmt.Printf("=> deploy on %d %s peers instead of waiting for %d cluster nodes\n",
+				found, kind, clusterPeers)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,91 @@
+// Churn: exercise the decentralized topology manager — bootstrap a
+// tracker line, join volunteer trackers and peers, crash trackers and
+// watch the line repair itself and orphaned peers fail over to
+// neighbour zones (paper §III-A).
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/des"
+	"repro/internal/overlay"
+	"repro/internal/proximity"
+)
+
+func main() {
+	sim := des.New()
+	cfg := overlay.DefaultConfig()
+	sys, err := overlay.NewSystem(sim, cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Administrator-installed core: one server, four trackers spread
+	// over the IP range.
+	server := proximity.MustParseAddr("9.9.9.9")
+	core := []proximity.Addr{
+		proximity.MustParseAddr("10.0.0.1"),
+		proximity.MustParseAddr("10.64.0.1"),
+		proximity.MustParseAddr("10.128.0.1"),
+		proximity.MustParseAddr("10.192.0.1"),
+	}
+	_, trackers, err := overlay.Bootstrap(sys, server, core)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.RunUntil(1)
+	fmt.Printf("bootstrapped %d core trackers; line consistent: %v\n",
+		len(trackers), overlay.CheckLine(sys) == nil)
+
+	// A volunteer tracker joins between two cores.
+	volunteer, err := overlay.NewTracker(sys, proximity.MustParseAddr("10.96.0.1"), server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	volunteer.Join(core)
+	sim.RunUntil(10)
+	l, r := volunteer.Connections()
+	fmt.Printf("volunteer tracker joined; connections %v <- volunteer -> %v\n", l, r)
+
+	// Twenty peers join; proximity routes each to its zone.
+	var peers []*overlay.Peer
+	for i := 0; i < 20; i++ {
+		addr := proximity.Addr(uint32(core[i%4]) + uint32(i) + 10)
+		p, err := overlay.NewPeer(sys, addr, server, overlay.Resources{CPUFlops: 3e9, MemoryMB: 2048})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Join(core)
+		peers = append(peers, p)
+	}
+	sim.RunUntil(20)
+	for _, tr := range overlay.LineOrder(sys) {
+		fmt.Printf("zone of %v: %d peers\n", tr.Addr(), tr.ZoneSize())
+	}
+
+	// Crash a middle tracker: neighbours detect the broken connection,
+	// repair the line, and the dead zone's peers rejoin elsewhere.
+	victim := trackers[1]
+	fmt.Printf("\ncrashing tracker %v (zone of %d peers)...\n", victim.Addr(), victim.ZoneSize())
+	overlay.CrashTracker(sys, victim)
+	sim.RunUntil(sim.Now() + 6*cfg.TimeoutT)
+
+	if err := overlay.CheckLine(sys); err != nil {
+		log.Fatalf("line not repaired: %v", err)
+	}
+	fmt.Println("line repaired:")
+	total := 0
+	for _, tr := range overlay.LineOrder(sys) {
+		fmt.Printf("  zone of %v: %d peers\n", tr.Addr(), tr.ZoneSize())
+		total += tr.ZoneSize()
+	}
+	rejoins := 0
+	for _, p := range peers {
+		rejoins += p.Rejoins
+	}
+	fmt.Printf("all %d peers re-homed (%d failovers); control traffic: %d messages\n",
+		total, rejoins, sys.TotalMessages())
+}

@@ -1,0 +1,49 @@
+// Quickstart: predict how long the obstacle problem takes on four LAN
+// peers versus a four-node cluster — the one-paragraph version of the
+// paper's workflow.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/platform"
+)
+
+func main() {
+	// A reduced workload so the example finishes in a couple seconds.
+	params := core.ObstacleParams{N: 600, Rounds: 40, Sweeps: 8, BenchN: 24}
+
+	// 1. dPerf analyzes the distributed source (static analysis,
+	//    basic blocks, communication calls).
+	a, err := core.Analyze(core.ObstacleSource, []string{"N"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static analysis: %d basic blocks, %d communication sites\n",
+		len(a.An.Blocks), len(a.An.Comm))
+
+	// 2. Block benchmarking at a small size gives per-block costs.
+	rep, err := core.Benchmark(a, costmodel.O3, map[string]int64{
+		"N": params.BenchN, "ROUNDS": 2, "SWEEPS": params.Sweeps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("block benchmarking: %.3f ms serial, %.2f%% instrumentation overhead\n",
+		rep.TotalNS/1e6, rep.InstrumentationOverheadPct)
+
+	// 3. Scale up, emit traces, replay on each candidate platform.
+	for _, kind := range []platform.Kind{platform.KindCluster, platform.KindLAN, platform.KindDaisy} {
+		pred, err := core.PredictProgram(a, kind, 4, costmodel.O3, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t_predicted on %-9s with 4 peers: %7.3f s  (scatter %.2f + compute %.2f + gather %.2f)\n",
+			kind, pred.Predicted, pred.Scatter, pred.Compute, pred.Gather)
+	}
+}

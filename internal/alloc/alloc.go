@@ -1,0 +1,262 @@
+// Package alloc implements P2PDC's peer collection (paper §III-B) and
+// hierarchical task allocation (§III-C). A submitter joins the
+// overlay, collects enough free peers matching the task's
+// requirements — first from its own zone, then from every tracker in
+// its local tracker list, then by asking the two farthest trackers for
+// more trackers ("expanding ring") — and finally divides the peers
+// into proximity groups of at most Cmax members, each run by a
+// coordinator that reserves members, fans subtasks out and results
+// back in.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/overlay"
+	"repro/internal/proximity"
+)
+
+// Cmax is the paper's group-size bound: "The number of peers in a
+// group cannot exceed Cmax ... We have chosen Cmax = 32."
+const Cmax = 32
+
+// Group is one coordinator plus its members (coordinator included in
+// Members for subtask accounting: the coordinator also computes).
+type Group struct {
+	Coordinator proximity.Addr
+	Members     []proximity.Addr
+}
+
+// BuildGroups divides peers into proximity-ordered groups of at most
+// cmax members and picks the first member of each as coordinator
+// ("submitter divides peers into groups based on proximity; in each
+// group, a peer is chosen to become coordinator").
+func BuildGroups(peers []proximity.Addr, cmax int) ([]Group, error) {
+	if cmax < 1 {
+		return nil, fmt.Errorf("alloc: cmax must be >= 1, got %d", cmax)
+	}
+	if len(peers) == 0 {
+		return nil, nil
+	}
+	sorted := append([]proximity.Addr(nil), peers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var groups []Group
+	for start := 0; start < len(sorted); start += cmax {
+		end := start + cmax
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		members := append([]proximity.Addr(nil), sorted[start:end]...)
+		groups = append(groups, Group{Coordinator: members[0], Members: members})
+	}
+	return groups, nil
+}
+
+// Request describes a task's peer needs (§III-B: "task's description,
+// number of peers needed initially, peers requirements").
+type Request struct {
+	Peers int
+	Needs overlay.Resources
+}
+
+// CollectResult reports the outcome of a peer collection round.
+type CollectResult struct {
+	Peers []proximity.Addr
+	// TrackersAsked counts distinct trackers queried.
+	TrackersAsked int
+	// Expansions counts MsgMoreTrackersReq rounds.
+	Expansions int
+	// Elapsed is the virtual time the collection took.
+	Elapsed float64
+}
+
+// Submitter drives collection and allocation. It piggybacks on an
+// overlay.Peer: create the peer, join the overlay, then wrap it.
+type Submitter struct {
+	sys  *overlay.System
+	peer *overlay.Peer
+
+	token     int
+	collected map[proximity.Addr]bool
+	asked     map[proximity.Addr]bool
+	pending   int
+	want      int
+	needs     overlay.Resources
+	started   float64
+	expans    int
+	maxExpans int
+	onDone    func(CollectResult, error)
+	active    bool
+
+	// Allocation-phase hooks (set by Allocate / Distribute).
+	onGroupReady func(*overlay.Message)
+	onResult     func(*overlay.Message)
+}
+
+// NewSubmitter wraps a joined overlay peer.
+func NewSubmitter(sys *overlay.System, peer *overlay.Peer) (*Submitter, error) {
+	if !peer.Joined() {
+		return nil, fmt.Errorf("alloc: submitter peer must join the overlay first")
+	}
+	s := &Submitter{sys: sys, peer: peer, maxExpans: 16}
+	peer.OnMessage = s.handle
+	return s, nil
+}
+
+// Peer returns the underlying overlay peer.
+func (s *Submitter) Peer() *overlay.Peer { return s.peer }
+
+// Collect gathers req.Peers free peers. onDone receives the result (or
+// an error when the overlay ran out of trackers to ask).
+func (s *Submitter) Collect(req Request, onDone func(CollectResult, error)) error {
+	if s.active {
+		return fmt.Errorf("alloc: collection already in progress")
+	}
+	if req.Peers < 1 {
+		return fmt.Errorf("alloc: must request at least one peer")
+	}
+	s.active = true
+	s.token++
+	s.collected = make(map[proximity.Addr]bool)
+	s.asked = make(map[proximity.Addr]bool)
+	s.pending = 0
+	s.expans = 0
+	s.want = req.Peers
+	s.needs = req.Needs
+	s.started = s.sys.Now()
+	s.onDone = onDone
+	// Phase 1: own zone tracker.
+	s.ask(s.peer.Tracker())
+	return nil
+}
+
+func (s *Submitter) ask(tr proximity.Addr) {
+	if tr == 0 || s.asked[tr] {
+		return
+	}
+	s.asked[tr] = true
+	s.pending++
+	s.sys.Send(&overlay.Message{
+		Kind: overlay.MsgPeerRequest, From: s.peer.Addr(), To: tr,
+		Res: s.needs, Count: s.want, Token: s.token,
+	})
+}
+
+func (s *Submitter) handle(m *overlay.Message) {
+	switch m.Kind {
+	case overlay.MsgPeerCandidates:
+		if !s.active || m.Token != s.token {
+			return
+		}
+		s.pending--
+		for _, a := range m.Addrs {
+			if a != s.peer.Addr() {
+				s.collected[a] = true
+			}
+		}
+		s.progress()
+	case overlay.MsgMoreTrackers:
+		if !s.active || m.Token != s.token {
+			return
+		}
+		s.pending--
+		fresh := 0
+		for _, a := range m.Addrs {
+			if !s.asked[a] {
+				fresh++
+				s.ask(a)
+			}
+		}
+		s.progress()
+	case overlay.MsgGroupReady:
+		if s.onGroupReady != nil {
+			s.onGroupReady(m)
+		}
+	case overlay.MsgResult:
+		if s.onResult != nil {
+			s.onResult(m)
+		}
+	}
+}
+
+func (s *Submitter) progress() {
+	if !s.active {
+		return
+	}
+	if len(s.collected) >= s.want {
+		s.finish(nil)
+		return
+	}
+	if s.pending > 0 {
+		return // wait for outstanding answers
+	}
+	// Phase 2: ask every tracker in the local tracker list.
+	askedAny := false
+	for _, tr := range s.peer.TrackerList() {
+		if !s.asked[tr] {
+			s.ask(tr)
+			askedAny = true
+		}
+	}
+	if askedAny {
+		return
+	}
+	// Phase 3: expand — request more trackers from the two farthest
+	// known trackers on the two sides of the submitter.
+	if s.expans >= s.maxExpans {
+		s.finish(fmt.Errorf("alloc: collected %d of %d peers after %d expansions",
+			len(s.collected), s.want, s.expans))
+		return
+	}
+	s.expans++
+	known := s.peer.TrackerList()
+	if len(known) == 0 {
+		s.finish(fmt.Errorf("alloc: no trackers known"))
+		return
+	}
+	var left, right proximity.Addr
+	me := s.peer.Addr()
+	for _, a := range known {
+		if a < me && (left == 0 || a < left) {
+			left = a
+		}
+		if a > me && (right == 0 || a > right) {
+			right = a
+		}
+	}
+	sentAny := false
+	for _, far := range []proximity.Addr{left, right} {
+		if far != 0 {
+			s.pending++
+			sentAny = true
+			s.sys.Send(&overlay.Message{
+				Kind: overlay.MsgMoreTrackersReq, From: me, To: far, Token: s.token,
+			})
+		}
+	}
+	if !sentAny {
+		s.finish(fmt.Errorf("alloc: nowhere left to expand"))
+	}
+}
+
+func (s *Submitter) finish(err error) {
+	s.active = false
+	res := CollectResult{
+		TrackersAsked: len(s.asked),
+		Expansions:    s.expans,
+		Elapsed:       s.sys.Now() - s.started,
+	}
+	for a := range s.collected {
+		res.Peers = append(res.Peers, a)
+	}
+	sort.Slice(res.Peers, func(i, j int) bool { return res.Peers[i] < res.Peers[j] })
+	if err == nil && len(res.Peers) > s.want {
+		res.Peers = res.Peers[:s.want]
+	}
+	cb := s.onDone
+	s.onDone = nil
+	if cb != nil {
+		cb(res, err)
+	}
+}

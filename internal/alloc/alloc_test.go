@@ -1,0 +1,465 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/overlay"
+	"repro/internal/proximity"
+)
+
+func addr(s string) proximity.Addr { return proximity.MustParseAddr(s) }
+
+const serverIP = "9.9.9.9"
+
+// world builds an overlay with nTrackers zones and peersPerZone peers
+// each, plus a submitter in zone 0, all joined and settled.
+type world struct {
+	sim       *des.Simulation
+	sys       *overlay.System
+	trackers  []*overlay.Tracker
+	peers     []*overlay.Peer
+	agents    []*Agent
+	submitter *Submitter
+}
+
+func buildWorld(t testing.TB, nTrackers, peersPerZone int) *world {
+	t.Helper()
+	sim := des.New()
+	sys, err := overlay.NewSystem(sim, overlay.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := make([]proximity.Addr, nTrackers)
+	for i := range core {
+		core[i] = proximity.Addr(uint32(10)<<24 | uint32(i)<<16 | 1)
+	}
+	_, trackers, err := overlay.Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{sim: sim, sys: sys, trackers: trackers}
+	for zi, tr := range trackers {
+		for k := 0; k < peersPerZone; k++ {
+			pa := proximity.Addr(uint32(tr.Addr()) + uint32(k) + 2)
+			p, err := overlay.NewPeer(sys, pa, addr(serverIP), overlay.Resources{CPUFlops: 3e9, MemoryMB: 2048})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Join([]proximity.Addr{core[zi]})
+			w.peers = append(w.peers, p)
+			w.agents = append(w.agents, NewAgent(sys, p))
+		}
+	}
+	// Submitter joins zone 0.
+	sp, err := overlay.NewPeer(sys, proximity.Addr(uint32(core[0])+200), addr(serverIP), overlay.Resources{CPUFlops: 3e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Join([]proximity.Addr{core[0]})
+	sim.RunUntil(5)
+	sub, err := NewSubmitter(sys, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.submitter = sub
+	return w
+}
+
+func TestBuildGroups(t *testing.T) {
+	peers := make([]proximity.Addr, 70)
+	for i := range peers {
+		peers[i] = proximity.Addr(1000 + i*7)
+	}
+	groups, err := BuildGroups(peers, Cmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 { // 32+32+6
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	if err := ValidateGroups(groups, peers, Cmax); err != nil {
+		t.Fatal(err)
+	}
+	if len(groups[0].Members) != 32 || len(groups[2].Members) != 6 {
+		t.Fatalf("group sizes: %d %d %d", len(groups[0].Members), len(groups[1].Members), len(groups[2].Members))
+	}
+}
+
+func TestBuildGroupsEdges(t *testing.T) {
+	if _, err := BuildGroups([]proximity.Addr{1}, 0); err == nil {
+		t.Fatal("cmax 0 accepted")
+	}
+	g, err := BuildGroups(nil, 32)
+	if err != nil || g != nil {
+		t.Fatal("empty peers should give no groups")
+	}
+	g, _ = BuildGroups([]proximity.Addr{5}, 32)
+	if len(g) != 1 || g[0].Coordinator != 5 {
+		t.Fatalf("singleton group wrong: %+v", g)
+	}
+}
+
+func TestValidateGroupsCatchesBadness(t *testing.T) {
+	peers := []proximity.Addr{1, 2, 3}
+	bad := []Group{{Coordinator: 9, Members: []proximity.Addr{1, 2, 3}}}
+	if err := ValidateGroups(bad, peers, 32); err == nil {
+		t.Fatal("foreign coordinator accepted")
+	}
+	dup := []Group{
+		{Coordinator: 1, Members: []proximity.Addr{1, 2}},
+		{Coordinator: 2, Members: []proximity.Addr{2, 3}},
+	}
+	if err := ValidateGroups(dup, peers, 32); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	missing := []Group{{Coordinator: 1, Members: []proximity.Addr{1}}}
+	if err := ValidateGroups(missing, peers, 32); err == nil {
+		t.Fatal("missing peer accepted")
+	}
+	over := []Group{{Coordinator: 1, Members: []proximity.Addr{1, 2, 3}}}
+	if err := ValidateGroups(over, peers, 2); err == nil {
+		t.Fatal("oversized group accepted")
+	}
+}
+
+func TestCollectFromOwnZone(t *testing.T) {
+	w := buildWorld(t, 3, 8)
+	var res CollectResult
+	var cerr error
+	done := false
+	err := w.submitter.Collect(Request{Peers: 5}, func(r CollectResult, e error) {
+		res, cerr, done = r, e, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sim.RunUntil(60)
+	if !done || cerr != nil {
+		t.Fatalf("collection did not finish cleanly: %v %v", done, cerr)
+	}
+	if len(res.Peers) != 5 {
+		t.Fatalf("peers = %d, want 5", len(res.Peers))
+	}
+	if res.TrackersAsked != 1 {
+		t.Fatalf("asked %d trackers, zone should suffice", res.TrackersAsked)
+	}
+	if res.Expansions != 0 {
+		t.Fatalf("unexpected expansions: %d", res.Expansions)
+	}
+}
+
+func TestCollectSpillsToTrackerList(t *testing.T) {
+	w := buildWorld(t, 4, 3)
+	var res CollectResult
+	done := false
+	if err := w.submitter.Collect(Request{Peers: 9}, func(r CollectResult, e error) {
+		if e != nil {
+			t.Error(e)
+		}
+		res, done = r, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.sim.RunUntil(120)
+	if !done {
+		t.Fatal("collection hung")
+	}
+	if len(res.Peers) != 9 {
+		t.Fatalf("peers = %d, want 9", len(res.Peers))
+	}
+	if res.TrackersAsked < 3 {
+		t.Fatalf("asked %d trackers, needed several zones", res.TrackersAsked)
+	}
+}
+
+func TestCollectFailsWhenOverlayTooSmall(t *testing.T) {
+	w := buildWorld(t, 2, 2)
+	var gotErr error
+	done := false
+	if err := w.submitter.Collect(Request{Peers: 50}, func(r CollectResult, e error) {
+		gotErr, done = e, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.sim.RunUntil(300)
+	if !done {
+		t.Fatal("collection never finished")
+	}
+	if gotErr == nil {
+		t.Fatal("expected failure: only 4 peers exist")
+	}
+}
+
+func TestCollectRespectsResourceFilter(t *testing.T) {
+	w := buildWorld(t, 1, 6)
+	// Demand more memory than the peers publish.
+	done := false
+	var gotErr error
+	if err := w.submitter.Collect(Request{Peers: 2, Needs: overlay.Resources{MemoryMB: 1 << 20}},
+		func(r CollectResult, e error) { gotErr, done = e, true }); err != nil {
+		t.Fatal(err)
+	}
+	w.sim.RunUntil(120)
+	if !done || gotErr == nil {
+		t.Fatal("collection should fail: nobody has a TB of memory")
+	}
+}
+
+func TestCollectRejectsBadArgs(t *testing.T) {
+	w := buildWorld(t, 1, 2)
+	if err := w.submitter.Collect(Request{Peers: 0}, nil); err == nil {
+		t.Fatal("zero peers accepted")
+	}
+	if err := w.submitter.Collect(Request{Peers: 1}, func(CollectResult, error) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.submitter.Collect(Request{Peers: 1}, func(CollectResult, error) {}); err == nil {
+		t.Fatal("concurrent collection accepted")
+	}
+}
+
+func TestSubmitterNeedsJoinedPeer(t *testing.T) {
+	sim := des.New()
+	sys, _ := overlay.NewSystem(sim, overlay.DefaultConfig(), nil)
+	p, _ := overlay.NewPeer(sys, addr("10.0.0.1"), addr(serverIP), overlay.Resources{})
+	if _, err := NewSubmitter(sys, p); err == nil {
+		t.Fatal("unjoined submitter accepted")
+	}
+}
+
+func TestHierarchicalAllocation(t *testing.T) {
+	w := buildWorld(t, 2, 10)
+	var collected []proximity.Addr
+	w.submitter.Collect(Request{Peers: 12}, func(r CollectResult, e error) {
+		if e != nil {
+			t.Error(e)
+		}
+		collected = r.Peers
+	})
+	w.sim.RunUntil(60)
+	if len(collected) != 12 {
+		t.Fatalf("collected %d", len(collected))
+	}
+	var groups []Group
+	var reserveTime float64
+	if err := w.submitter.Allocate(collected, 8, func(g []Group, el float64) {
+		groups, reserveTime = g, el
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.sim.RunUntil(w.sim.Now() + 60)
+	if groups == nil {
+		t.Fatal("allocation did not complete")
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (12 peers, cmax 8)", len(groups))
+	}
+	if err := ValidateGroups(groups, collected, 8); err != nil {
+		t.Fatal(err)
+	}
+	if reserveTime <= 0 {
+		t.Fatal("reserve time must be positive")
+	}
+	// All members are reserved now.
+	for _, p := range w.peers {
+		inGroup := false
+		for _, g := range groups {
+			for _, m := range g.Members {
+				if m == p.Addr() {
+					inGroup = true
+				}
+			}
+		}
+		if inGroup && p.ReservedBy() == 0 {
+			t.Fatalf("member %v not reserved", p.Addr())
+		}
+	}
+}
+
+func TestDistributeRoundTrip(t *testing.T) {
+	w := buildWorld(t, 2, 10)
+	var collected []proximity.Addr
+	w.submitter.Collect(Request{Peers: 10}, func(r CollectResult, e error) { collected = r.Peers })
+	w.sim.RunUntil(60)
+	var groups []Group
+	w.submitter.Allocate(collected, 5, func(g []Group, _ float64) { groups = g })
+	w.sim.RunUntil(w.sim.Now() + 60)
+	if groups == nil {
+		t.Fatal("no groups")
+	}
+	var elapsed float64 = -1
+	if err := w.submitter.Distribute(groups, 1e6, 1e4, func(el float64) { elapsed = el }); err != nil {
+		t.Fatal(err)
+	}
+	w.sim.RunUntil(w.sim.Now() + 600)
+	if elapsed <= 0 {
+		t.Fatalf("distribute elapsed = %v", elapsed)
+	}
+	// Every subtask fan-out message was sent: groups + members-1 per
+	// group; results mirror them.
+	if w.sys.MsgCount[overlay.MsgSubtask] < len(groups) {
+		t.Fatal("missing subtask messages")
+	}
+	if w.sys.MsgCount[overlay.MsgResult] < len(groups) {
+		t.Fatal("missing result messages")
+	}
+}
+
+func TestFlatDistributeSlowerThanHierarchical(t *testing.T) {
+	// The paper's §III-C claim: hierarchical allocation is faster than
+	// the submitter connecting to every peer in succession.
+	flat := measureDistribution(t, true)
+	hier := measureDistribution(t, false)
+	if hier >= flat {
+		t.Fatalf("hierarchical (%v) not faster than flat (%v)", hier, flat)
+	}
+}
+
+func measureDistribution(t *testing.T, flat bool) float64 {
+	t.Helper()
+	w := buildWorld(t, 2, 40)
+	var collected []proximity.Addr
+	w.submitter.Collect(Request{Peers: 64}, func(r CollectResult, e error) {
+		if e != nil {
+			t.Error(e)
+		}
+		collected = r.Peers
+	})
+	w.sim.RunUntil(60)
+	if len(collected) != 64 {
+		t.Fatalf("collected %d", len(collected))
+	}
+	var elapsed float64 = -1
+	if flat {
+		if err := w.submitter.FlatDistribute(collected, 1e6, 1e4, func(el float64) { elapsed = el }); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		var groups []Group
+		w.submitter.Allocate(collected, Cmax, func(g []Group, _ float64) { groups = g })
+		w.sim.RunUntil(w.sim.Now() + 60)
+		if groups == nil {
+			t.Fatal("no groups")
+		}
+		if err := w.submitter.Distribute(groups, 1e6, 1e4, func(el float64) { elapsed = el }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.sim.RunUntil(w.sim.Now() + 3600)
+	if elapsed < 0 {
+		t.Fatal("distribution hung")
+	}
+	return elapsed
+}
+
+func TestAgentComputeDelays(t *testing.T) {
+	w := buildWorld(t, 1, 4)
+	for _, a := range w.agents {
+		a.Compute = func(bytes float64) float64 { return 2.0 }
+	}
+	var collected []proximity.Addr
+	w.submitter.Collect(Request{Peers: 4}, func(r CollectResult, e error) { collected = r.Peers })
+	w.sim.RunUntil(60)
+	var groups []Group
+	w.submitter.Allocate(collected, Cmax, func(g []Group, _ float64) { groups = g })
+	w.sim.RunUntil(w.sim.Now() + 60)
+	var elapsed float64 = -1
+	w.submitter.Distribute(groups, 100, 100, func(el float64) { elapsed = el })
+	w.sim.RunUntil(w.sim.Now() + 600)
+	if elapsed < 2.0 {
+		t.Fatalf("elapsed %v must include the 2 s compute", elapsed)
+	}
+}
+
+// Property: BuildGroups always satisfies ValidateGroups for any input
+// and any cmax in [1, 64].
+func TestPropertyBuildGroupsValid(t *testing.T) {
+	f := func(raw []uint32, cmaxRaw uint8) bool {
+		cmax := int(cmaxRaw%64) + 1
+		seen := make(map[proximity.Addr]bool)
+		var peers []proximity.Addr
+		for _, r := range raw {
+			a := proximity.Addr(r)
+			if !seen[a] {
+				seen[a] = true
+				peers = append(peers, a)
+			}
+		}
+		groups, err := BuildGroups(peers, cmax)
+		if err != nil {
+			return false
+		}
+		return ValidateGroups(groups, peers, cmax) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: group count is ceil(n/cmax).
+func TestPropertyGroupCount(t *testing.T) {
+	f := func(nRaw uint8, cmaxRaw uint8) bool {
+		n := int(nRaw)
+		cmax := int(cmaxRaw%32) + 1
+		peers := make([]proximity.Addr, n)
+		for i := range peers {
+			peers[i] = proximity.Addr(i + 1)
+		}
+		groups, err := BuildGroups(peers, cmax)
+		if err != nil {
+			return false
+		}
+		want := (n + cmax - 1) / cmax
+		return len(groups) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: collection of a random feasible size always succeeds and
+// returns exactly the requested number of distinct peers.
+func TestPropertyCollectFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nz := 2 + rng.Intn(3)
+		ppz := 3 + rng.Intn(5)
+		w := buildWorld(t, nz, ppz)
+		want := 1 + rng.Intn(nz*ppz-1)
+		var got []proximity.Addr
+		var gotErr error
+		w.submitter.Collect(Request{Peers: want}, func(r CollectResult, e error) {
+			got, gotErr = r.Peers, e
+		})
+		w.sim.RunUntil(600)
+		if gotErr != nil || len(got) != want {
+			return false
+		}
+		uniq := make(map[proximity.Addr]bool)
+		for _, a := range got {
+			if uniq[a] || a == w.submitter.Peer().Addr() {
+				return false
+			}
+			uniq[a] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCollect64Peers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := buildWorld(b, 4, 20)
+		done := false
+		w.submitter.Collect(Request{Peers: 64}, func(r CollectResult, e error) { done = true })
+		w.sim.RunUntil(600)
+		if !done {
+			b.Fatal("hung")
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/overlay"
+	"repro/internal/proximity"
+)
+
+// Agent is the allocation-protocol behaviour attached to a worker
+// peer. The same agent acts as plain group member or as coordinator,
+// depending on what the submitter assigns (§III-C).
+type Agent struct {
+	sys  *overlay.System
+	peer *overlay.Peer
+
+	// Compute, when non-nil, returns the virtual seconds of local work
+	// to model between receiving a subtask and emitting its result.
+	Compute func(subtaskBytes float64) float64
+
+	// Coordinator state.
+	submitter   proximity.Addr
+	members     []proximity.Addr
+	waitingAcks map[proximity.Addr]bool
+	resultsIn   int
+	resultBytes float64
+	token       int // allocation (reserve) round token
+	distToken   int // distribution round token
+}
+
+// NewAgent attaches allocation behaviour to a joined peer.
+func NewAgent(sys *overlay.System, peer *overlay.Peer) *Agent {
+	a := &Agent{sys: sys, peer: peer}
+	peer.OnMessage = a.handle
+	return a
+}
+
+// Peer returns the wrapped peer.
+func (a *Agent) Peer() *overlay.Peer { return a.peer }
+
+func (a *Agent) handle(m *overlay.Message) {
+	switch m.Kind {
+	case overlay.MsgGroupAssign:
+		// We are coordinator: reserve every member ("the coordinator
+		// connects to all peers in its group and sends a 'reverse'
+		// message"), in parallel.
+		a.submitter = m.From
+		a.members = append([]proximity.Addr(nil), m.Addrs...)
+		a.token = m.Token
+		a.waitingAcks = make(map[proximity.Addr]bool)
+		// The coordinator reserves every member, itself included (its
+		// own reserve is a loopback message).
+		for _, peer := range a.members {
+			a.waitingAcks[peer] = true
+			a.sys.Send(&overlay.Message{
+				Kind: overlay.MsgReserve, From: a.peer.Addr(), To: peer, Token: m.Token,
+			})
+		}
+	case overlay.MsgReserveAck:
+		if a.waitingAcks != nil && m.Token == a.token && a.waitingAcks[m.From] {
+			delete(a.waitingAcks, m.From)
+			if len(a.waitingAcks) == 0 {
+				a.groupReady()
+			}
+		}
+	case overlay.MsgSubtask:
+		if m.Count > 0 && len(a.members) > 0 && m.From == a.submitter {
+			// Coordinator received the group's bundle: fan out one
+			// subtask per member, keep ours.
+			per := m.Bytes / float64(m.Count)
+			a.resultsIn = 0
+			a.distToken = m.Token
+			a.resultBytes = m.Res.CPUFlops // reused field: result size hint
+			for _, peer := range a.members {
+				if peer == a.peer.Addr() {
+					continue
+				}
+				a.sys.Send(&overlay.Message{
+					Kind: overlay.MsgSubtask, From: a.peer.Addr(), To: peer,
+					Bytes: per, Token: m.Token, Res: m.Res,
+				})
+			}
+			a.runSubtask(per, m.Token, a.peer.Addr(), a.resultBytes) // our own share
+			return
+		}
+		// Plain member: compute then answer whoever sent it.
+		a.runSubtask(m.Bytes, m.Token, m.From, m.Res.CPUFlops)
+	case overlay.MsgResult:
+		if a.members == nil {
+			return
+		}
+		// Coordinator aggregates member results then forwards upstream
+		// ("peers send their subtask result to coordinator, then
+		// coordinator transfers them to submitter").
+		a.resultsIn++
+		if a.resultsIn == len(a.members) {
+			total := a.resultBytes * float64(len(a.members))
+			a.sys.Send(&overlay.Message{
+				Kind: overlay.MsgResult, From: a.peer.Addr(), To: a.submitter,
+				Bytes: total, Token: a.distToken, Count: len(a.members),
+			})
+		}
+	}
+}
+
+func (a *Agent) groupReady() {
+	a.sys.Send(&overlay.Message{
+		Kind: overlay.MsgGroupReady, From: a.peer.Addr(), To: a.submitter,
+		Token: a.token, Count: len(a.members),
+	})
+}
+
+// runSubtask models local execution then emits the result to dst (the
+// coordinator, or ourselves-as-coordinator which short-circuits).
+func (a *Agent) runSubtask(bytes float64, token int, dst proximity.Addr, resBytes float64) {
+	delay := 0.0
+	if a.Compute != nil {
+		delay = a.Compute(bytes)
+	}
+	if resBytes == 0 {
+		resBytes = bytes
+	}
+	a.sys.Sim().Schedule(delay, func() {
+		if dst == a.peer.Addr() {
+			// Coordinator's own share: count it directly.
+			a.handle(&overlay.Message{Kind: overlay.MsgResult, From: a.peer.Addr(), To: dst, Token: token})
+			return
+		}
+		a.sys.Send(&overlay.Message{
+			Kind: overlay.MsgResult, From: a.peer.Addr(), To: dst,
+			Bytes: resBytes, Token: token,
+		})
+	})
+}
+
+// --------------------------------------------------------------------------
+// Submitter-side allocation driving.
+
+// AllocationResult summarizes a hierarchical allocation + distribution
+// round for benches.
+type AllocationResult struct {
+	Groups       []Group
+	ReserveTime  float64 // submit -> all groups ready
+	ScatterTime  float64 // subtask fan-out until all results returned
+	TotalTime    float64
+	MessageCount int
+}
+
+// Allocate reserves peers hierarchically: groups of at most cmax by
+// proximity, coordinators reserve members in parallel. onReady fires
+// when every group has confirmed.
+func (s *Submitter) Allocate(peers []proximity.Addr, cmax int, onReady func([]Group, float64)) error {
+	groups, err := BuildGroups(peers, cmax)
+	if err != nil {
+		return err
+	}
+	if len(groups) == 0 {
+		onReady(nil, 0)
+		return nil
+	}
+	s.token++
+	token := s.token
+	start := s.sys.Now()
+	ready := 0
+	s.onGroupReady = func(m *overlay.Message) {
+		if m.Token != token {
+			return
+		}
+		ready++
+		if ready == len(groups) {
+			s.onGroupReady = nil
+			onReady(groups, s.sys.Now()-start)
+		}
+	}
+	me := s.peer.Addr()
+	for _, g := range groups {
+		s.sys.Send(&overlay.Message{
+			Kind: overlay.MsgGroupAssign, From: me, To: g.Coordinator,
+			Addrs: g.Members, Token: token,
+		})
+	}
+	return nil
+}
+
+// Distribute sends perPeerBytes of subtask data to every member
+// through the coordinators and waits for all results (resultBytes per
+// member) to come back. onDone receives the elapsed virtual time.
+func (s *Submitter) Distribute(groups []Group, perPeerBytes, resultBytes float64, onDone func(float64)) error {
+	if len(groups) == 0 {
+		onDone(0)
+		return nil
+	}
+	s.token++
+	token := s.token
+	start := s.sys.Now()
+	returned := 0
+	s.onResult = func(m *overlay.Message) {
+		if m.Token != token {
+			return
+		}
+		returned++
+		if returned == len(groups) {
+			s.onResult = nil
+			onDone(s.sys.Now() - start)
+		}
+	}
+	me := s.peer.Addr()
+	for _, g := range groups {
+		s.sys.Send(&overlay.Message{
+			Kind: overlay.MsgSubtask, From: me, To: g.Coordinator,
+			Bytes: perPeerBytes * float64(len(g.Members)), Count: len(g.Members),
+			Token: token, Res: overlay.Resources{CPUFlops: resultBytes},
+		})
+	}
+	return nil
+}
+
+// FlatDistribute is the no-coordinator baseline the paper argues
+// against: the submitter connects to every peer in succession,
+// reserves it, ships its subtask, and at the end peers return results
+// straight to the submitter (bottleneck). onDone receives elapsed
+// time.
+func (s *Submitter) FlatDistribute(peers []proximity.Addr, perPeerBytes, resultBytes float64, onDone func(float64)) error {
+	if len(peers) == 0 {
+		onDone(0)
+		return nil
+	}
+	ordered := append([]proximity.Addr(nil), peers...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	s.token++
+	token := s.token
+	start := s.sys.Now()
+	me := s.peer.Addr()
+	returned := 0
+	s.onResult = func(m *overlay.Message) {
+		if m.Token != token {
+			return
+		}
+		returned++
+		if returned == len(ordered) {
+			s.onResult = nil
+			onDone(s.sys.Now() - start)
+		}
+	}
+	// Sequential connect+send: each peer's subtask goes out only after
+	// the previous peer acked its reservation.
+	var sendNext func(i int)
+	acked := make(map[proximity.Addr]bool)
+	prevHook := s.peer.OnMessage
+	s.peer.OnMessage = func(m *overlay.Message) {
+		if m.Kind == overlay.MsgReserveAck && m.Token == token && !acked[m.From] {
+			acked[m.From] = true
+			s.sys.Send(&overlay.Message{
+				Kind: overlay.MsgSubtask, From: me, To: m.From,
+				Bytes: perPeerBytes, Token: token,
+				Res: overlay.Resources{CPUFlops: resultBytes},
+			})
+			sendNext(len(acked))
+			return
+		}
+		if prevHook != nil {
+			prevHook(m)
+		}
+	}
+	sendNext = func(i int) {
+		if i >= len(ordered) {
+			return
+		}
+		s.sys.Send(&overlay.Message{
+			Kind: overlay.MsgReserve, From: me, To: ordered[i], Token: token,
+		})
+	}
+	sendNext(0)
+	return nil
+}
+
+// ValidateGroups checks the §III-C invariants: sizes within cmax,
+// coordinator is a member, no duplicates across groups, and union
+// equals the input set. Tests and callers use it as a sanity gate.
+func ValidateGroups(groups []Group, peers []proximity.Addr, cmax int) error {
+	seen := make(map[proximity.Addr]bool)
+	for gi, g := range groups {
+		if len(g.Members) == 0 || len(g.Members) > cmax {
+			return fmt.Errorf("alloc: group %d has %d members (cmax %d)", gi, len(g.Members), cmax)
+		}
+		cIn := false
+		for _, m := range g.Members {
+			if seen[m] {
+				return fmt.Errorf("alloc: peer %v in two groups", m)
+			}
+			seen[m] = true
+			if m == g.Coordinator {
+				cIn = true
+			}
+		}
+		if !cIn {
+			return fmt.Errorf("alloc: group %d coordinator %v not a member", gi, g.Coordinator)
+		}
+	}
+	if len(seen) != len(peers) {
+		return fmt.Errorf("alloc: groups cover %d peers, input has %d", len(seen), len(peers))
+	}
+	for _, p := range peers {
+		if !seen[p] {
+			return fmt.Errorf("alloc: peer %v missing from groups", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func analyzed(t testing.TB) *Analyzed {
+	t.Helper()
+	a, err := Analyze(ObstacleSource, []string{"N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeObstacleSource(t *testing.T) {
+	a := analyzed(t)
+	sum := a.An.CommSummary()
+	// The kernel has 2 sends, 2 recvs, 1 allreduce, 1 rank, 1 size.
+	if sum[0] != 0 { // CommNone never recorded
+		t.Fatal("CommNone recorded")
+	}
+	if got := len(a.An.Comm); got != 7 {
+		t.Fatalf("comm sites = %d, want 7", got)
+	}
+	if !strings.Contains(a.Instrumented, "dperf_block_begin(") {
+		t.Fatal("instrumented source lacks probes")
+	}
+	if !strings.Contains(a.Instrumented, "/* dperf: scales with parameter */") {
+		t.Fatal("no loop marked as scaling")
+	}
+}
+
+func TestAnalyzeBadSource(t *testing.T) {
+	if _, err := Analyze("int main() { x = 1; }", nil); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := Analyze("int main() { return 0; }", []string{"N"}); err == nil {
+		t.Fatal("unknown scale param accepted")
+	}
+}
+
+func TestBenchmarkReport(t *testing.T) {
+	a := analyzed(t)
+	rep, err := Benchmark(a, costmodel.O0, map[string]int64{"N": 24, "ROUNDS": 3, "SWEEPS": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalNS <= 0 {
+		t.Fatal("empty benchmark")
+	}
+	if len(rep.Blocks) == 0 {
+		t.Fatal("no blocks measured")
+	}
+	// The dominant block must be the depth-2 cell kernel.
+	var best BlockCost
+	for _, b := range rep.Blocks {
+		if b.SharePct > best.SharePct {
+			best = b
+		}
+	}
+	if best.Depth != 2 {
+		t.Fatalf("hottest block depth = %d, want 2 (cell kernel)", best.Depth)
+	}
+	if best.SharePct < 40 {
+		t.Fatalf("hottest block share = %.1f%%, implausibly low", best.SharePct)
+	}
+	// Instrumentation overhead should be small (paper: "reduced
+	// slowdown").
+	if rep.InstrumentationOverheadPct > 15 {
+		t.Fatalf("instrumentation overhead %.1f%% too large", rep.InstrumentationOverheadPct)
+	}
+}
+
+func TestBenchmarkLevelScaling(t *testing.T) {
+	a := analyzed(t)
+	params := map[string]int64{"N": 16, "ROUNDS": 2, "SWEEPS": 2}
+	r0, err := Benchmark(a, costmodel.O0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Benchmark(a, costmodel.O3, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r3.TotalNS / r0.TotalNS
+	if math.Abs(ratio-costmodel.O3.Factor()) > 1e-9 {
+		t.Fatalf("O3/O0 = %v, want %v", ratio, costmodel.O3.Factor())
+	}
+}
+
+func TestGenerateTracesStructure(t *testing.T) {
+	a := analyzed(t)
+	p := 4
+	traces, err := GenerateTraces(a, TraceSpec{
+		Level:       costmodel.O0,
+		FullParams:  map[string]int64{"N": 96, "ROUNDS": 5, "SWEEPS": 2},
+		BenchParams: map[string]int64{"N": 16, "ROUNDS": 5, "SWEEPS": 2},
+		Ranks:       p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != p {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	if err := trace.Validate(traces); err != nil {
+		t.Fatal(err)
+	}
+	// Middle ranks exchange with both neighbours every round: 2 sends,
+	// 2 recvs, 1 conv per round.
+	mid := traces[1]
+	if got := mid.CountKind(trace.KindSend); got != 2*5 {
+		t.Fatalf("middle rank sends = %d, want 10", got)
+	}
+	if got := mid.CountKind(trace.KindConv); got != 5 {
+		t.Fatalf("convs = %d, want 5", got)
+	}
+	// End ranks have one neighbour.
+	if got := traces[0].CountKind(trace.KindSend); got != 5 {
+		t.Fatalf("end rank sends = %d, want 5", got)
+	}
+	// Message size is the full N (scaled from bench size): 96 doubles.
+	for _, r := range mid.Records {
+		if r.Kind == trace.KindSend && math.Abs(r.Bytes-8*96) > 1e-9 {
+			t.Fatalf("send bytes = %v, want %v (size scaling)", r.Bytes, 8*96)
+		}
+	}
+}
+
+func TestTraceComputeScalesQuadratically(t *testing.T) {
+	a := analyzed(t)
+	gen := func(fullN int64) float64 {
+		traces, err := GenerateTraces(a, TraceSpec{
+			Level:       costmodel.O0,
+			FullParams:  map[string]int64{"N": fullN, "ROUNDS": 2, "SWEEPS": 1},
+			BenchParams: map[string]int64{"N": 16, "ROUNDS": 2, "SWEEPS": 1},
+			Ranks:       2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traces[0].TotalComputeNS()
+	}
+	t64, t128 := gen(64), gen(128)
+	ratio := t128 / t64
+	// Cell work is O(N^2): doubling N must ~quadruple compute.
+	if ratio < 3.6 || ratio > 4.4 {
+		t.Fatalf("compute ratio for 2x N = %v, want ~4", ratio)
+	}
+}
+
+func TestGenerateTracesErrors(t *testing.T) {
+	a := analyzed(t)
+	if _, err := GenerateTraces(a, TraceSpec{Ranks: 0}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := GenerateTraces(a, TraceSpec{
+		Ranks:       2,
+		FullParams:  map[string]int64{"ROUNDS": 1, "SWEEPS": 1},
+		BenchParams: map[string]int64{"N": 8, "ROUNDS": 1, "SWEEPS": 1},
+	}); err == nil {
+		t.Fatal("missing scale param accepted")
+	}
+}
+
+func TestPredictObstacleSmall(t *testing.T) {
+	params := ObstacleParams{N: 128, Rounds: 4, Sweeps: 2, BenchN: 16}
+	pred, err := PredictObstacle(platform.KindCluster, 4, costmodel.O3, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Predicted <= 0 {
+		t.Fatal("non-positive prediction")
+	}
+	if pred.Scatter <= 0 || pred.Gather < 0 {
+		t.Fatalf("phases: scatter=%v gather=%v", pred.Scatter, pred.Gather)
+	}
+	if pred.Ranks != 4 || pred.Platform != string(platform.KindCluster) {
+		t.Fatalf("metadata: %+v", pred)
+	}
+	if len(pred.Traces) != 4 {
+		t.Fatal("traces not attached")
+	}
+}
+
+func TestPredictionFasterOnFasterNetwork(t *testing.T) {
+	params := ObstacleParams{N: 256, Rounds: 6, Sweeps: 2, BenchN: 16}
+	a := analyzed(t)
+	traces, err := TracesForObstacle(a, 4, costmodel.O0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := ReplayObstacle(traces, platform.KindCluster, costmodel.O0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsl, err := ReplayObstacle(traces, platform.KindDaisy, costmodel.O0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Predicted >= dsl.Predicted {
+		t.Fatalf("cluster (%v) not faster than xDSL (%v)", cl.Predicted, dsl.Predicted)
+	}
+}
+
+func TestBenchNClampedToPeers(t *testing.T) {
+	// BenchN smaller than the peer count must be raised so every rank
+	// has at least one row.
+	params := ObstacleParams{N: 64, Rounds: 2, Sweeps: 1, BenchN: 2}
+	if _, err := PredictObstacle(platform.KindCluster, 8, costmodel.O0, params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionDeterministic(t *testing.T) {
+	params := ObstacleParams{N: 128, Rounds: 3, Sweeps: 1, BenchN: 16}
+	a, err := PredictObstacle(platform.KindCluster, 2, costmodel.O0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PredictObstacle(platform.KindCluster, 2, costmodel.O0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Predicted != b.Predicted {
+		t.Fatalf("nondeterministic prediction: %v vs %v", a.Predicted, b.Predicted)
+	}
+}

@@ -1,0 +1,164 @@
+// Package costmodel is the deterministic virtual-hardware cost model
+// that replaces PAPI hardware counters and GCC optimization levels in
+// this reproduction. Every abstract machine operation has a cycle
+// cost at optimization level O0; each GCC level scales those costs by
+// a calibrated factor, mirroring how the paper treats compiler levels
+// as black-box multipliers on block execution time. The native
+// obstacle solver and the dPerf mini-C interpreter both charge work
+// through this package, so reference and predicted times share one
+// physical model while differing in how they account it (hand-counted
+// kernel cost vs. per-operation interpretation) — which is exactly
+// the source of dPerf's small prediction error.
+package costmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level is a GCC optimization level (paper §IV-A.2: "0, 1, 2, 3, s").
+type Level int
+
+// The five levels used throughout the evaluation.
+const (
+	O0 Level = iota
+	O1
+	O2
+	O3
+	Os
+)
+
+// Levels lists all levels in the paper's order.
+var Levels = []Level{O0, O1, O2, O3, Os}
+
+func (l Level) String() string {
+	switch l {
+	case O0:
+		return "O0"
+	case O1:
+		return "O1"
+	case O2:
+		return "O2"
+	case O3:
+		return "O3"
+	case Os:
+		return "Os"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// ParseLevel accepts "0", "O0", "o0", "s", "Os"...
+func ParseLevel(s string) (Level, error) {
+	t := strings.ToLower(strings.TrimPrefix(strings.ToLower(s), "o"))
+	switch t {
+	case "0":
+		return O0, nil
+	case "1":
+		return O1, nil
+	case "2":
+		return O2, nil
+	case "3":
+		return O3, nil
+	case "s":
+		return Os, nil
+	}
+	return O0, fmt.Errorf("costmodel: unknown optimization level %q", s)
+}
+
+// Factor returns the calibrated speed multiplier of the level relative
+// to O0. The ordering O0 > Os > O1 > O2 > O3 matches Fig. 9, where
+// every optimized build beats O0 and O3 is fastest.
+func (l Level) Factor() float64 {
+	switch l {
+	case O0:
+		return 1.00
+	case O1:
+		return 0.46
+	case O2:
+		return 0.38
+	case O3:
+		return 0.33
+	case Os:
+		return 0.42
+	}
+	return 1.0
+}
+
+// Op is an abstract machine operation.
+type Op int
+
+// Operation kinds charged by the interpreter and the hand-counted
+// kernels.
+const (
+	OpLoad   Op = iota // memory read
+	OpStore            // memory write
+	OpAddSub           // fp/int add or subtract
+	OpMul              // multiply
+	OpDiv              // divide
+	OpCmp              // comparison
+	OpBranch           // conditional jump
+	OpIndex            // array index arithmetic
+	OpCall             // function call overhead
+	OpLoop             // per-iteration loop bookkeeping
+	OpAssign           // register move / scalar assignment
+)
+
+// baseCycles is the O0 cost table (cycles per operation).
+var baseCycles = [...]float64{
+	OpLoad:   3,
+	OpStore:  3,
+	OpAddSub: 1,
+	OpMul:    2,
+	OpDiv:    12,
+	OpCmp:    1,
+	OpBranch: 2,
+	OpIndex:  2,
+	OpCall:   10,
+	OpLoop:   3,
+	OpAssign: 1,
+}
+
+// Cycles returns the cost of one operation at the given level.
+func Cycles(op Op, l Level) float64 {
+	if int(op) < 0 || int(op) >= len(baseCycles) {
+		return 0
+	}
+	return baseCycles[op] * l.Factor()
+}
+
+// CPUHz is the virtual clock rate of one Bordeplage-class node; it
+// matches platform.NodeSpeed so "cycles / CPUHz" and "flops / speed"
+// agree.
+const CPUHz = 3e9
+
+// Seconds converts a cycle count at a level into wall time on one
+// virtual node.
+func Seconds(cycles float64) float64 { return cycles / CPUHz }
+
+// ObstacleCellCycles is the hand-counted cost of one projected-Jacobi
+// cell update in the native solver:
+//
+//	v = 0.25*(u[i-1][j]+u[i+1][j]+u[i][j-1]+u[i][j+1]) + q
+//	if in obstacle box and v < psi { v = psi }
+//	res = fmax(res, fabs(v - u[i][j])); u'[i][j] = v
+//
+// Itemized against an unoptimized (O0) compilation of the C kernel:
+// four neighbour reads (load + 2D address arithmetic + offset add),
+// the stencil combine, the obstacle box test, the projection branch,
+// the residual update (one more read, subtract, abs, max), the store
+// and the inner-loop bookkeeping. This is the "ground truth" cost the
+// reference execution charges; dPerf instead derives block costs by
+// interpreting the instrumented mini-C kernel operation by operation
+// and lands close to — but not exactly on — this number, which is
+// precisely the prediction error visible in Fig. 10.
+func ObstacleCellCycles(l Level) float64 {
+	neighbourReads := 4 * (baseCycles[OpLoad] + 3*baseCycles[OpIndex] + baseCycles[OpAddSub])
+	combine := 3*baseCycles[OpAddSub] + baseCycles[OpMul] + baseCycles[OpAddSub]
+	boxTest := 4*baseCycles[OpCmp] + 2*baseCycles[OpBranch] + baseCycles[OpAssign] + 3*baseCycles[OpCmp]
+	projection := baseCycles[OpCmp] + baseCycles[OpBranch]
+	residual := baseCycles[OpLoad] + 3*baseCycles[OpIndex] + 3*baseCycles[OpAddSub] + baseCycles[OpAssign]
+	store := 3*baseCycles[OpIndex] + baseCycles[OpStore]
+	loop := baseCycles[OpCmp] + baseCycles[OpLoop] + baseCycles[OpAddSub] + baseCycles[OpAssign]
+	c := neighbourReads + combine + boxTest + projection + residual + store + loop
+	return c * l.Factor()
+}

@@ -1,0 +1,103 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelStringsAndParse(t *testing.T) {
+	for _, l := range Levels {
+		s := l.String()
+		got, err := ParseLevel(s)
+		if err != nil || got != l {
+			t.Errorf("round trip %v -> %q -> %v, %v", l, s, got, err)
+		}
+	}
+	for in, want := range map[string]Level{"0": O0, "3": O3, "s": Os, "O2": O2, "o1": O1} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("9"); err == nil {
+		t.Error("level 9 accepted")
+	}
+	if Level(42).String() == "" {
+		t.Error("unknown level has empty name")
+	}
+}
+
+func TestFactorOrdering(t *testing.T) {
+	// Fig. 9: O0 slowest, O3 fastest, Os between O1 and O2 (size
+	// optimization trades a little speed for footprint).
+	if !(O0.Factor() > O1.Factor() && O1.Factor() > Os.Factor() &&
+		Os.Factor() > O2.Factor() && O2.Factor() > O3.Factor()) {
+		t.Fatalf("factor ordering broken: O0=%v O1=%v Os=%v O2=%v O3=%v",
+			O0.Factor(), O1.Factor(), Os.Factor(), O2.Factor(), O3.Factor())
+	}
+	if O0.Factor() != 1.0 {
+		t.Fatal("O0 must be the baseline")
+	}
+}
+
+func TestCyclesScaleUniformly(t *testing.T) {
+	ops := []Op{OpLoad, OpStore, OpAddSub, OpMul, OpDiv, OpCmp, OpBranch, OpIndex, OpCall, OpLoop, OpAssign}
+	for _, op := range ops {
+		base := Cycles(op, O0)
+		if base <= 0 {
+			t.Fatalf("op %d has non-positive base cost", op)
+		}
+		for _, l := range Levels {
+			want := base * l.Factor()
+			if got := Cycles(op, l); got != want {
+				t.Fatalf("Cycles(%d, %v) = %v, want %v", op, l, got, want)
+			}
+		}
+	}
+	if Cycles(Op(999), O0) != 0 {
+		t.Fatal("unknown op should cost 0")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(CPUHz) != 1.0 {
+		t.Fatal("CPUHz cycles must be one second")
+	}
+}
+
+func TestObstacleCellCyclesCalibration(t *testing.T) {
+	// The hand-counted kernel cost must stay close to what the dPerf
+	// interpreter measures (~86.5 cycles at O0); a drift larger than
+	// 10% would make Fig. 10's prediction visibly wrong.
+	c := ObstacleCellCycles(O0)
+	if c < 75 || c > 95 {
+		t.Fatalf("O0 cell cost = %v, expected in [75, 95] (see costmodel.go)", c)
+	}
+	// And it must scale exactly with the level factor.
+	for _, l := range Levels {
+		want := c * l.Factor()
+		if got := ObstacleCellCycles(l); got != want {
+			t.Fatalf("cell cycles at %v = %v, want %v", l, got, want)
+		}
+	}
+}
+
+// Property: level factors are within (0, 1] and Cycles is monotone in
+// the factor for every op.
+func TestPropertyCyclesMonotone(t *testing.T) {
+	f := func(opRaw uint8) bool {
+		op := Op(int(opRaw) % 11)
+		prev := Cycles(op, O0)
+		for _, l := range []Level{O1, Os, O2, O3} {
+			cur := Cycles(op, l)
+			if cur > prev || cur < 0 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

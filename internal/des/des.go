@@ -1,0 +1,357 @@
+// Package des provides a deterministic discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and an event queue ordered by
+// (time, sequence). Plain callback events are scheduled with Schedule.
+// Blocking, goroutine-backed activities are modelled by Process: each
+// process runs in its own goroutine but only ever executes while it
+// holds the kernel's execution token, so simulations are fully
+// deterministic and race-free regardless of GOMAXPROCS.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulation is a discrete-event simulator. The zero value is not
+// usable; create one with New.
+type Simulation struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	yielded chan yieldKind // processes signal the driver here
+	running bool
+	// live counts processes that have been started and not yet finished.
+	live int
+	// Trace, when non-nil, receives a line per executed event (debug aid).
+	Trace func(t float64, what string)
+}
+
+type yieldKind int
+
+const (
+	yieldParked yieldKind = iota
+	yieldFinished
+)
+
+// New returns an empty simulation whose clock starts at 0.
+func New() *Simulation {
+	return &Simulation{yielded: make(chan yieldKind)}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulation) Now() float64 { return s.now }
+
+// Schedule registers fn to run at Now()+delay. A negative delay is an
+// error and panics: events cannot run in the past.
+func (s *Simulation) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: Schedule with invalid delay %v at t=%v", delay, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// ScheduleAt registers fn to run at absolute time t (>= Now()).
+func (s *Simulation) ScheduleAt(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: ScheduleAt %v before now %v", t, s.now))
+	}
+	s.Schedule(t-s.now, fn)
+}
+
+// Pending reports the number of queued events.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Live reports the number of started-but-unfinished processes.
+func (s *Simulation) Live() int { return s.live }
+
+// Run executes events until the queue is empty, then returns the final
+// virtual time. Processes that are still parked when the queue drains
+// are considered deadlocked; Run panics listing them.
+func (s *Simulation) Run() float64 {
+	return s.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with time <= limit and returns the clock.
+// Events scheduled beyond the limit remain queued.
+func (s *Simulation) RunUntil(limit float64) float64 {
+	if s.running {
+		panic("des: nested Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		if s.queue[0].time > limit {
+			s.now = limit
+			return s.now
+		}
+		e := heap.Pop(&s.queue).(*event)
+		if e.time < s.now {
+			panic("des: time went backwards")
+		}
+		s.now = e.time
+		if s.Trace != nil {
+			s.Trace(s.now, "event")
+		}
+		e.fn()
+	}
+	if s.live > 0 {
+		panic(fmt.Sprintf("des: deadlock: %d process(es) parked with empty event queue at t=%v", s.live, s.now))
+	}
+	return s.now
+}
+
+// Step executes exactly one event, if any, and reports whether one ran.
+func (s *Simulation) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Processes
+
+// Process is a goroutine-backed simulated activity. Its body only runs
+// while it holds the simulation token; every blocking primitive
+// (Sleep, WaitChan-style conditions) parks the goroutine and returns
+// control to the kernel.
+type Process struct {
+	sim    *Simulation
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Spawn creates a process executing body and schedules its start after
+// delay seconds. body receives the process handle for blocking calls.
+func (s *Simulation) Spawn(name string, delay float64, body func(p *Process)) *Process {
+	p := &Process{sim: s, name: name, resume: make(chan struct{})}
+	s.live++
+	go func() {
+		<-p.resume // wait for first activation
+		defer func() {
+			if r := recover(); r != nil {
+				// Re-panic on the driver's side would be nicer, but the
+				// driver is blocked on s.yielded; report and crash loudly.
+				p.done = true
+				s.yielded <- yieldFinished
+				panic(fmt.Sprintf("des: process %q panicked: %v", p.name, r))
+			}
+		}()
+		body(p)
+		p.done = true
+		s.yielded <- yieldFinished
+	}()
+	s.Schedule(delay, func() { s.activate(p) })
+	return p
+}
+
+// activate hands the token to p and waits for it to park or finish.
+func (s *Simulation) activate(p *Process) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	k := <-s.yielded
+	if k == yieldFinished {
+		s.live--
+	}
+}
+
+// park gives the token back to the driver and blocks until reactivated.
+func (p *Process) park() {
+	p.sim.yielded <- yieldParked
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Sim returns the owning simulation.
+func (p *Process) Sim() *Simulation { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Process) Now() float64 { return p.sim.now }
+
+// Sleep suspends the process for d seconds of virtual time.
+func (p *Process) Sleep(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("des: Sleep with invalid duration %v", d))
+	}
+	s := p.sim
+	s.Schedule(d, func() { s.activate(p) })
+	p.park()
+}
+
+// Cond is a single-waiter wakeup slot: a process waits on it and any
+// event callback may signal it. It is the building block for mailboxes,
+// semaphores and barriers in higher layers.
+type Cond struct {
+	sim     *Simulation
+	waiter  *Process
+	pending bool // signal arrived before anyone waited
+}
+
+// NewCond returns a condition bound to the simulation.
+func (s *Simulation) NewCond() *Cond { return &Cond{sim: s} }
+
+// Wait parks the process until Signal is called. If a signal is already
+// pending, it is consumed and Wait returns immediately (still yielding
+// once to preserve determinism is unnecessary: no time passes).
+func (c *Cond) Wait(p *Process) {
+	if c.pending {
+		c.pending = false
+		return
+	}
+	if c.waiter != nil {
+		panic("des: Cond has two waiters")
+	}
+	c.waiter = p
+	p.park()
+}
+
+// Signal wakes the waiting process (as a scheduled event at the current
+// time), or records a pending signal if none waits yet.
+func (c *Cond) Signal() {
+	if c.waiter == nil {
+		c.pending = true
+		return
+	}
+	w := c.waiter
+	c.waiter = nil
+	c.sim.Schedule(0, func() { c.sim.activate(w) })
+}
+
+// Waiting reports whether a process is parked on the cond.
+func (c *Cond) Waiting() bool { return c.waiter != nil }
+
+// ---------------------------------------------------------------------------
+// Queue: a FIFO with blocking receive, usable from process context.
+
+// Queue is an unbounded FIFO of interface values with a single blocked
+// reader at a time (multiple readers are served in arrival order).
+type Queue struct {
+	sim     *Simulation
+	items   []interface{}
+	readers []*Process
+}
+
+// NewQueue returns an empty queue bound to the simulation.
+func (s *Simulation) NewQueue() *Queue { return &Queue{sim: s} }
+
+// Put appends v and wakes the oldest waiting reader, if any. Put is
+// safe to call from event callbacks and from process context.
+func (q *Queue) Put(v interface{}) {
+	q.items = append(q.items, v)
+	if len(q.readers) > 0 {
+		r := q.readers[0]
+		q.readers = q.readers[1:]
+		q.sim.Schedule(0, func() { q.sim.activate(r) })
+	}
+}
+
+// Get removes and returns the head item, parking the process while the
+// queue is empty.
+func (q *Queue) Get(p *Process) interface{} {
+	for len(q.items) == 0 {
+		q.readers = append(q.readers, p)
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes the head item without blocking; ok reports success.
+func (q *Queue) TryGet() (v interface{}, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// ---------------------------------------------------------------------------
+// Barrier: N-party synchronization usable from process context.
+
+// Barrier blocks processes until n of them have arrived.
+type Barrier struct {
+	sim     *Simulation
+	n       int
+	waiting []*Process
+	// generation increments each time the barrier opens; used only for
+	// introspection in tests.
+	generation int
+}
+
+// NewBarrier returns a barrier for n parties.
+func (s *Simulation) NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("des: barrier size must be >= 1")
+	}
+	return &Barrier{sim: s, n: n}
+}
+
+// Arrive blocks until n processes have arrived, then releases them all.
+func (b *Barrier) Arrive(p *Process) {
+	if b.n == 1 {
+		b.generation++
+		return
+	}
+	if len(b.waiting)+1 == b.n {
+		// Last arrival: release everyone.
+		waiters := b.waiting
+		b.waiting = nil
+		b.generation++
+		// Deterministic release order: by arrival.
+		sort.SliceStable(waiters, func(i, j int) bool { return false })
+		for _, w := range waiters {
+			w := w
+			b.sim.Schedule(0, func() { b.sim.activate(w) })
+		}
+		return
+	}
+	b.waiting = append(b.waiting, p)
+	p.park()
+}
+
+// Generation returns how many times the barrier has opened.
+func (b *Barrier) Generation() int { return b.generation }

@@ -1,0 +1,51 @@
+package des_test
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Two processes ping-pong through a queue entirely in virtual time.
+func Example() {
+	sim := des.New()
+	q := sim.NewQueue()
+	sim.Spawn("producer", 0, func(p *des.Process) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(1.5)
+			q.Put(i)
+		}
+	})
+	sim.Spawn("consumer", 0, func(p *des.Process) {
+		for i := 0; i < 3; i++ {
+			v := q.Get(p)
+			fmt.Printf("t=%.1f got %v\n", p.Now(), v)
+		}
+	})
+	end := sim.Run()
+	fmt.Printf("simulation ended at t=%.1f\n", end)
+	// Output:
+	// t=1.5 got 1
+	// t=3.0 got 2
+	// t=4.5 got 3
+	// simulation ended at t=4.5
+}
+
+// A barrier releases all parties when the last one arrives.
+func ExampleBarrier() {
+	sim := des.New()
+	b := sim.NewBarrier(3)
+	for i := 1; i <= 3; i++ {
+		delay := float64(i)
+		sim.Spawn(fmt.Sprintf("p%d", i), 0, func(p *des.Process) {
+			p.Sleep(delay)
+			b.Arrive(p)
+			fmt.Printf("released at t=%.0f\n", p.Now())
+		})
+	}
+	sim.Run()
+	// Output:
+	// released at t=3
+	// released at t=3
+	// released at t=3
+}

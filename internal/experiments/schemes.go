@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/costmodel"
+	"repro/internal/obstacle"
+	"repro/internal/p2pdc"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+)
+
+// SchemeRow compares the synchronous and asynchronous iterative
+// schemes on one platform (an extension study: the paper introduces
+// P2PSAP's per-scheme adaptation but evaluates the synchronous path).
+type SchemeRow struct {
+	Kind     platform.Kind
+	Peers    int
+	SyncSec  float64
+	AsyncSec float64
+	Saving   float64 // fraction of sync time saved by async
+}
+
+// SchemeComparison runs the obstacle workload under both schemes on
+// every platform with the given peer count and reports the latency
+// hiding the asynchronous scheme buys.
+func SchemeComparison(w io.Writer, peers int, level costmodel.Level) ([]SchemeRow, error) {
+	var rows []SchemeRow
+	for _, kind := range []platform.Kind{platform.KindCluster, platform.KindLAN, platform.KindDaisy} {
+		row := SchemeRow{Kind: kind, Peers: peers}
+		for _, async := range []bool{false, true} {
+			cfg := Workload(level)
+			cfg.Async = async
+			// Rare synchronization points let the async scheme run free.
+			cfg.ConvEvery = 10
+			plat, err := platform.ForKind(kind, peers)
+			if err != nil {
+				return nil, err
+			}
+			env, err := p2pdc.NewEnvironment(plat)
+			if err != nil {
+				return nil, err
+			}
+			hosts, err := p2pdc.HostsOf(plat, peers)
+			if err != nil {
+				return nil, err
+			}
+			scheme := p2psap.Synchronous
+			if async {
+				scheme = p2psap.Asynchronous
+			}
+			spec := p2pdc.RunSpec{
+				Submitter:    plat.Frontend,
+				Hosts:        hosts,
+				Scheme:       scheme,
+				ScatterBytes: cfg.ScatterBytesPerPeer(peers),
+				GatherBytes:  cfg.GatherBytesPerPeer(peers),
+			}
+			res, err := env.Run(spec, obstacle.App(cfg, nil))
+			if err != nil {
+				return nil, err
+			}
+			if err := res.FirstError(); err != nil {
+				return nil, err
+			}
+			if async {
+				row.AsyncSec = res.Total
+			} else {
+				row.SyncSec = res.Total
+			}
+		}
+		row.Saving = 1 - row.AsyncSec/row.SyncSec
+		rows = append(rows, row)
+	}
+	fmt.Fprintf(w, "# Scheme comparison — obstacle problem, %d peers, level %s\n", peers, level)
+	fmt.Fprintf(w, "%-10s %-12s %-12s %-8s\n", "platform", "sync [s]", "async [s]", "saving")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-12.3f %-12.3f %6.1f%%\n", r.Kind, r.SyncSec, r.AsyncSec, 100*r.Saving)
+	}
+	return rows, nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/platform"
+)
+
+func TestSchemeComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheme sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	rows, err := SchemeComparison(&buf, 4, costmodel.O3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var cluster, daisy SchemeRow
+	for _, r := range rows {
+		if r.SyncSec <= 0 || r.AsyncSec <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.AsyncSec > r.SyncSec*1.01 {
+			t.Errorf("%s: async (%v) slower than sync (%v)", r.Kind, r.AsyncSec, r.SyncSec)
+		}
+		switch r.Kind {
+		case platform.KindCluster:
+			cluster = r
+		case platform.KindDaisy:
+			daisy = r
+		}
+	}
+	// Latency hiding must matter far more on xDSL than on the cluster.
+	if daisy.Saving <= cluster.Saving {
+		t.Errorf("xDSL saving %.3f not larger than cluster saving %.3f", daisy.Saving, cluster.Saving)
+	}
+	if !strings.Contains(buf.String(), "Scheme comparison") {
+		t.Fatal("report header missing")
+	}
+}

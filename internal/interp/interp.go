@@ -1,0 +1,770 @@
+// Package interp executes mini-C programs on a virtual machine with
+// deterministic hardware counters: every evaluated operation charges
+// cycles from internal/costmodel at the configured optimization
+// level, attributed to the basic block (from minic.Analysis) whose
+// statement is executing. It is dPerf's stand-in for running the
+// instrumented, PAPI-timed binary (paper §III-D): the "execution of
+// instrumented code" that yields the time for each block of
+// instructions.
+//
+// Two consumers exist: block benchmarking (run the program once,
+// read per-block unit costs) and trace generation (run per rank with
+// a scale factor per block and a CommBackend that records
+// communication events).
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/costmodel"
+	"repro/internal/minic"
+)
+
+// CommBackend supplies rank context and receives communication
+// events. Every event carries the interpreter's scaled cycle counter
+// at the moment of the call, so trace generators can cut compute
+// segments exactly at communication points.
+type CommBackend interface {
+	Rank() int
+	Size() int
+	// Send and Recv receive the peer and the payload size in doubles
+	// (already scaled to full problem size when the analysis marked
+	// the size expression parameter-dependent).
+	Send(peer int, doubles, cycles float64)
+	Recv(peer int, doubles, cycles float64)
+	// AllreduceMax is both an event and a value: backends may return
+	// the input (serial) or a synthetic global value.
+	AllreduceMax(x, cycles float64) float64
+	Barrier(cycles float64)
+}
+
+// SerialBackend is the single-process backend used for block
+// benchmarking: rank 0 of 1, communication calls are inert.
+type SerialBackend struct{}
+
+// Rank implements CommBackend.
+func (SerialBackend) Rank() int { return 0 }
+
+// Size implements CommBackend.
+func (SerialBackend) Size() int { return 1 }
+
+// Send implements CommBackend.
+func (SerialBackend) Send(int, float64, float64) {}
+
+// Recv implements CommBackend.
+func (SerialBackend) Recv(int, float64, float64) {}
+
+// AllreduceMax implements CommBackend.
+func (SerialBackend) AllreduceMax(x, _ float64) float64 { return x }
+
+// Barrier implements CommBackend.
+func (SerialBackend) Barrier(float64) {}
+
+// BlockStat accumulates one basic block's virtual-counter readings.
+type BlockStat struct {
+	ID     int
+	Count  int64   // executions
+	Cycles float64 // total unscaled cycles charged
+}
+
+// UnitCost returns the mean cycles per execution.
+func (b BlockStat) UnitCost() float64 {
+	if b.Count == 0 {
+		return 0
+	}
+	return b.Cycles / float64(b.Count)
+}
+
+// Config parametrizes a run.
+type Config struct {
+	// Params binds `param int` declarations to values.
+	Params map[string]int64
+	// Level selects the optimization level of the modelled binary.
+	Level costmodel.Level
+	// Backend handles communication; nil means SerialBackend.
+	Backend CommBackend
+	// BlockScale multiplies cycles charged while a block executes
+	// (dPerf scale-up); missing entries default to 1.
+	BlockScale map[int]float64
+	// SizeScale multiplies the size argument of communication calls
+	// whose size expression the analysis marked parameter-dependent
+	// (ratio full-N / benchmark-N). Zero means 1.
+	SizeScale float64
+	// MaxOps aborts runaway programs (0 = default 2e9).
+	MaxOps int64
+}
+
+// Result reports a completed execution.
+type Result struct {
+	// Cycles is the total scaled cycle count.
+	Cycles float64
+	// Seconds is Cycles at the virtual CPU clock.
+	Seconds float64
+	// Blocks holds per-block statistics (unscaled cycles).
+	Blocks map[int]*BlockStat
+	// Ops counts interpreter steps (diagnostics).
+	Ops int64
+	// MainReturn is main's return value (0 if void/none).
+	MainReturn float64
+}
+
+// Run executes the program's main function.
+func Run(prog *minic.Program, an *minic.Analysis, cfg Config) (*Result, error) {
+	if cfg.Backend == nil {
+		cfg.Backend = SerialBackend{}
+	}
+	if cfg.MaxOps == 0 {
+		cfg.MaxOps = 2e9
+	}
+	in := &interp{
+		prog:      prog,
+		an:        an,
+		cfg:       cfg,
+		globals:   make(map[string]*cell),
+		blocks:    make(map[int]*BlockStat),
+		funcs:     make(map[string]*minic.FuncDecl),
+		scaledArg: make(map[*minic.Call]bool),
+		sizeScale: cfg.SizeScale,
+	}
+	if in.sizeScale == 0 {
+		in.sizeScale = 1
+	}
+	for _, site := range an.Comm {
+		if site.SizeScaled {
+			in.scaledArg[site.Call] = true
+		}
+	}
+	for _, fn := range prog.Funcs {
+		in.funcs[fn.Name] = fn
+	}
+	// Bind parameters.
+	for _, pd := range prog.Params {
+		v, ok := cfg.Params[pd.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: parameter %q has no value", pd.Name)
+		}
+		in.globals[pd.Name] = &cell{typ: minic.TypeInt, f: float64(v)}
+	}
+	// Elaborate globals.
+	for _, g := range prog.Globals {
+		c, err := in.elaborate(g.Decl, nil)
+		if err != nil {
+			return nil, err
+		}
+		in.globals[g.Decl.Name] = c
+	}
+	mainFn := prog.Func("main")
+	ret, err := in.call(mainFn, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Cycles:  in.cycles,
+		Seconds: in.cycles / costmodel.CPUHz,
+		Blocks:  in.blocks,
+		Ops:     in.ops,
+	}
+	if ret != nil {
+		res.MainReturn = ret.f
+	}
+	return res, nil
+}
+
+// cell is a variable: scalar (f) or flat array (arr with dims).
+type cell struct {
+	typ  minic.Type
+	f    float64
+	arr  []float64
+	dims []int
+}
+
+type interp struct {
+	prog    *minic.Program
+	an      *minic.Analysis
+	cfg     Config
+	globals map[string]*cell
+	funcs   map[string]*minic.FuncDecl
+	blocks  map[int]*BlockStat
+
+	cycles float64
+	ops    int64
+
+	// blockStack tracks the active basic block for attribution.
+	blockStack []int
+
+	// scaledArg marks comm calls whose size argument must be scaled.
+	scaledArg map[*minic.Call]bool
+	sizeScale float64
+}
+
+func (in *interp) sizeScaled(c *minic.Call) bool { return in.scaledArg[c] }
+
+// value is a scalar with int/float tag.
+type value struct {
+	f     float64
+	isInt bool
+}
+
+func intval(i float64) value { return value{f: i, isInt: true} }
+func fltval(f float64) value { return value{f: f, isInt: false} }
+func (v value) truthy() bool { return v.f != 0 }
+
+func (in *interp) curBlock() int {
+	if len(in.blockStack) == 0 {
+		return -1
+	}
+	return in.blockStack[len(in.blockStack)-1]
+}
+
+// charge adds an operation's cost to the running counters.
+func (in *interp) charge(op costmodel.Op) {
+	c := costmodel.Cycles(op, in.cfg.Level)
+	id := in.curBlock()
+	scale := 1.0
+	if s, ok := in.cfg.BlockScale[id]; ok {
+		scale = s
+	}
+	in.cycles += c * scale
+	if id >= 0 {
+		st := in.blocks[id]
+		if st == nil {
+			st = &BlockStat{ID: id}
+			in.blocks[id] = st
+		}
+		st.Cycles += c
+	}
+}
+
+// enterBlock records one execution of a block and pushes attribution.
+func (in *interp) enterBlock(id int) {
+	in.blockStack = append(in.blockStack, id)
+	st := in.blocks[id]
+	if st == nil {
+		st = &BlockStat{ID: id}
+		in.blocks[id] = st
+	}
+	st.Count++
+}
+
+func (in *interp) leaveBlock() {
+	in.blockStack = in.blockStack[:len(in.blockStack)-1]
+}
+
+func (in *interp) step() error {
+	in.ops++
+	if in.ops > in.cfg.MaxOps {
+		return fmt.Errorf("interp: exceeded %d operations (infinite loop?)", in.cfg.MaxOps)
+	}
+	return nil
+}
+
+// elaborate creates a cell for a declaration (dims evaluated now).
+func (in *interp) elaborate(d *minic.DeclStmt, scope map[string]*cell) (*cell, error) {
+	c := &cell{typ: d.Type}
+	if len(d.Dims) > 0 {
+		total := 1
+		for _, de := range d.Dims {
+			v, err := in.eval(de, scope)
+			if err != nil {
+				return nil, err
+			}
+			n := int(v.f)
+			if n <= 0 {
+				return nil, fmt.Errorf("interp: %v: array dimension %d must be positive", d.Pos, n)
+			}
+			c.dims = append(c.dims, n)
+			total *= n
+		}
+		if total > 64<<20 {
+			return nil, fmt.Errorf("interp: %v: array %q too large (%d elements)", d.Pos, d.Name, total)
+		}
+		c.arr = make([]float64, total)
+		return c, nil
+	}
+	if d.Init != nil {
+		v, err := in.eval(d.Init, scope)
+		if err != nil {
+			return nil, err
+		}
+		c.f = v.f
+		if d.Type == minic.TypeInt {
+			c.f = math.Trunc(c.f)
+		}
+		in.charge(costmodel.OpAssign)
+	}
+	return c, nil
+}
+
+func (in *interp) lookup(name string, scope map[string]*cell) (*cell, error) {
+	if scope != nil {
+		if c, ok := scope[name]; ok {
+			return c, nil
+		}
+	}
+	if c, ok := in.globals[name]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("interp: undefined variable %q", name)
+}
+
+// call executes a user function.
+func (in *interp) call(fn *minic.FuncDecl, args []value) (*value, error) {
+	scope := make(map[string]*cell, len(fn.Params)+8)
+	for i, p := range fn.Params {
+		c := &cell{typ: p.Type, f: args[i].f}
+		if p.Type == minic.TypeInt {
+			c.f = math.Trunc(c.f)
+		}
+		scope[p.Name] = c
+	}
+	ret, err := in.execBlock(fn.Body, scope)
+	if err != nil {
+		return nil, err
+	}
+	return ret, nil
+}
+
+// execBlock runs statements; a non-nil return means a return executed.
+func (in *interp) execBlock(b *minic.BlockStmt, scope map[string]*cell) (*value, error) {
+	for _, s := range b.Stmts {
+		ret, err := in.exec(s, scope)
+		if err != nil || ret != nil {
+			return ret, err
+		}
+	}
+	return nil, nil
+}
+
+func (in *interp) exec(s minic.Stmt, scope map[string]*cell) (*value, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	id, tracked := in.an.StmtBlock[s]
+	if tracked {
+		in.enterBlock(id)
+		defer in.leaveBlock()
+	}
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		c, err := in.elaborate(st, scope)
+		if err != nil {
+			return nil, err
+		}
+		scope[st.Name] = c
+		return nil, nil
+	case *minic.AssignStmt:
+		return nil, in.assign(st, scope)
+	case *minic.ExprStmt:
+		_, err := in.eval(st.X, scope)
+		return nil, err
+	case *minic.IfStmt:
+		cond, err := in.eval(st.Cond, scope)
+		if err != nil {
+			return nil, err
+		}
+		in.charge(costmodel.OpBranch)
+		if cond.truthy() {
+			return in.execBlock(st.Then, scope)
+		}
+		if st.Else != nil {
+			return in.execBlock(st.Else, scope)
+		}
+		return nil, nil
+	case *minic.ForStmt:
+		if st.Init != nil {
+			if ret, err := in.exec(st.Init, scope); err != nil || ret != nil {
+				return ret, err
+			}
+		}
+		for {
+			if err := in.step(); err != nil {
+				return nil, err
+			}
+			if st.Cond != nil {
+				c, err := in.eval(st.Cond, scope)
+				if err != nil {
+					return nil, err
+				}
+				if !c.truthy() {
+					return nil, nil
+				}
+			}
+			in.charge(costmodel.OpLoop)
+			ret, err := in.execBlock(st.Body, scope)
+			if err != nil || ret != nil {
+				return ret, err
+			}
+			if st.Post != nil {
+				if ret, err := in.exec(st.Post, scope); err != nil || ret != nil {
+					return ret, err
+				}
+			}
+		}
+	case *minic.WhileStmt:
+		for {
+			if err := in.step(); err != nil {
+				return nil, err
+			}
+			c, err := in.eval(st.Cond, scope)
+			if err != nil {
+				return nil, err
+			}
+			if !c.truthy() {
+				return nil, nil
+			}
+			in.charge(costmodel.OpLoop)
+			ret, err := in.execBlock(st.Body, scope)
+			if err != nil || ret != nil {
+				return ret, err
+			}
+		}
+	case *minic.ReturnStmt:
+		if st.X == nil {
+			zero := intval(0)
+			return &zero, nil
+		}
+		v, err := in.eval(st.X, scope)
+		if err != nil {
+			return nil, err
+		}
+		return &v, nil
+	case *minic.BlockStmt:
+		return in.execBlock(st, scope)
+	}
+	return nil, fmt.Errorf("interp: unknown statement %T", s)
+}
+
+func (in *interp) assign(st *minic.AssignStmt, scope map[string]*cell) error {
+	rhs, err := in.eval(st.RHS, scope)
+	if err != nil {
+		return err
+	}
+	switch lhs := st.LHS.(type) {
+	case *minic.Ident:
+		c, err := in.lookup(lhs.Name, scope)
+		if err != nil {
+			return err
+		}
+		nv := rhs.f
+		if st.Op != "" {
+			nv = applyOp(st.Op, c.f, rhs.f)
+			in.charge(opCost(st.Op))
+		}
+		if c.typ == minic.TypeInt {
+			nv = math.Trunc(nv)
+		}
+		c.f = nv
+		in.charge(costmodel.OpAssign)
+		return nil
+	case *minic.Index:
+		c, off, err := in.resolveIndex(lhs, scope)
+		if err != nil {
+			return err
+		}
+		nv := rhs.f
+		if st.Op != "" {
+			nv = applyOp(st.Op, c.arr[off], rhs.f)
+			in.charge(opCost(st.Op))
+		}
+		if c.typ == minic.TypeInt {
+			nv = math.Trunc(nv)
+		}
+		c.arr[off] = nv
+		in.charge(costmodel.OpStore)
+		return nil
+	}
+	return fmt.Errorf("interp: bad assignment target %T", st.LHS)
+}
+
+// resolveIndex walks an index chain to (cell, flat offset).
+func (in *interp) resolveIndex(e *minic.Index, scope map[string]*cell) (*cell, int, error) {
+	// Collect indices innermost-last.
+	var idxs []int
+	cur := minic.Expr(e)
+	for {
+		ix, ok := cur.(*minic.Index)
+		if !ok {
+			break
+		}
+		v, err := in.eval(ix.Idx, scope)
+		if err != nil {
+			return nil, 0, err
+		}
+		idxs = append([]int{int(v.f)}, idxs...)
+		in.charge(costmodel.OpIndex)
+		cur = ix.Base
+	}
+	id, ok := cur.(*minic.Ident)
+	if !ok {
+		return nil, 0, fmt.Errorf("interp: %v: array base must be a variable", e.Pos)
+	}
+	c, err := in.lookup(id.Name, scope)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(idxs) != len(c.dims) {
+		return nil, 0, fmt.Errorf("interp: %v: %q has %d dimension(s), got %d indices", e.Pos, id.Name, len(c.dims), len(idxs))
+	}
+	off := 0
+	for d, ix := range idxs {
+		if ix < 0 || ix >= c.dims[d] {
+			return nil, 0, fmt.Errorf("interp: %v: index %d out of range [0,%d) in %q dim %d", e.Pos, ix, c.dims[d], id.Name, d)
+		}
+		off = off*c.dims[d] + ix
+	}
+	return c, off, nil
+}
+
+func applyOp(op string, old, rhs float64) float64 {
+	switch op {
+	case "+":
+		return old + rhs
+	case "-":
+		return old - rhs
+	case "*":
+		return old * rhs
+	case "/":
+		return old / rhs
+	}
+	return rhs
+}
+
+func opCost(op string) costmodel.Op {
+	switch op {
+	case "+", "-":
+		return costmodel.OpAddSub
+	case "*":
+		return costmodel.OpMul
+	case "/":
+		return costmodel.OpDiv
+	}
+	return costmodel.OpAssign
+}
+
+func (in *interp) eval(e minic.Expr, scope map[string]*cell) (value, error) {
+	if err := in.step(); err != nil {
+		return value{}, err
+	}
+	switch x := e.(type) {
+	case *minic.NumLit:
+		if x.IsFloat {
+			return fltval(x.Float), nil
+		}
+		return intval(float64(x.Int)), nil
+	case *minic.Ident:
+		c, err := in.lookup(x.Name, scope)
+		if err != nil {
+			return value{}, err
+		}
+		if c.arr != nil {
+			return value{}, fmt.Errorf("interp: %v: array %q used as scalar", x.Pos, x.Name)
+		}
+		return value{f: c.f, isInt: c.typ == minic.TypeInt}, nil
+	case *minic.Index:
+		c, off, err := in.resolveIndex(x, scope)
+		if err != nil {
+			return value{}, err
+		}
+		in.charge(costmodel.OpLoad)
+		return value{f: c.arr[off], isInt: c.typ == minic.TypeInt}, nil
+	case *minic.Unary:
+		v, err := in.eval(x.X, scope)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Op {
+		case "-":
+			in.charge(costmodel.OpAddSub)
+			return value{f: -v.f, isInt: v.isInt}, nil
+		case "!":
+			in.charge(costmodel.OpCmp)
+			if v.truthy() {
+				return intval(0), nil
+			}
+			return intval(1), nil
+		}
+		return value{}, fmt.Errorf("interp: unknown unary %q", x.Op)
+	case *minic.Binary:
+		return in.evalBinary(x, scope)
+	case *minic.Call:
+		return in.evalCall(x, scope)
+	}
+	return value{}, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func (in *interp) evalBinary(x *minic.Binary, scope map[string]*cell) (value, error) {
+	// Short-circuit logic first.
+	if x.Op == "&&" || x.Op == "||" {
+		l, err := in.eval(x.L, scope)
+		if err != nil {
+			return value{}, err
+		}
+		in.charge(costmodel.OpCmp)
+		if x.Op == "&&" && !l.truthy() {
+			return intval(0), nil
+		}
+		if x.Op == "||" && l.truthy() {
+			return intval(1), nil
+		}
+		r, err := in.eval(x.R, scope)
+		if err != nil {
+			return value{}, err
+		}
+		if r.truthy() {
+			return intval(1), nil
+		}
+		return intval(0), nil
+	}
+	l, err := in.eval(x.L, scope)
+	if err != nil {
+		return value{}, err
+	}
+	r, err := in.eval(x.R, scope)
+	if err != nil {
+		return value{}, err
+	}
+	bothInt := l.isInt && r.isInt
+	switch x.Op {
+	case "+":
+		in.charge(costmodel.OpAddSub)
+		return value{f: l.f + r.f, isInt: bothInt}, nil
+	case "-":
+		in.charge(costmodel.OpAddSub)
+		return value{f: l.f - r.f, isInt: bothInt}, nil
+	case "*":
+		in.charge(costmodel.OpMul)
+		return value{f: l.f * r.f, isInt: bothInt}, nil
+	case "/":
+		in.charge(costmodel.OpDiv)
+		if bothInt {
+			if r.f == 0 {
+				return value{}, fmt.Errorf("interp: %v: integer division by zero", x.Pos)
+			}
+			return intval(math.Trunc(l.f / r.f)), nil
+		}
+		return fltval(l.f / r.f), nil
+	case "%":
+		in.charge(costmodel.OpDiv)
+		if !bothInt {
+			return value{}, fmt.Errorf("interp: %v: %% requires integers", x.Pos)
+		}
+		if r.f == 0 {
+			return value{}, fmt.Errorf("interp: %v: modulo by zero", x.Pos)
+		}
+		return intval(float64(int64(l.f) % int64(r.f))), nil
+	case "<", ">", "<=", ">=", "==", "!=":
+		in.charge(costmodel.OpCmp)
+		ok := false
+		switch x.Op {
+		case "<":
+			ok = l.f < r.f
+		case ">":
+			ok = l.f > r.f
+		case "<=":
+			ok = l.f <= r.f
+		case ">=":
+			ok = l.f >= r.f
+		case "==":
+			ok = l.f == r.f
+		case "!=":
+			ok = l.f != r.f
+		}
+		if ok {
+			return intval(1), nil
+		}
+		return intval(0), nil
+	}
+	return value{}, fmt.Errorf("interp: unknown operator %q", x.Op)
+}
+
+func (in *interp) evalCall(x *minic.Call, scope map[string]*cell) (value, error) {
+	// Communication intrinsics.
+	if k := minic.CommKindOf(x.Name); k != minic.CommNone {
+		return in.evalComm(k, x, scope)
+	}
+	// Math builtins.
+	if minic.IsBuiltin(x.Name) {
+		args := make([]float64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.eval(a, scope)
+			if err != nil {
+				return value{}, err
+			}
+			args[i] = v.f
+		}
+		in.charge(costmodel.OpAddSub)
+		switch x.Name {
+		case "fabs":
+			return fltval(math.Abs(args[0])), nil
+		case "fmax":
+			return fltval(math.Max(args[0], args[1])), nil
+		case "fmin":
+			return fltval(math.Min(args[0], args[1])), nil
+		case "sqrt":
+			in.charge(costmodel.OpDiv) // sqrt ~ division-class latency
+			return fltval(math.Sqrt(args[0])), nil
+		}
+	}
+	// User function.
+	fn := in.funcs[x.Name]
+	if fn == nil {
+		return value{}, fmt.Errorf("interp: %v: undefined function %q", x.Pos, x.Name)
+	}
+	args := make([]value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := in.eval(a, scope)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	in.charge(costmodel.OpCall)
+	ret, err := in.call(fn, args)
+	if err != nil {
+		return value{}, err
+	}
+	if ret == nil {
+		return intval(0), nil
+	}
+	return *ret, nil
+}
+
+func (in *interp) evalComm(k minic.CommKind, x *minic.Call, scope map[string]*cell) (value, error) {
+	be := in.cfg.Backend
+	switch k {
+	case minic.CommRank:
+		return intval(float64(be.Rank())), nil
+	case minic.CommSize:
+		return intval(float64(be.Size())), nil
+	case minic.CommBarrier:
+		be.Barrier(in.cycles)
+		return intval(0), nil
+	case minic.CommSend, minic.CommRecv:
+		peer, err := in.eval(x.Args[0], scope)
+		if err != nil {
+			return value{}, err
+		}
+		count, err := in.eval(x.Args[1], scope)
+		if err != nil {
+			return value{}, err
+		}
+		doubles := count.f
+		if in.sizeScaled(x) {
+			doubles *= in.sizeScale
+		}
+		if k == minic.CommSend {
+			be.Send(int(peer.f), doubles, in.cycles)
+		} else {
+			be.Recv(int(peer.f), doubles, in.cycles)
+		}
+		return intval(0), nil
+	case minic.CommAllreduceMax:
+		v, err := in.eval(x.Args[0], scope)
+		if err != nil {
+			return value{}, err
+		}
+		return fltval(be.AllreduceMax(v.f, in.cycles)), nil
+	}
+	return value{}, fmt.Errorf("interp: unhandled comm kind %v", k)
+}

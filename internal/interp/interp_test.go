@@ -1,0 +1,475 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/costmodel"
+	"repro/internal/minic"
+)
+
+func analyze(t testing.TB, src string, scale []string) (*minic.Program, *minic.Analysis) {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := minic.Analyze(prog, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, an
+}
+
+func run(t testing.TB, src string, params map[string]int64) *Result {
+	t.Helper()
+	prog, an := analyze(t, src, nil)
+	res, err := Run(prog, an, Config{Params: params, Level: costmodel.O0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `int main() { int x; x = 2 + 3 * 4 - 6 / 2; return x; }`, nil)
+	if res.MainReturn != 11 {
+		t.Fatalf("main = %v, want 11", res.MainReturn)
+	}
+}
+
+func TestIntegerDivisionTruncates(t *testing.T) {
+	res := run(t, `int main() { return 7 / 2; }`, nil)
+	if res.MainReturn != 3 {
+		t.Fatalf("7/2 = %v, want 3", res.MainReturn)
+	}
+	res = run(t, `int main() { return 7 % 3; }`, nil)
+	if res.MainReturn != 1 {
+		t.Fatalf("7%%3 = %v, want 1", res.MainReturn)
+	}
+}
+
+func TestFloatDivision(t *testing.T) {
+	res := run(t, `int main() { double x; x = 7.0 / 2.0; if (x == 3.5) { return 1; } return 0; }`, nil)
+	if res.MainReturn != 1 {
+		t.Fatal("7.0/2.0 != 3.5")
+	}
+}
+
+func TestDivisionByZeroErrors(t *testing.T) {
+	prog, an := analyze(t, `int main() { return 1 / 0; }`, nil)
+	if _, err := Run(prog, an, Config{}); err == nil {
+		t.Fatal("integer division by zero accepted")
+	}
+	prog, an = analyze(t, `int main() { return 1 % 0; }`, nil)
+	if _, err := Run(prog, an, Config{}); err == nil {
+		t.Fatal("modulo by zero accepted")
+	}
+}
+
+func TestLoopsAndConditionals(t *testing.T) {
+	src := `
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 1; i <= 10; i++) {
+        if (i % 2 == 0) { s = s + i; }
+    }
+    return s;
+}`
+	res := run(t, src, nil)
+	if res.MainReturn != 30 {
+		t.Fatalf("sum of evens = %v, want 30", res.MainReturn)
+	}
+}
+
+func TestWhile(t *testing.T) {
+	res := run(t, `int main() { int n; int c; n = 100; c = 0; while (n > 1) { n = n / 2; c++; } return c; }`, nil)
+	if res.MainReturn != 6 {
+		t.Fatalf("log2ish(100) = %v, want 6", res.MainReturn)
+	}
+}
+
+func TestArrays2D(t *testing.T) {
+	src := `
+int main() {
+    double a[3][4];
+    int i; int j; double s;
+    for (i = 0; i < 3; i++) {
+        for (j = 0; j < 4; j++) {
+            a[i][j] = i * 10.0 + j;
+        }
+    }
+    s = a[2][3] + a[0][1];
+    if (s == 24.0) { return 1; }
+    return 0;
+}`
+	if res := run(t, src, nil); res.MainReturn != 1 {
+		t.Fatal("2D array indexing broken")
+	}
+}
+
+func TestArrayBoundsChecked(t *testing.T) {
+	prog, an := analyze(t, `int main() { double a[3]; a[5] = 1.0; return 0; }`, nil)
+	if _, err := Run(prog, an, Config{}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVLAFromParam(t *testing.T) {
+	src := `
+param int N;
+double a[N][N];
+int main() {
+    a[N - 1][N - 1] = 7.0;
+    if (a[N - 1][N - 1] == 7.0) { return 1; }
+    return 0;
+}`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := minic.Analyze(prog, []string{"N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, an, Config{Params: map[string]int64{"N": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainReturn != 1 {
+		t.Fatal("VLA global broken")
+	}
+}
+
+func TestMissingParamErrors(t *testing.T) {
+	prog, an := analyze(t, `param int N; int main() { return N; }`, nil)
+	if _, err := Run(prog, an, Config{}); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+}
+
+func TestUserFunctions(t *testing.T) {
+	src := `
+int addsq(int a, int b) {
+    return (a + b) * (a + b);
+}
+int main() { return addsq(2, 3); }`
+	if res := run(t, src, nil); res.MainReturn != 25 {
+		t.Fatalf("addsq = %v", res.MainReturn)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	src := `
+int main() {
+    double a; double b;
+    a = fabs(-3.5);
+    b = fmax(a, fmin(10.0, 4.0));
+    if (b == 4.0 && sqrt(16.0) == 4.0) { return 1; }
+    return 0;
+}`
+	if res := run(t, src, nil); res.MainReturn != 1 {
+		t.Fatal("builtins broken")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Right side would divide by zero; && must not evaluate it.
+	src := `int main() { int x; x = 0; if (x != 0 && 1 / x > 0) { return 9; } return 1; }`
+	if res := run(t, src, nil); res.MainReturn != 1 {
+		t.Fatal("short circuit broken")
+	}
+}
+
+func TestInfiniteLoopAborts(t *testing.T) {
+	prog, an := analyze(t, `int main() { while (1 > 0) { } return 0; }`, nil)
+	if _, err := Run(prog, an, Config{MaxOps: 10000}); err == nil {
+		t.Fatal("runaway loop not aborted")
+	}
+}
+
+func TestCyclesScaleWithLevel(t *testing.T) {
+	src := `int main() { int i; double s; s = 0.0; for (i = 0; i < 1000; i++) { s = s + 1.5; } return 0; }`
+	prog, an := analyze(t, src, nil)
+	var cycles [2]float64
+	for i, lvl := range []costmodel.Level{costmodel.O0, costmodel.O3} {
+		res, err := Run(prog, an, Config{Level: lvl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = res.Cycles
+	}
+	ratio := cycles[1] / cycles[0]
+	if math.Abs(ratio-costmodel.O3.Factor()) > 1e-9 {
+		t.Fatalf("O3/O0 cycle ratio = %v, want %v", ratio, costmodel.O3.Factor())
+	}
+}
+
+func TestBlockAttribution(t *testing.T) {
+	src := `
+param int N;
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < N; i++) {
+        s = s + 1;
+    }
+    return s;
+}`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := minic.Analyze(prog, []string{"N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, an, Config{Params: map[string]int64{"N": 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop body's straight block must have executed 50 times.
+	found := false
+	for id, st := range res.Blocks {
+		info := an.Block(id)
+		if info != nil && info.Kind == "straight" && info.Depth == 1 && st.Count == 50 {
+			found = true
+			if st.UnitCost() <= 0 {
+				t.Fatal("zero unit cost")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("loop body block with 50 executions not found: %+v", res.Blocks)
+	}
+}
+
+func TestBlockScaleMultipliesCycles(t *testing.T) {
+	src := `
+param int N;
+int main() {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < N; i++) {
+        s = s + 1.0;
+    }
+    return 0;
+}`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := minic.Analyze(prog, []string{"N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"N": 100}
+	base, err := Run(prog, an, Config{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale every depth-1 block by 10: the loop part of the run should
+	// cost ~10x, so total must rise substantially and deterministically.
+	scale := make(map[int]float64)
+	for _, b := range an.Blocks {
+		if b.Depth >= 1 {
+			scale[b.ID] = 10
+		}
+	}
+	scaled, err := Run(prog, an, Config{Params: params, BlockScale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Cycles <= 5*base.Cycles {
+		t.Fatalf("scaled %v vs base %v: scaling ineffective", scaled.Cycles, base.Cycles)
+	}
+	// Unscaled per-block stats must be identical.
+	for id, st := range base.Blocks {
+		if scaled.Blocks[id] == nil || scaled.Blocks[id].Cycles != st.Cycles {
+			t.Fatalf("block %d unscaled cycles differ", id)
+		}
+	}
+}
+
+// recordingBackend captures comm events.
+type recordingBackend struct {
+	rank, size int
+	events     []string
+	sizes      []float64
+	cycles     []float64
+}
+
+func (rb *recordingBackend) Rank() int { return rb.rank }
+func (rb *recordingBackend) Size() int { return rb.size }
+func (rb *recordingBackend) Send(peer int, d, c float64) {
+	rb.events = append(rb.events, "send")
+	rb.sizes = append(rb.sizes, d)
+	rb.cycles = append(rb.cycles, c)
+}
+func (rb *recordingBackend) Recv(peer int, d, c float64) {
+	rb.events = append(rb.events, "recv")
+	rb.sizes = append(rb.sizes, d)
+	rb.cycles = append(rb.cycles, c)
+}
+func (rb *recordingBackend) AllreduceMax(x, c float64) float64 {
+	rb.events = append(rb.events, "conv")
+	rb.cycles = append(rb.cycles, c)
+	return x * 2
+}
+func (rb *recordingBackend) Barrier(c float64) {
+	rb.events = append(rb.events, "barrier")
+	rb.cycles = append(rb.cycles, c)
+}
+
+func TestCommBackendDispatch(t *testing.T) {
+	src := `
+param int N;
+int main() {
+    int r; int p; double g;
+    r = p2psap_rank();
+    p = p2psap_nprocs();
+    if (r > 0) { p2psap_send(r - 1, N); }
+    if (r < p - 1) { p2psap_recv(r + 1, N); }
+    g = p2psap_allreduce_max(3.0);
+    p2psap_barrier();
+    if (g == 6.0) { return 1; }
+    return 0;
+}`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := minic.Analyze(prog, []string{"N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := &recordingBackend{rank: 1, size: 4}
+	res, err := Run(prog, an, Config{
+		Params:    map[string]int64{"N": 16},
+		Backend:   rb,
+		SizeScale: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainReturn != 1 {
+		t.Fatal("allreduce return value not propagated")
+	}
+	want := []string{"send", "recv", "conv", "barrier"}
+	if strings.Join(rb.events, ",") != strings.Join(want, ",") {
+		t.Fatalf("events = %v", rb.events)
+	}
+	// Size N=16 scaled by 3 -> 48 doubles.
+	if rb.sizes[0] != 48 || rb.sizes[1] != 48 {
+		t.Fatalf("sizes = %v, want 48s (size scaling)", rb.sizes)
+	}
+	// Cycle snapshots are non-decreasing.
+	for i := 1; i < len(rb.cycles); i++ {
+		if rb.cycles[i] < rb.cycles[i-1] {
+			t.Fatal("cycle snapshots decreased")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `
+param int N;
+int main() {
+    int i; int j; double s;
+    s = 0.0;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < N; j++) {
+            s = s + fabs(-1.0);
+        }
+    }
+    return 0;
+}`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := minic.Analyze(prog, []string{"N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *Result
+	for i := 0; i < 3; i++ {
+		res, err := Run(prog, an, Config{Params: map[string]int64{"N": 20}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && (res.Cycles != prev.Cycles || res.Ops != prev.Ops) {
+			t.Fatal("nondeterministic execution")
+		}
+		prev = res
+	}
+}
+
+// Property: per-cell cost of a simple accumulation loop is constant
+// across sizes (unit costs must not depend on N).
+func TestPropertyUnitCostSizeInvariant(t *testing.T) {
+	src := `
+param int N;
+int main() {
+    int i; double s;
+    s = 0.0;
+    for (i = 0; i < N; i++) {
+        s = s + 2.0;
+    }
+    return 0;
+}`
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := minic.Analyze(prog, []string{"N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := func(n int64) float64 {
+		res, err := Run(prog, an, Config{Params: map[string]int64{"N": n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, st := range res.Blocks {
+			if info := an.Block(id); info != nil && info.Kind == "straight" && info.Depth == 1 {
+				return st.UnitCost()
+			}
+		}
+		return -1
+	}
+	f := func(raw uint8) bool {
+		n := int64(raw%100) + 2
+		return math.Abs(unit(n)-unit(50)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInterpLoop(b *testing.B) {
+	src := `
+param int N;
+int main() {
+    int i; int j; double s;
+    s = 0.0;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < N; j++) {
+            s = s + 1.0;
+        }
+    }
+    return 0;
+}`
+	prog, _ := minic.Parse(src)
+	an, _ := minic.Analyze(prog, []string{"N"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(prog, an, Config{Params: map[string]int64{"N": 100}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockInfo describes one basic block found by the analyzer.
+type BlockInfo struct {
+	ID   int
+	Func string
+	Pos  Pos
+	// Depth is the number of enclosing scale-parameter-dependent loops:
+	// block execution counts grow as (scale parameter)^Depth, the
+	// exponent dPerf's block benchmarking uses to scale measurements up
+	// (paper §III-D.2, "benchmarking by block ... scaled-up while
+	// maintaining accuracy").
+	Depth int
+	// Kind distinguishes straight-line blocks from control bookkeeping.
+	Kind string // "straight", "if", "for", "while", "return"
+}
+
+// CommSite is a detected communication call.
+type CommSite struct {
+	Kind CommKind
+	Call *Call
+	Func string
+	// SizeScaled reports whether the size argument depends on a scale
+	// parameter (so recorded sizes must be scaled linearly).
+	SizeScaled bool
+}
+
+// Analysis is the result of static analysis over a program.
+type Analysis struct {
+	Prog *Program
+	// ScaleParams are the parameter names benchmarks scale over
+	// (typically the problem dimension N).
+	ScaleParams map[string]bool
+
+	Blocks []*BlockInfo
+	// StmtBlock maps every statement to its basic block ID.
+	StmtBlock map[Stmt]int
+	// Comm lists every communication site in source order.
+	Comm []*CommSite
+	// Tainted holds, per function, the variables whose values depend on
+	// a scale parameter ("" holds globals).
+	Tainted map[string]map[string]bool
+}
+
+// Analyze runs semantic checks, basic-block decomposition, taint
+// analysis and communication detection. scaleParams names the `param`
+// declarations that vary between benchmark-size and full-size runs.
+func Analyze(prog *Program, scaleParams []string) (*Analysis, error) {
+	a := &Analysis{
+		Prog:        prog,
+		ScaleParams: make(map[string]bool),
+		StmtBlock:   make(map[Stmt]int),
+		Tainted:     make(map[string]map[string]bool),
+	}
+	declared := make(map[string]bool)
+	for _, pd := range prog.Params {
+		declared[pd.Name] = true
+	}
+	for _, sp := range scaleParams {
+		if !declared[sp] {
+			return nil, fmt.Errorf("minic: scale parameter %q is not declared with `param int %s;`", sp, sp)
+		}
+		a.ScaleParams[sp] = true
+	}
+	if err := a.checkSemantics(); err != nil {
+		return nil, err
+	}
+	a.computeTaint()
+	for _, fn := range prog.Funcs {
+		a.decompose(fn)
+	}
+	a.detectComm()
+	return a, nil
+}
+
+// Block returns a block by ID.
+func (a *Analysis) Block(id int) *BlockInfo {
+	if id < 0 || id >= len(a.Blocks) {
+		return nil
+	}
+	return a.Blocks[id]
+}
+
+// --------------------------------------------------------------------------
+// Semantic checks: every identifier must be declared; builtin/comm
+// arities must match.
+
+var commArity = map[CommKind]int{
+	CommRank: 0, CommSize: 0, CommSend: 2, CommRecv: 2,
+	CommAllreduceMax: 1, CommBarrier: 0,
+}
+
+func (a *Analysis) checkSemantics() error {
+	globals := make(map[string]bool)
+	for _, pd := range a.Prog.Params {
+		globals[pd.Name] = true
+	}
+	for _, g := range a.Prog.Globals {
+		if globals[g.Decl.Name] {
+			return fmt.Errorf("minic: %v: duplicate global %q", g.Pos, g.Decl.Name)
+		}
+		globals[g.Decl.Name] = true
+	}
+	funcs := make(map[string]*FuncDecl)
+	for _, fn := range a.Prog.Funcs {
+		if funcs[fn.Name] != nil {
+			return fmt.Errorf("minic: %v: duplicate function %q", fn.Pos, fn.Name)
+		}
+		funcs[fn.Name] = fn
+	}
+	for _, fn := range a.Prog.Funcs {
+		scope := make(map[string]bool)
+		for k := range globals {
+			scope[k] = true
+		}
+		for _, p := range fn.Params {
+			scope[p.Name] = true
+		}
+		if err := a.checkBlock(fn, fn.Body, scope, funcs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Analysis) checkBlock(fn *FuncDecl, b *BlockStmt, outer map[string]bool, funcs map[string]*FuncDecl) error {
+	scope := make(map[string]bool, len(outer))
+	for k := range outer {
+		scope[k] = true
+	}
+	for _, s := range b.Stmts {
+		if err := a.checkStmt(fn, s, scope, funcs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Analysis) checkStmt(fn *FuncDecl, s Stmt, scope map[string]bool, funcs map[string]*FuncDecl) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		for _, d := range st.Dims {
+			if err := a.checkExpr(fn, d, scope, funcs); err != nil {
+				return err
+			}
+		}
+		if st.Init != nil {
+			if err := a.checkExpr(fn, st.Init, scope, funcs); err != nil {
+				return err
+			}
+		}
+		scope[st.Name] = true
+	case *AssignStmt:
+		if err := a.checkExpr(fn, st.LHS, scope, funcs); err != nil {
+			return err
+		}
+		return a.checkExpr(fn, st.RHS, scope, funcs)
+	case *ExprStmt:
+		return a.checkExpr(fn, st.X, scope, funcs)
+	case *IfStmt:
+		if err := a.checkExpr(fn, st.Cond, scope, funcs); err != nil {
+			return err
+		}
+		if err := a.checkBlock(fn, st.Then, scope, funcs); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return a.checkBlock(fn, st.Else, scope, funcs)
+		}
+	case *ForStmt:
+		inner := make(map[string]bool, len(scope))
+		for k := range scope {
+			inner[k] = true
+		}
+		if st.Init != nil {
+			if err := a.checkStmt(fn, st.Init, inner, funcs); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := a.checkExpr(fn, st.Cond, inner, funcs); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := a.checkStmt(fn, st.Post, inner, funcs); err != nil {
+				return err
+			}
+		}
+		return a.checkBlock(fn, st.Body, inner, funcs)
+	case *WhileStmt:
+		if err := a.checkExpr(fn, st.Cond, scope, funcs); err != nil {
+			return err
+		}
+		return a.checkBlock(fn, st.Body, scope, funcs)
+	case *ReturnStmt:
+		if st.X != nil {
+			return a.checkExpr(fn, st.X, scope, funcs)
+		}
+	case *BlockStmt:
+		return a.checkBlock(fn, st, scope, funcs)
+	}
+	return nil
+}
+
+func (a *Analysis) checkExpr(fn *FuncDecl, e Expr, scope map[string]bool, funcs map[string]*FuncDecl) error {
+	switch x := e.(type) {
+	case *NumLit:
+		return nil
+	case *Ident:
+		if !scope[x.Name] {
+			return fmt.Errorf("minic: %v: undeclared identifier %q in %s", x.Pos, x.Name, fn.Name)
+		}
+	case *Index:
+		if err := a.checkExpr(fn, x.Base, scope, funcs); err != nil {
+			return err
+		}
+		return a.checkExpr(fn, x.Idx, scope, funcs)
+	case *Unary:
+		return a.checkExpr(fn, x.X, scope, funcs)
+	case *Binary:
+		if err := a.checkExpr(fn, x.L, scope, funcs); err != nil {
+			return err
+		}
+		return a.checkExpr(fn, x.R, scope, funcs)
+	case *Call:
+		if k := CommKindOf(x.Name); k != CommNone {
+			if want := commArity[k]; len(x.Args) != want {
+				return fmt.Errorf("minic: %v: %s takes %d argument(s), got %d", x.Pos, x.Name, want, len(x.Args))
+			}
+		} else if IsBuiltin(x.Name) {
+			want := 1
+			if x.Name == "fmax" || x.Name == "fmin" {
+				want = 2
+			}
+			if len(x.Args) != want {
+				return fmt.Errorf("minic: %v: %s takes %d argument(s), got %d", x.Pos, x.Name, want, len(x.Args))
+			}
+		} else {
+			callee := funcs[x.Name]
+			if callee == nil {
+				return fmt.Errorf("minic: %v: call to undefined function %q", x.Pos, x.Name)
+			}
+			if len(x.Args) != len(callee.Params) {
+				return fmt.Errorf("minic: %v: %s takes %d argument(s), got %d", x.Pos, x.Name, len(callee.Params), len(x.Args))
+			}
+		}
+		for _, arg := range x.Args {
+			if err := a.checkExpr(fn, arg, scope, funcs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --------------------------------------------------------------------------
+// Taint: which variables depend on a scale parameter.
+
+func (a *Analysis) computeTaint() {
+	globals := make(map[string]bool)
+	for name := range a.ScaleParams {
+		globals[name] = true
+	}
+	// Globals initialized from tainted expressions become tainted.
+	for changed := true; changed; {
+		changed = false
+		for _, g := range a.Prog.Globals {
+			if g.Decl.Init != nil && !globals[g.Decl.Name] && a.exprTainted(g.Decl.Init, globals, nil) {
+				globals[g.Decl.Name] = true
+				changed = true
+			}
+		}
+	}
+	a.Tainted[""] = globals
+	for _, fn := range a.Prog.Funcs {
+		local := make(map[string]bool)
+		for changed := true; changed; {
+			changed = false
+			walkStmts(fn.Body, func(s Stmt) {
+				switch st := s.(type) {
+				case *DeclStmt:
+					if st.Init != nil && !local[st.Name] && a.exprTainted(st.Init, globals, local) {
+						local[st.Name] = true
+						changed = true
+					}
+				case *AssignStmt:
+					if id, ok := st.LHS.(*Ident); ok {
+						if !local[id.Name] && a.exprTainted(st.RHS, globals, local) {
+							local[id.Name] = true
+							changed = true
+						}
+					}
+				}
+			})
+		}
+		a.Tainted[fn.Name] = local
+	}
+}
+
+func (a *Analysis) exprTainted(e Expr, globals, local map[string]bool) bool {
+	found := false
+	walkExpr(e, func(x Expr) {
+		if id, ok := x.(*Ident); ok {
+			if globals[id.Name] || (local != nil && local[id.Name]) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// loopScales reports whether a for loop's trip count depends on a
+// scale parameter (bound or init tainted).
+func (a *Analysis) loopScales(fn string, st *ForStmt) bool {
+	globals := a.Tainted[""]
+	local := a.Tainted[fn]
+	if st.Cond != nil && a.exprTainted(st.Cond, globals, local) {
+		return true
+	}
+	if as, ok := st.Init.(*AssignStmt); ok && as != nil && a.exprTainted(as.RHS, globals, local) {
+		return true
+	}
+	if ds, ok := st.Init.(*DeclStmt); ok && ds != nil && ds.Init != nil && a.exprTainted(ds.Init, globals, local) {
+		return true
+	}
+	return false
+}
+
+// --------------------------------------------------------------------------
+// Basic-block decomposition.
+
+func (a *Analysis) newBlock(fn string, pos Pos, depth int, kind string) int {
+	id := len(a.Blocks)
+	a.Blocks = append(a.Blocks, &BlockInfo{ID: id, Func: fn, Pos: pos, Depth: depth, Kind: kind})
+	return id
+}
+
+// decompose assigns block IDs within one function.
+func (a *Analysis) decompose(fn *FuncDecl) {
+	a.decomposeBlock(fn, fn.Body, 0)
+}
+
+// stmtBreaksBlock reports whether a statement ends the current
+// straight-line block (control flow or a communication call).
+func stmtBreaksBlock(s Stmt) bool {
+	switch st := s.(type) {
+	case *IfStmt, *ForStmt, *WhileStmt, *ReturnStmt, *BlockStmt:
+		return true
+	case *ExprStmt:
+		if c, ok := st.X.(*Call); ok && CommKindOf(c.Name) != CommNone {
+			return true
+		}
+	case *AssignStmt:
+		if c, ok := st.RHS.(*Call); ok && CommKindOf(c.Name) != CommNone {
+			return true
+		}
+	case *DeclStmt:
+		if c, ok := st.Init.(*Call); ok && CommKindOf(c.Name) != CommNone {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Analysis) decomposeBlock(fn *FuncDecl, b *BlockStmt, depth int) {
+	cur := -1
+	for _, s := range b.Stmts {
+		if stmtBreaksBlock(s) {
+			cur = -1
+			switch st := s.(type) {
+			case *IfStmt:
+				id := a.newBlock(fn.Name, st.Pos, depth, "if")
+				a.StmtBlock[s] = id
+				a.decomposeBlock(fn, st.Then, depth)
+				if st.Else != nil {
+					a.decomposeBlock(fn, st.Else, depth)
+				}
+			case *ForStmt:
+				st.ScalesWithParam = a.loopScales(fn.Name, st)
+				inner := depth
+				if st.ScalesWithParam {
+					inner++
+				}
+				// The loop's own bookkeeping (condition, post, branch)
+				// runs once per iteration, so it scales with the loop's
+				// trip count, i.e. at the body depth.
+				id := a.newBlock(fn.Name, st.Pos, inner, "for")
+				a.StmtBlock[s] = id
+				a.decomposeBlock(fn, st.Body, inner)
+			case *WhileStmt:
+				id := a.newBlock(fn.Name, st.Pos, depth, "while")
+				a.StmtBlock[s] = id
+				a.decomposeBlock(fn, st.Body, depth)
+			case *ReturnStmt:
+				a.StmtBlock[s] = a.newBlock(fn.Name, st.Pos, depth, "return")
+			case *BlockStmt:
+				a.decomposeBlock(fn, st, depth)
+			case *ExprStmt, *AssignStmt, *DeclStmt:
+				// Communication statement: its own block so the trace
+				// generator can cut compute segments exactly here.
+				a.StmtBlock[s] = a.newBlock(fn.Name, s.Position(), depth, "straight")
+			}
+			continue
+		}
+		if cur == -1 {
+			cur = a.newBlock(fn.Name, s.Position(), depth, "straight")
+		}
+		a.StmtBlock[s] = cur
+	}
+}
+
+// --------------------------------------------------------------------------
+// Communication detection.
+
+func (a *Analysis) detectComm() {
+	for _, fn := range a.Prog.Funcs {
+		fname := fn.Name
+		walkStmts(fn.Body, func(s Stmt) {
+			var exprs []Expr
+			switch st := s.(type) {
+			case *ExprStmt:
+				exprs = append(exprs, st.X)
+			case *AssignStmt:
+				exprs = append(exprs, st.RHS)
+			case *DeclStmt:
+				if st.Init != nil {
+					exprs = append(exprs, st.Init)
+				}
+			case *IfStmt:
+				exprs = append(exprs, st.Cond)
+			case *ForStmt:
+				if st.Cond != nil {
+					exprs = append(exprs, st.Cond)
+				}
+			case *WhileStmt:
+				exprs = append(exprs, st.Cond)
+			case *ReturnStmt:
+				if st.X != nil {
+					exprs = append(exprs, st.X)
+				}
+			}
+			for _, e := range exprs {
+				walkExpr(e, func(x Expr) {
+					c, ok := x.(*Call)
+					if !ok {
+						return
+					}
+					k := CommKindOf(c.Name)
+					if k == CommNone {
+						return
+					}
+					site := &CommSite{Kind: k, Call: c, Func: fname}
+					if k == CommSend || k == CommRecv {
+						site.SizeScaled = a.exprTainted(c.Args[1], a.Tainted[""], a.Tainted[fname])
+					}
+					a.Comm = append(a.Comm, site)
+				})
+			}
+		})
+	}
+	sort.SliceStable(a.Comm, func(i, j int) bool {
+		pi, pj := a.Comm[i].Call.Pos, a.Comm[j].Call.Pos
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Col < pj.Col
+	})
+}
+
+// CommSummary returns counts per communication kind (report output).
+func (a *Analysis) CommSummary() map[CommKind]int {
+	out := make(map[CommKind]int)
+	for _, c := range a.Comm {
+		out[c.Kind]++
+	}
+	return out
+}
+
+// --------------------------------------------------------------------------
+// Generic walkers.
+
+func walkStmts(b *BlockStmt, f func(Stmt)) {
+	for _, s := range b.Stmts {
+		f(s)
+		switch st := s.(type) {
+		case *IfStmt:
+			walkStmts(st.Then, f)
+			if st.Else != nil {
+				walkStmts(st.Else, f)
+			}
+		case *ForStmt:
+			if st.Init != nil {
+				f(st.Init)
+			}
+			if st.Post != nil {
+				f(st.Post)
+			}
+			walkStmts(st.Body, f)
+		case *WhileStmt:
+			walkStmts(st.Body, f)
+		case *BlockStmt:
+			walkStmts(st, f)
+		}
+	}
+}
+
+func walkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *Index:
+		walkExpr(x.Base, f)
+		walkExpr(x.Idx, f)
+	case *Unary:
+		walkExpr(x.X, f)
+	case *Binary:
+		walkExpr(x.L, f)
+		walkExpr(x.R, f)
+	case *Call:
+		for _, a := range x.Args {
+			walkExpr(a, f)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package minic is the dPerf source front-end: a lexer, parser and
+// analyzer for a C subset rich enough to express the paper's
+// distributed numerical kernels (the obstacle problem among them). It
+// stands in for the ROSE compiler infrastructure: it builds an AST,
+// decomposes function bodies into basic blocks, detects communication
+// calls (both P2PSAP and MPI spellings), computes which loops scale
+// with declared parameters, and unparses an instrumented source —
+// dPerf's automatic static analysis and source-to-source
+// transformation (paper §III-D).
+package minic
+
+import "fmt"
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Type is a mini-C type.
+type Type int
+
+// Types.
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeDouble
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeDouble:
+		return "double"
+	}
+	return "?"
+}
+
+// --- Expressions ---
+
+// Expr is any expression node.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// NumLit is an integer or floating literal.
+type NumLit struct {
+	Pos     Pos
+	IsFloat bool
+	Int     int64
+	Float   float64
+	Raw     string
+}
+
+// Ident references a variable or parameter.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Index is arr[i] or arr[i][j] (one node per bracket).
+type Index struct {
+	Pos  Pos
+	Base Expr
+	Idx  Expr
+}
+
+// Call is a function or intrinsic call.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is x op y.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+func (*NumLit) exprNode() {}
+func (*Ident) exprNode()  {}
+func (*Index) exprNode()  {}
+func (*Call) exprNode()   {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+
+// Position implements Expr.
+func (e *NumLit) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *Ident) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *Index) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *Call) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *Unary) Position() Pos { return e.Pos }
+
+// Position implements Expr.
+func (e *Binary) Position() Pos { return e.Pos }
+
+// --- Statements ---
+
+// Stmt is any statement node.
+type Stmt interface {
+	stmtNode()
+	Position() Pos
+}
+
+// DeclStmt declares a scalar or array variable.
+type DeclStmt struct {
+	Pos  Pos
+	Type Type
+	Name string
+	// Dims is empty for scalars; expressions for array dimensions
+	// (evaluated at elaboration, VLA-style).
+	Dims []Expr
+	// Init is the optional scalar initializer.
+	Init Expr
+}
+
+// AssignStmt is lvalue op= expr (op "" means plain "=").
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr // Ident or Index chain
+	Op  string
+	RHS Expr
+}
+
+// ExprStmt is a bare call expression.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt with optional else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // nil when absent
+}
+
+// ForStmt is for(init; cond; post) body.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // AssignStmt or DeclStmt or nil
+	Cond Expr
+	Post Stmt // AssignStmt or nil
+	Body *BlockStmt
+
+	// ScalesWithParam is set by analysis when the trip count grows
+	// with a declared parameter (dPerf scale-up marking).
+	ScalesWithParam bool
+}
+
+// WhileStmt is while(cond) body.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil
+}
+
+// BlockStmt is { stmts }.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()    {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*BlockStmt) stmtNode()  {}
+
+// Position implements Stmt.
+func (s *DeclStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *AssignStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *ExprStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *IfStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *ForStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *WhileStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *ReturnStmt) Position() Pos { return s.Pos }
+
+// Position implements Stmt.
+func (s *BlockStmt) Position() Pos { return s.Pos }
+
+// --- Top level ---
+
+// Param is a function parameter.
+type Param struct {
+	Type Type
+	Name string
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Ret    Type
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+}
+
+// GlobalDecl is a file-scope variable (scalars and arrays).
+type GlobalDecl struct {
+	Pos  Pos
+	Decl *DeclStmt
+}
+
+// ParamDecl declares a tunable analysis parameter (`param int N;`):
+// its value is supplied by the dPerf driver, and loops bounded by it
+// are the ones block benchmarking scales up.
+type ParamDecl struct {
+	Pos  Pos
+	Name string
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Params  []*ParamDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// CommKind classifies recognized communication intrinsics.
+type CommKind int
+
+// Communication operation kinds dPerf recognizes.
+const (
+	CommNone         CommKind = iota
+	CommRank                  // query: own rank
+	CommSize                  // query: process count
+	CommSend                  // p2psap_send(peer, doubles) / MPI_Send
+	CommRecv                  // p2psap_recv(peer, doubles) / MPI_Recv
+	CommAllreduceMax          // p2psap_allreduce_max(x) / MPI_Allreduce
+	CommBarrier               // p2psap_barrier() / MPI_Barrier
+)
+
+func (k CommKind) String() string {
+	switch k {
+	case CommNone:
+		return "none"
+	case CommRank:
+		return "rank"
+	case CommSize:
+		return "size"
+	case CommSend:
+		return "send"
+	case CommRecv:
+		return "recv"
+	case CommAllreduceMax:
+		return "allreduce_max"
+	case CommBarrier:
+		return "barrier"
+	}
+	return "?"
+}
+
+// commNames maps the P2PSAP and MPI spellings dPerf is "customizable
+// for recognizing" (paper §III-D.2) onto CommKind.
+var commNames = map[string]CommKind{
+	"p2psap_rank":          CommRank,
+	"p2psap_nprocs":        CommSize,
+	"p2psap_send":          CommSend,
+	"p2psap_recv":          CommRecv,
+	"p2psap_allreduce_max": CommAllreduceMax,
+	"p2psap_barrier":       CommBarrier,
+	"MPI_Comm_rank":        CommRank,
+	"MPI_Comm_size":        CommSize,
+	"MPI_Send":             CommSend,
+	"MPI_Recv":             CommRecv,
+	"MPI_Allreduce":        CommAllreduceMax,
+	"MPI_Barrier":          CommBarrier,
+}
+
+// CommKindOf returns the communication kind of a callee name.
+func CommKindOf(name string) CommKind { return commNames[name] }
+
+// mathBuiltins are pure intrinsic functions.
+var mathBuiltins = map[string]bool{
+	"fabs": true, "fmax": true, "fmin": true, "sqrt": true,
+}
+
+// IsBuiltin reports whether name is a math intrinsic.
+func IsBuiltin(name string) bool { return mathBuiltins[name] }

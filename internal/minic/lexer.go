@@ -1,0 +1,181 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNum
+	tokPunct   // operators and delimiters
+	tokKeyword // int double void if else for while return param
+)
+
+var keywords = map[string]bool{
+	"int": true, "double": true, "void": true,
+	"if": true, "else": true, "for": true, "while": true,
+	"return": true, "param": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tokEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '*':
+			start := Pos{lx.line, lx.col}
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return fmt.Errorf("minic: %v: unterminated block comment", start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-char punctuation, longest first.
+var puncts = []string{
+	"<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "[", "]", "{", "}", ";", ",",
+}
+
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := Pos{lx.line, lx.col}
+	if lx.off >= len(lx.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := lx.off
+		for lx.off < len(lx.src) {
+			b := lx.peekByte()
+			if unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b)) || b == '_' {
+				lx.advance()
+			} else {
+				break
+			}
+		}
+		text := lx.src[start:lx.off]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, pos: pos}, nil
+	case unicode.IsDigit(rune(c)) || (c == '.' && lx.off+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.off+1]))):
+		start := lx.off
+		seenDot, seenExp := false, false
+		for lx.off < len(lx.src) {
+			b := lx.peekByte()
+			switch {
+			case unicode.IsDigit(rune(b)):
+				lx.advance()
+			case b == '.' && !seenDot && !seenExp:
+				seenDot = true
+				lx.advance()
+			case (b == 'e' || b == 'E') && !seenExp:
+				seenExp = true
+				lx.advance()
+				if n := lx.peekByte(); n == '+' || n == '-' {
+					lx.advance()
+				}
+			default:
+				goto doneNum
+			}
+		}
+	doneNum:
+		text := lx.src[start:lx.off]
+		if _, err := strconv.ParseFloat(text, 64); err != nil {
+			return token{}, fmt.Errorf("minic: %v: bad number %q", pos, text)
+		}
+		return token{kind: tokNum, text: text, pos: pos}, nil
+	default:
+		rest := lx.src[lx.off:]
+		for _, p := range puncts {
+			if strings.HasPrefix(rest, p) {
+				for range p {
+					lx.advance()
+				}
+				return token{kind: tokPunct, text: p, pos: pos}, nil
+			}
+		}
+		return token{}, fmt.Errorf("minic: %v: unexpected character %q", pos, string(c))
+	}
+}

@@ -1,0 +1,365 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const tiny = `
+param int N;
+int main() {
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < N; i++) {
+        s = s + i;
+    }
+    return s;
+}
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustAnalyze(t *testing.T, src string, scale []string) (*Program, *Analysis) {
+	t.Helper()
+	p := mustParse(t, src)
+	a, err := Analyze(p, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, a
+}
+
+func TestParseTiny(t *testing.T) {
+	p := mustParse(t, tiny)
+	if len(p.Params) != 1 || p.Params[0].Name != "N" {
+		t.Fatalf("params = %+v", p.Params)
+	}
+	if p.Func("main") == nil {
+		t.Fatal("no main")
+	}
+	if len(p.Func("main").Body.Stmts) != 5 {
+		t.Fatalf("main has %d stmts", len(p.Func("main").Body.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                  // no main
+		"int main() { return 0; ",           // unterminated block
+		"int main() { x = 1; }",             // fine parse, sema catches; skip
+		"int main() { 3 = x; }",             // bad lvalue
+		"int main() { if x { } }",           // missing paren
+		"int main() { for i; i; i) {} }",    // bad for
+		"int f() { return 0; }",             // no main
+		"param double X; int main() {}",     // param must be int
+		"int main() { double a[2] = 3.0; }", // array init
+		"int main() { return 1 +; }",        // bad expr
+		"int main() { @ }",                  // bad char
+		"int main() { int x; x = 08; }",     // ok number? 08 parses as 8? strconv ParseInt("08")=8 fine; skip
+		"int main() { /* unterminated",      // comment
+	}
+	for _, src := range cases {
+		switch src {
+		case "int main() { x = 1; }", "int main() { int x; x = 08; }":
+			continue
+		}
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, "int main() { int x; x = 1 + 2 * 3; return x; }")
+	as := p.Func("main").Body.Stmts[1].(*AssignStmt)
+	b := as.RHS.(*Binary)
+	if b.Op != "+" {
+		t.Fatalf("top op = %q, want +", b.Op)
+	}
+	if r := b.R.(*Binary); r.Op != "*" {
+		t.Fatalf("right op = %q, want *", r.Op)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "// line\nint main() { /* block\n comment */ return 0; }\n"
+	mustParse(t, src)
+}
+
+func TestParseIncDec(t *testing.T) {
+	p := mustParse(t, "int main() { int i; for (i = 0; i < 3; i++) { } i--; return i; }")
+	f := p.Func("main").Body.Stmts[1].(*ForStmt)
+	post := f.Post.(*AssignStmt)
+	if post.Op != "+" {
+		t.Fatalf("i++ desugars to op %q", post.Op)
+	}
+}
+
+func TestSemaUndeclared(t *testing.T) {
+	p := mustParse(t, "int main() { x = 1; return 0; }")
+	if _, err := Analyze(p, nil); err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("err = %v, want undeclared", err)
+	}
+}
+
+func TestSemaCommArity(t *testing.T) {
+	p := mustParse(t, "int main() { p2psap_send(1); return 0; }")
+	if _, err := Analyze(p, nil); err == nil || !strings.Contains(err.Error(), "argument") {
+		t.Fatalf("err = %v, want arity error", err)
+	}
+}
+
+func TestSemaUnknownFunction(t *testing.T) {
+	p := mustParse(t, "int main() { frob(1); return 0; }")
+	if _, err := Analyze(p, nil); err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSemaDuplicateGlobal(t *testing.T) {
+	p := mustParse(t, "int g; int g; int main() { return 0; }")
+	if _, err := Analyze(p, nil); err == nil {
+		t.Fatal("duplicate global accepted")
+	}
+}
+
+func TestSemaUnknownScaleParam(t *testing.T) {
+	p := mustParse(t, tiny)
+	if _, err := Analyze(p, []string{"ZZ"}); err == nil {
+		t.Fatal("unknown scale param accepted")
+	}
+}
+
+func TestTaintAndLoopScaling(t *testing.T) {
+	src := `
+param int N;
+param int ROUNDS;
+int main() {
+    int i; int r; int half; int fixed;
+    half = N / 2;
+    fixed = 10;
+    for (r = 0; r < ROUNDS; r++) {
+        for (i = 0; i < half; i++) {
+            fixed = fixed + 1;
+        }
+    }
+    for (i = 0; i < fixed; i++) {
+        fixed = fixed - 1;
+    }
+    return fixed;
+}
+`
+	p, a := mustAnalyze(t, src, []string{"N"})
+	main := p.Func("main")
+	var loops []*ForStmt
+	walkStmts(main.Body, func(s Stmt) {
+		if f, ok := s.(*ForStmt); ok {
+			loops = append(loops, f)
+		}
+	})
+	if len(loops) != 3 {
+		t.Fatalf("found %d loops", len(loops))
+	}
+	// Loop order: r (ROUNDS: not a scale param), i<half (scales),
+	// i<fixed (fixed is not tainted by N).
+	if loops[0].ScalesWithParam {
+		t.Error("ROUNDS loop must not scale (not a scale param)")
+	}
+	if !loops[1].ScalesWithParam {
+		t.Error("half loop must scale with N")
+	}
+	if loops[2].ScalesWithParam {
+		t.Error("fixed loop must not scale")
+	}
+	if !a.Tainted["main"]["half"] {
+		t.Error("half not tainted")
+	}
+	if a.Tainted["main"]["fixed"] {
+		t.Error("fixed wrongly tainted")
+	}
+}
+
+func TestBlockDepths(t *testing.T) {
+	src := `
+param int N;
+int main() {
+    int i; int j; int s;
+    s = 0;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < N; j++) {
+            s = s + 1;
+        }
+    }
+    return s;
+}
+`
+	p, a := mustAnalyze(t, src, []string{"N"})
+	_ = p
+	// Find the innermost straight block (s = s + 1): depth 2.
+	maxDepth := 0
+	for _, b := range a.Blocks {
+		if b.Depth > maxDepth {
+			maxDepth = b.Depth
+		}
+	}
+	if maxDepth != 2 {
+		t.Fatalf("max block depth = %d, want 2", maxDepth)
+	}
+}
+
+func TestCommDetectionP2PSAPAndMPI(t *testing.T) {
+	src := `
+param int N;
+int main() {
+    int r; double x;
+    r = p2psap_rank();
+    r = p2psap_nprocs();
+    if (r > 0) { p2psap_send(0, N); }
+    if (r > 0) { p2psap_recv(0, N); }
+    x = p2psap_allreduce_max(1.0);
+    p2psap_barrier();
+    MPI_Send(0, 5);
+    MPI_Recv(0, 5);
+    MPI_Barrier();
+    return 0;
+}
+`
+	_, a := mustAnalyze(t, src, []string{"N"})
+	sum := a.CommSummary()
+	if sum[CommSend] != 2 || sum[CommRecv] != 2 {
+		t.Fatalf("send/recv counts: %v", sum)
+	}
+	if sum[CommBarrier] != 2 || sum[CommAllreduceMax] != 1 {
+		t.Fatalf("barrier/allreduce counts: %v", sum)
+	}
+	if sum[CommRank] != 1 || sum[CommSize] != 1 {
+		t.Fatalf("rank/size counts: %v", sum)
+	}
+	// The p2psap_send size argument is N: scaled.
+	for _, c := range a.Comm {
+		if c.Kind == CommSend && c.Call.Name == "p2psap_send" && !c.SizeScaled {
+			t.Error("p2psap_send(0, N) should be size-scaled")
+		}
+		if c.Call.Name == "MPI_Send" && c.SizeScaled {
+			t.Error("MPI_Send(0, 5) must not be size-scaled")
+		}
+	}
+}
+
+func TestUnparseRoundTrip(t *testing.T) {
+	src := `
+param int N;
+double g[N + 2];
+double helper(double x, double y) {
+    return fmax(x, y) * 2.0;
+}
+int main() {
+    int i; double s;
+    s = 0.0;
+    for (i = 0; i < N; i++) {
+        if (g[i] > 0.0 && i % 2 == 0) {
+            s = s + helper(g[i], 1.0);
+        } else {
+            s = s - 1.0;
+        }
+    }
+    while (s > 100.0) {
+        s = s / 2.0;
+    }
+    return 0;
+}
+`
+	p1 := mustParse(t, src)
+	out1 := Unparse(p1, nil)
+	p2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("unparsed source does not reparse: %v\n%s", err, out1)
+	}
+	out2 := Unparse(p2, nil)
+	if out1 != out2 {
+		t.Fatalf("unparse not a fixed point:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+}
+
+func TestInstrumentedUnparseHasProbes(t *testing.T) {
+	p, a := mustAnalyze(t, tiny, []string{"N"})
+	out := Unparse(p, a)
+	if !strings.Contains(out, "dperf_block_begin(") || !strings.Contains(out, "dperf_block_end(") {
+		t.Fatalf("instrumented source lacks probes:\n%s", out)
+	}
+	if !strings.Contains(out, "/* dperf: scales with parameter */") {
+		t.Fatalf("scaling loop not annotated:\n%s", out)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	p := mustParse(t, "int main() { int x; x = (1 + 2) * 3 - -4; return x; }")
+	as := p.Func("main").Body.Stmts[1].(*AssignStmt)
+	got := ExprString(as.RHS)
+	if got != "(1 + 2) * 3 - -4" {
+		t.Fatalf("ExprString = %q", got)
+	}
+}
+
+func TestCommKindNames(t *testing.T) {
+	if CommKindOf("p2psap_send") != CommSend || CommKindOf("MPI_Allreduce") != CommAllreduceMax {
+		t.Fatal("comm name table broken")
+	}
+	if CommKindOf("printf") != CommNone {
+		t.Fatal("printf is not comm")
+	}
+	for _, k := range []CommKind{CommNone, CommRank, CommSize, CommSend, CommRecv, CommAllreduceMax, CommBarrier} {
+		if k.String() == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+// Property: the unparser is a fixed point on its own output for
+// randomly structured (but valid) programs built from a template.
+func TestPropertyUnparseFixedPoint(t *testing.T) {
+	f := func(aRaw, bRaw uint8, deep bool) bool {
+		a := int(aRaw%9) + 1
+		b := int(bRaw%9) + 1
+		inner := "s = s + 1;"
+		if deep {
+			inner = "if (s > 2) { s = s - 1; } else { s = s + 2; }"
+		}
+		src := "int main() { int s; int i; s = " +
+			strings.Repeat("1 + ", a) + "0; for (i = 0; i < " +
+			strings.Repeat("2 * ", b) + "1; i++) { " + inner + " } return s; }"
+		p1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		o1 := Unparse(p1, nil)
+		p2, err := Parse(o1)
+		if err != nil {
+			return false
+		}
+		return Unparse(p2, nil) == o1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	p := mustParse(t, "int main() {\n    return 0;\n}")
+	ret := p.Func("main").Body.Stmts[0]
+	if ret.Position().Line != 2 {
+		t.Fatalf("return at line %d, want 2", ret.Position().Line)
+	}
+	if ret.Position().String() == "" {
+		t.Fatal("empty position string")
+	}
+}

@@ -1,0 +1,542 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds the AST of a translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("minic: %v: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.cur()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind != kind || (text != "" && t.text != text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, p.errf("expected %q, found %q", want, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) parseType() (Type, bool) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return TypeVoid, false
+	}
+	switch t.text {
+	case "int":
+		p.i++
+		return TypeInt, true
+	case "double":
+		p.i++
+		return TypeDouble, true
+	case "void":
+		p.i++
+		return TypeVoid, true
+	}
+	return TypeVoid, false
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		if p.cur().kind == tokKeyword && p.cur().text == "param" {
+			pos := p.cur().pos
+			p.i++
+			if _, err := p.expect(tokKeyword, "int"); err != nil {
+				return nil, err
+			}
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			prog.Params = append(prog.Params, &ParamDecl{Pos: pos, Name: name.text})
+			continue
+		}
+		pos := p.cur().pos
+		typ, ok := p.parseType()
+		if !ok {
+			return nil, p.errf("expected declaration, found %q", p.cur().text)
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			fn, err := p.funcRest(pos, typ, name.text)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		// Global variable(s).
+		for {
+			d, err := p.declaratorRest(pos, typ, name.text)
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, &GlobalDecl{Pos: pos, Decl: d})
+			if p.accept(tokPunct, ",") {
+				n2, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				name = n2
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if prog.Func("main") == nil {
+		return nil, fmt.Errorf("minic: program has no main function")
+	}
+	return prog, nil
+}
+
+// declaratorRest parses the array dims and optional init after a name.
+func (p *parser) declaratorRest(pos Pos, typ Type, name string) (*DeclStmt, error) {
+	d := &DeclStmt{Pos: pos, Type: typ, Name: name}
+	for p.accept(tokPunct, "[") {
+		dim, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		d.Dims = append(d.Dims, dim)
+	}
+	if p.accept(tokPunct, "=") {
+		if len(d.Dims) > 0 {
+			return nil, p.errf("array initializers are not supported")
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, nil
+}
+
+func (p *parser) funcRest(pos Pos, ret Type, name string) (*FuncDecl, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: pos, Ret: ret, Name: name}
+	if !p.accept(tokPunct, ")") {
+		for {
+			typ, ok := p.parseType()
+			if !ok {
+				return nil, p.errf("expected parameter type")
+			}
+			pn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Type: typ, Name: pn.text})
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	open, err := p.expect(tokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: open.pos}
+	for !p.accept(tokPunct, "}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// blockOrSingle wraps a single statement in a block for uniform bodies.
+func (p *parser) blockOrSingle() (*BlockStmt, error) {
+	if p.cur().kind == tokPunct && p.cur().text == "{" {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &BlockStmt{Pos: s.Position(), Stmts: []Stmt{s}}, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "int" || t.text == "double"):
+		typ, _ := p.parseType()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.declaratorRest(t.pos, typ, name.text)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case t.kind == tokKeyword && t.text == "if":
+		p.i++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Pos: t.pos, Cond: cond, Then: then}
+		if p.cur().kind == tokKeyword && p.cur().text == "else" {
+			p.i++
+			els, err := p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case t.kind == tokKeyword && t.text == "for":
+		p.i++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		if !p.accept(tokPunct, ";") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			init = s
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		var cond Expr
+		if !p.accept(tokPunct, ";") {
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			cond = c
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		var post Stmt
+		if p.cur().kind != tokPunct || p.cur().text != ")" {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			post = s
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Pos: t.pos, Init: init, Cond: cond, Post: post, Body: body}, nil
+	case t.kind == tokKeyword && t.text == "while":
+		p.i++
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: t.pos, Cond: cond, Body: body}, nil
+	case t.kind == tokKeyword && t.text == "return":
+		p.i++
+		st := &ReturnStmt{Pos: t.pos}
+		if !p.accept(tokPunct, ";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = x
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case t.kind == tokPunct && t.text == "{":
+		return p.block()
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt parses an assignment, ++/--, or expression statement.
+func (p *parser) simpleStmt() (Stmt, error) {
+	pos := p.cur().pos
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "+=", "-=", "*=", "/=":
+			if !isLValue(lhs) {
+				return nil, p.errf("left side of %q is not assignable", t.text)
+			}
+			op := ""
+			if t.text != "=" {
+				op = strings.TrimSuffix(t.text, "=")
+			}
+			p.i++
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: pos, LHS: lhs, Op: op, RHS: rhs}, nil
+		case "++", "--":
+			if !isLValue(lhs) {
+				return nil, p.errf("operand of %q is not assignable", t.text)
+			}
+			op := "+"
+			if t.text == "--" {
+				op = "-"
+			}
+			p.i++
+			one := &NumLit{Pos: t.pos, Int: 1, Raw: "1"}
+			return &AssignStmt{Pos: pos, LHS: lhs, Op: op, RHS: one}, nil
+		}
+	}
+	if _, ok := lhs.(*Call); !ok {
+		return nil, p.errf("expression statement must be a call")
+	}
+	return &ExprStmt{Pos: pos, X: lhs}, nil
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *Index:
+		return true
+	}
+	return false
+}
+
+// --- expression parsing with precedence climbing ---
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.i++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: t.pos, Op: t.text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.i++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.pos, Op: t.text, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct || t.text != "[" {
+			return e, nil
+		}
+		p.i++
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		e = &Index{Pos: t.pos, Base: e, Idx: idx}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNum:
+		p.i++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad float %q", t.text)
+			}
+			return &NumLit{Pos: t.pos, IsFloat: true, Float: f, Raw: t.text}, nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return &NumLit{Pos: t.pos, Int: v, Raw: t.text}, nil
+	case t.kind == tokIdent:
+		p.i++
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			p.i++
+			call := &Call{Pos: t.pos, Name: t.text}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(tokPunct, ",") {
+						continue
+					}
+					if _, err := p.expect(tokPunct, ")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Pos: t.pos, Name: t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.i++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}

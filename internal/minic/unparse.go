@@ -1,0 +1,225 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unparse renders the AST back to source. When an Analysis is given,
+// the output is the *instrumented* source: every basic block is
+// bracketed with dperf_block_begin/dperf_block_end probe calls, the
+// paper's automatic instrumentation step (calls to the PAPI-based
+// timing runtime in the original tool).
+func Unparse(prog *Program, a *Analysis) string {
+	u := &unparser{a: a}
+	for _, pd := range prog.Params {
+		u.printf("param int %s;\n", pd.Name)
+	}
+	for _, g := range prog.Globals {
+		u.indentNow()
+		u.declText(g.Decl)
+		u.printf(";\n")
+	}
+	for _, fn := range prog.Funcs {
+		u.printf("\n%s %s(", fn.Ret, fn.Name)
+		for i, p := range fn.Params {
+			if i > 0 {
+				u.printf(", ")
+			}
+			u.printf("%s %s", p.Type, p.Name)
+		}
+		u.printf(") ")
+		u.blockText(fn.Body)
+		u.printf("\n")
+	}
+	return u.sb.String()
+}
+
+type unparser struct {
+	sb     strings.Builder
+	indent int
+	a      *Analysis
+	// openBlock tracks the currently open instrumented block ID (-1
+	// when none).
+	openBlock int
+}
+
+func (u *unparser) printf(format string, args ...interface{}) {
+	fmt.Fprintf(&u.sb, format, args...)
+}
+
+func (u *unparser) indentNow() {
+	for i := 0; i < u.indent; i++ {
+		u.sb.WriteString("    ")
+	}
+}
+
+func (u *unparser) line(format string, args ...interface{}) {
+	u.indentNow()
+	u.printf(format, args...)
+	u.sb.WriteByte('\n')
+}
+
+func (u *unparser) declText(d *DeclStmt) {
+	u.printf("%s %s", d.Type, d.Name)
+	for _, dim := range d.Dims {
+		u.printf("[%s", ExprString(dim))
+		u.printf("]")
+	}
+	if d.Init != nil {
+		u.printf(" = %s", ExprString(d.Init))
+	}
+}
+
+func (u *unparser) blockText(b *BlockStmt) {
+	u.printf("{\n")
+	u.indent++
+	open := -1
+	closeOpen := func() {
+		if open >= 0 {
+			u.line("dperf_block_end(%d);", open)
+			open = -1
+		}
+	}
+	for _, s := range b.Stmts {
+		if u.a != nil {
+			id, hasID := u.a.StmtBlock[s]
+			straight := hasID && !stmtBreaksBlock(s) && u.a.Block(id).Kind == "straight"
+			if straight {
+				if open != id {
+					closeOpen()
+					u.line("dperf_block_begin(%d);", id)
+					open = id
+				}
+			} else {
+				closeOpen()
+			}
+		}
+		u.stmtText(s)
+	}
+	closeOpen()
+	u.indent--
+	u.indentNow()
+	u.printf("}")
+}
+
+func (u *unparser) stmtText(s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		u.indentNow()
+		u.declText(st)
+		u.printf(";\n")
+	case *AssignStmt:
+		u.indentNow()
+		u.printf("%s %s= %s;\n", ExprString(st.LHS), st.Op, ExprString(st.RHS))
+	case *ExprStmt:
+		u.line("%s;", ExprString(st.X))
+	case *IfStmt:
+		u.indentNow()
+		u.printf("if (%s) ", ExprString(st.Cond))
+		u.blockText(st.Then)
+		if st.Else != nil {
+			u.printf(" else ")
+			u.blockText(st.Else)
+		}
+		u.printf("\n")
+	case *ForStmt:
+		u.indentNow()
+		u.printf("for (")
+		if st.Init != nil {
+			u.inlineSimple(st.Init)
+		}
+		u.printf("; ")
+		if st.Cond != nil {
+			u.printf("%s", ExprString(st.Cond))
+		}
+		u.printf("; ")
+		if st.Post != nil {
+			u.inlineSimple(st.Post)
+		}
+		u.printf(") ")
+		if u.a != nil && st.ScalesWithParam {
+			u.printf("/* dperf: scales with parameter */ ")
+		}
+		u.blockText(st.Body)
+		u.printf("\n")
+	case *WhileStmt:
+		u.indentNow()
+		u.printf("while (%s) ", ExprString(st.Cond))
+		u.blockText(st.Body)
+		u.printf("\n")
+	case *ReturnStmt:
+		if st.X != nil {
+			u.line("return %s;", ExprString(st.X))
+		} else {
+			u.line("return;")
+		}
+	case *BlockStmt:
+		u.indentNow()
+		u.blockText(st)
+		u.printf("\n")
+	}
+}
+
+// inlineSimple prints an init/post clause without indentation or
+// trailing semicolon.
+func (u *unparser) inlineSimple(s Stmt) {
+	switch st := s.(type) {
+	case *AssignStmt:
+		u.printf("%s %s= %s", ExprString(st.LHS), st.Op, ExprString(st.RHS))
+	case *DeclStmt:
+		u.declText(st)
+	case *ExprStmt:
+		u.printf("%s", ExprString(st.X))
+	}
+}
+
+// ExprString renders an expression with minimal parentheses.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *NumLit:
+		if x.Raw != "" {
+			return x.Raw
+		}
+		if x.IsFloat {
+			return fmt.Sprintf("%g", x.Float)
+		}
+		return fmt.Sprintf("%d", x.Int)
+	case *Ident:
+		return x.Name
+	case *Index:
+		return fmt.Sprintf("%s[%s]", ExprString(x.Base), ExprString(x.Idx))
+	case *Unary:
+		return fmt.Sprintf("%s%s", x.Op, parenIfBinary(x.X))
+	case *Binary:
+		return fmt.Sprintf("%s %s %s", parenIfLower(x.L, x.Op), x.Op, parenIfLowerEq(x.R, x.Op))
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}
+
+func parenIfBinary(e Expr) string {
+	if _, ok := e.(*Binary); ok {
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}
+
+func parenIfLower(e Expr, parentOp string) string {
+	if b, ok := e.(*Binary); ok && binPrec[b.Op] < binPrec[parentOp] {
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}
+
+func parenIfLowerEq(e Expr, parentOp string) string {
+	if b, ok := e.(*Binary); ok && binPrec[b.Op] <= binPrec[parentOp] {
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}

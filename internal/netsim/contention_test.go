@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// star builds hosts a,b,c where a-b and c-b share link "shared" into b
+// but have private access links, to exercise cross-flow contention.
+func star(t testing.TB) (*des.Simulation, *Network) {
+	t.Helper()
+	sim := des.New()
+	sr := &staticRoutes{routes: make(map[[2]string]*Route)}
+	n := New(sim, sr)
+	for _, h := range []string{"a", "b", "c"} {
+		if _, err := n.AddHost(h, 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	la, _ := n.AddLink("acc-a", 10e6, 0)
+	lc, _ := n.AddLink("acc-c", 10e6, 0)
+	shared, _ := n.AddLink("shared", 10e6, 0)
+	sr.routes[[2]string{"a", "b"}] = &Route{Links: []*Link{la, shared}}
+	sr.routes[[2]string{"c", "b"}] = &Route{Links: []*Link{lc, shared}}
+	return sim, n
+}
+
+func TestSharedLinkContention(t *testing.T) {
+	sim, n := star(t)
+	var da, dc float64
+	n.StartFlow("a", "b", 10e6, func() { da = sim.Now() })
+	n.StartFlow("c", "b", 10e6, func() { dc = sim.Now() })
+	sim.Run()
+	// Both flows share the 10 MB/s "shared" link: 5 MB/s each -> 2 s.
+	if math.Abs(da-2) > 1e-9 || math.Abs(dc-2) > 1e-9 {
+		t.Fatalf("contended completions %v, %v; want 2, 2", da, dc)
+	}
+}
+
+func TestContentionReleasesOnCompletion(t *testing.T) {
+	sim, n := star(t)
+	var da, dc float64
+	n.StartFlow("a", "b", 5e6, func() { da = sim.Now() })  // small
+	n.StartFlow("c", "b", 15e6, func() { dc = sim.Now() }) // large
+	sim.Run()
+	// Phase 1: both at 5 MB/s until the small one finishes at t=1.
+	// Phase 2: the large one has 10 MB left at full 10 MB/s -> t=2.
+	if math.Abs(da-1) > 1e-9 {
+		t.Fatalf("small flow done at %v, want 1", da)
+	}
+	if math.Abs(dc-2) > 1e-9 {
+		t.Fatalf("large flow done at %v, want 2", dc)
+	}
+}
+
+func TestPrivateLinksDoNotContend(t *testing.T) {
+	sim := des.New()
+	sr := &staticRoutes{routes: make(map[[2]string]*Route)}
+	n := New(sim, sr)
+	n.AddHost("a", 1e9)
+	n.AddHost("b", 1e9)
+	n.AddHost("c", 1e9)
+	n.AddHost("d", 1e9)
+	l1, _ := n.AddLink("l1", 1e6, 0)
+	l2, _ := n.AddLink("l2", 1e6, 0)
+	sr.routes[[2]string{"a", "b"}] = &Route{Links: []*Link{l1}}
+	sr.routes[[2]string{"c", "d"}] = &Route{Links: []*Link{l2}}
+	var da, dc float64
+	n.StartFlow("a", "b", 1e6, func() { da = sim.Now() })
+	n.StartFlow("c", "d", 1e6, func() { dc = sim.Now() })
+	sim.Run()
+	if math.Abs(da-1) > 1e-9 || math.Abs(dc-1) > 1e-9 {
+		t.Fatalf("independent flows slowed each other: %v, %v", da, dc)
+	}
+}
+
+func TestManyFlowsFairShare(t *testing.T) {
+	sim, n := pairQuick(10e6, 0)
+	const k = 10
+	times := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		n.StartFlow("a", "b", 1e6, func() { times = append(times, sim.Now()) })
+	}
+	sim.Run()
+	// k equal flows on a 10 MB/s link, 1 MB each -> all done at t=1.
+	for _, tm := range times {
+		if math.Abs(tm-1) > 1e-9 {
+			t.Fatalf("unfair completion at %v", tm)
+		}
+	}
+	if len(times) != k {
+		t.Fatalf("finished %d of %d", len(times), k)
+	}
+}
+
+func TestActiveFlowsGauge(t *testing.T) {
+	sim, n := pairQuick(1e6, 0)
+	n.StartFlow("a", "b", 1e6, nil)
+	n.StartFlow("a", "b", 1e6, nil)
+	sim.RunUntil(0.1)
+	if got := n.ActiveFlows(); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+	sim.Run()
+	if got := n.ActiveFlows(); got != 0 {
+		t.Fatalf("active after completion = %d", got)
+	}
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Message is a payload delivered through a mailbox once its simulated
+// transfer completes.
+type Message struct {
+	From    string
+	To      string
+	Tag     string
+	Bytes   float64
+	Payload interface{}
+	// SentAt and DeliveredAt are virtual timestamps.
+	SentAt      float64
+	DeliveredAt float64
+}
+
+// mailbox is a per-(host,tag) queue of delivered messages.
+type mailbox struct {
+	q *des.Queue
+}
+
+// Post is the message-passing layer over the flow simulator. A Post is
+// bound to one Network; mailboxes are created on demand.
+type Post struct {
+	net   *Network
+	boxes map[string]*mailbox
+}
+
+// NewPost creates the message layer for a network.
+func NewPost(n *Network) *Post {
+	return &Post{net: n, boxes: make(map[string]*mailbox)}
+}
+
+// Net returns the underlying network.
+func (po *Post) Net() *Network { return po.net }
+
+func (po *Post) box(host, tag string) *mailbox {
+	key := host + "\x00" + tag
+	b, ok := po.boxes[key]
+	if !ok {
+		b = &mailbox{q: po.net.sim.NewQueue()}
+		po.boxes[key] = b
+	}
+	return b
+}
+
+// SendAsync starts the transfer and returns immediately; the message
+// appears in the destination mailbox when the flow completes.
+func (po *Post) SendAsync(src, dst, tag string, bytes float64, payload interface{}) error {
+	msg := &Message{From: src, To: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: po.net.sim.Now()}
+	_, err := po.net.StartFlow(src, dst, bytes, func() {
+		msg.DeliveredAt = po.net.sim.Now()
+		po.box(dst, tag).q.Put(msg)
+	})
+	return err
+}
+
+// Send transfers synchronously: the calling process blocks until the
+// message has been fully delivered into the destination mailbox.
+func (po *Post) Send(p *des.Process, src, dst, tag string, bytes float64, payload interface{}) error {
+	c := po.net.sim.NewCond()
+	msg := &Message{From: src, To: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: po.net.sim.Now()}
+	_, err := po.net.StartFlow(src, dst, bytes, func() {
+		msg.DeliveredAt = po.net.sim.Now()
+		po.box(dst, tag).q.Put(msg)
+		c.Signal()
+	})
+	if err != nil {
+		return err
+	}
+	c.Wait(p)
+	return nil
+}
+
+// Recv blocks the process until a message is available in the mailbox
+// (host, tag) and returns it.
+func (po *Post) Recv(p *des.Process, host, tag string) *Message {
+	return po.box(host, tag).q.Get(p).(*Message)
+}
+
+// TryRecv returns a queued message without blocking; ok reports whether
+// one was available. This is the primitive behind asynchronous
+// iterative schemes: a peer polls for fresher boundary data and keeps
+// computing when none has arrived.
+func (po *Post) TryRecv(host, tag string) (*Message, bool) {
+	v, ok := po.box(host, tag).q.TryGet()
+	if !ok {
+		return nil, false
+	}
+	return v.(*Message), true
+}
+
+// Pending reports queued (already delivered) messages for a mailbox.
+func (po *Post) Pending(host, tag string) int {
+	return po.box(host, tag).q.Len()
+}
+
+// Compute blocks the process for the time the host needs to execute the
+// given amount of work (flops / host speed).
+func (po *Post) Compute(p *des.Process, host string, flops float64) error {
+	h := po.net.Host(host)
+	if h == nil {
+		return fmt.Errorf("netsim: compute on unknown host %q", host)
+	}
+	if flops < 0 {
+		return fmt.Errorf("netsim: negative work %v", flops)
+	}
+	p.Sleep(flops / h.Speed)
+	return nil
+}

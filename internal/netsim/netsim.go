@@ -1,0 +1,408 @@
+// Package netsim is a flow-level network simulator in the style of
+// SimGrid's fluid model. Hosts exchange byte flows over multi-link
+// routes; concurrent flows sharing a link receive max–min fair
+// bandwidth; each route additionally imposes a fixed propagation
+// latency paid once per flow. The simulator runs on top of the
+// deterministic event kernel in internal/des.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/des"
+)
+
+// Host is a compute node attached to the network.
+type Host struct {
+	Name string
+	// Speed is the host compute speed in abstract flop/s. The network
+	// layer itself never uses it, but replay and application layers
+	// convert work amounts to durations with it.
+	Speed float64
+	net   *Network
+}
+
+// Link is a network resource with a capacity in bytes/s and a
+// propagation latency in seconds.
+type Link struct {
+	Name      string
+	Bandwidth float64
+	Latency   float64
+
+	active map[*Flow]struct{}
+}
+
+// Route is an ordered list of links between two hosts plus the total
+// propagation latency of the path.
+type Route struct {
+	Links   []*Link
+	Latency float64
+}
+
+// RouteProvider supplies routes on demand; platform descriptions
+// implement it. Returned routes are cached by the network.
+type RouteProvider interface {
+	Route(src, dst string) (*Route, error)
+}
+
+// Flow is an in-progress bulk transfer.
+type Flow struct {
+	Src, Dst  *Host
+	Bytes     float64
+	remaining float64
+	rate      float64
+	route     *Route
+	started   bool // latency phase done, participating in sharing
+	done      bool
+	onDone    func()
+}
+
+// Remaining returns the bytes not yet transferred (for introspection).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the currently allocated rate in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Network is the top-level simulator object.
+type Network struct {
+	sim        *des.Simulation
+	hosts      map[string]*Host
+	links      map[string]*Link
+	provider   RouteProvider
+	routeCache map[[2]string]*Route
+
+	flows      map[*Flow]struct{}
+	flowOrder  []*Flow // deterministic iteration order
+	lastUpdate float64
+	epoch      uint64 // invalidates stale completion events
+}
+
+// New creates a network bound to sim using provider for routing.
+func New(sim *des.Simulation, provider RouteProvider) *Network {
+	return &Network{
+		sim:        sim,
+		hosts:      make(map[string]*Host),
+		links:      make(map[string]*Link),
+		provider:   provider,
+		routeCache: make(map[[2]string]*Route),
+		flows:      make(map[*Flow]struct{}),
+	}
+}
+
+// Sim returns the underlying event kernel.
+func (n *Network) Sim() *des.Simulation { return n.sim }
+
+// AddHost registers a host; duplicate names are an error.
+func (n *Network) AddHost(name string, speed float64) (*Host, error) {
+	if _, ok := n.hosts[name]; ok {
+		return nil, fmt.Errorf("netsim: duplicate host %q", name)
+	}
+	if speed <= 0 {
+		return nil, fmt.Errorf("netsim: host %q speed must be positive, got %v", name, speed)
+	}
+	h := &Host{Name: name, Speed: speed, net: n}
+	n.hosts[name] = h
+	return h, nil
+}
+
+// Host returns a registered host or nil.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// Hosts returns all host names in sorted order.
+func (n *Network) Hosts() []string {
+	names := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddLink registers a link; duplicate names are an error.
+func (n *Network) AddLink(name string, bandwidth, latency float64) (*Link, error) {
+	if _, ok := n.links[name]; ok {
+		return nil, fmt.Errorf("netsim: duplicate link %q", name)
+	}
+	if bandwidth <= 0 || latency < 0 {
+		return nil, fmt.Errorf("netsim: link %q invalid bandwidth %v / latency %v", name, bandwidth, latency)
+	}
+	l := &Link{Name: name, Bandwidth: bandwidth, Latency: latency, active: make(map[*Flow]struct{})}
+	n.links[name] = l
+	return l, nil
+}
+
+// Link returns a registered link or nil.
+func (n *Network) Link(name string) *Link { return n.links[name] }
+
+// routeBetween resolves and caches the route between two hosts.
+func (n *Network) routeBetween(src, dst *Host) (*Route, error) {
+	key := [2]string{src.Name, dst.Name}
+	if r, ok := n.routeCache[key]; ok {
+		return r, nil
+	}
+	r, err := n.provider.Route(src.Name, dst.Name)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: no route %s -> %s: %w", src.Name, dst.Name, err)
+	}
+	n.routeCache[key] = r
+	return r, nil
+}
+
+// StartFlow begins transferring bytes from src to dst. onDone (may be
+// nil) runs at completion time. The call itself is non-blocking.
+func (n *Network) StartFlow(src, dst string, bytes float64, onDone func()) (*Flow, error) {
+	hs, hd := n.hosts[src], n.hosts[dst]
+	if hs == nil || hd == nil {
+		return nil, fmt.Errorf("netsim: unknown host in flow %s -> %s", src, dst)
+	}
+	if bytes < 0 || math.IsNaN(bytes) {
+		return nil, fmt.Errorf("netsim: invalid flow size %v", bytes)
+	}
+	f := &Flow{Src: hs, Dst: hd, Bytes: bytes, remaining: bytes, onDone: onDone}
+	if src == dst {
+		// Loopback: modelled as instantaneous plus a tiny fixed cost.
+		f.done = true
+		n.sim.Schedule(loopbackLatency, func() {
+			if f.onDone != nil {
+				f.onDone()
+			}
+		})
+		return f, nil
+	}
+	route, err := n.routeBetween(hs, hd)
+	if err != nil {
+		return nil, err
+	}
+	f.route = route
+	// Latency phase: the flow joins bandwidth sharing only after the
+	// path propagation delay, as in SimGrid's fluid model.
+	n.sim.Schedule(route.Latency, func() { n.activateFlow(f) })
+	return f, nil
+}
+
+// loopbackLatency is the fixed cost of a same-host transfer.
+const loopbackLatency = 1e-6
+
+func (n *Network) activateFlow(f *Flow) {
+	n.advance()
+	if f.remaining <= 0 {
+		// Zero-byte message: completes as soon as latency elapses.
+		f.done = true
+		if f.onDone != nil {
+			f.onDone()
+		}
+		return
+	}
+	f.started = true
+	n.flows[f] = struct{}{}
+	n.flowOrder = append(n.flowOrder, f)
+	for _, l := range f.route.Links {
+		l.active[f] = struct{}{}
+	}
+	n.recompute()
+}
+
+// advance progresses all active flows to the current time.
+func (n *Network) advance() {
+	now := n.sim.Now()
+	dt := now - n.lastUpdate
+	if dt > 0 {
+		for _, f := range n.flowOrder {
+			if !f.done {
+				f.remaining -= f.rate * dt
+				if f.remaining < 1e-9 {
+					f.remaining = 0
+				}
+			}
+		}
+	}
+	n.lastUpdate = now
+}
+
+// finish removes completed flows and invokes their callbacks.
+func (n *Network) finishCompleted() {
+	var finished []*Flow
+	for _, f := range n.flowOrder {
+		if !f.done && f.remaining <= 0 {
+			f.done = true
+			finished = append(finished, f)
+			delete(n.flows, f)
+			for _, l := range f.route.Links {
+				delete(l.active, f)
+			}
+		}
+	}
+	if len(finished) > 0 {
+		n.compactOrder()
+	}
+	for _, f := range finished {
+		if f.onDone != nil {
+			f.onDone()
+		}
+	}
+}
+
+func (n *Network) compactOrder() {
+	keep := n.flowOrder[:0]
+	for _, f := range n.flowOrder {
+		if !f.done {
+			keep = append(keep, f)
+		}
+	}
+	n.flowOrder = keep
+}
+
+// timeQuantum is the smallest scheduling step the fluid model resolves;
+// flows that would complete within it are completed immediately. This
+// prevents float64 cancellation from stalling virtual time.
+const timeQuantum = 1e-9
+
+// recompute reassigns max–min fair rates and schedules the next
+// completion event.
+func (n *Network) recompute() {
+	for {
+		n.finishCompleted()
+		n.assignRates()
+		// Earliest completion among active flows.
+		next := math.Inf(1)
+		for _, f := range n.flowOrder {
+			if f.rate > 0 {
+				t := f.remaining / f.rate
+				if t < next {
+					next = t
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			n.epoch++
+			return
+		}
+		if next <= timeQuantum {
+			// Complete all flows within the quantum right now and loop.
+			for _, f := range n.flowOrder {
+				if f.rate > 0 && f.remaining <= f.rate*timeQuantum {
+					f.remaining = 0
+				}
+			}
+			continue
+		}
+		n.epoch++
+		epoch := n.epoch
+		n.sim.Schedule(next, func() {
+			if n.epoch != epoch {
+				return // a newer recompute superseded this event
+			}
+			n.advance()
+			n.recompute()
+		})
+		return
+	}
+}
+
+// assignRates implements progressive filling (max–min fairness).
+func (n *Network) assignRates() {
+	type linkState struct {
+		link     *Link
+		residual float64
+		nflows   int
+	}
+	states := make(map[*Link]*linkState)
+	unassigned := make(map[*Flow]struct{})
+	for _, f := range n.flowOrder {
+		if f.done {
+			continue
+		}
+		f.rate = 0
+		unassigned[f] = struct{}{}
+		for _, l := range f.route.Links {
+			st, ok := states[l]
+			if !ok {
+				st = &linkState{link: l, residual: l.Bandwidth}
+				states[l] = st
+			}
+			st.nflows++
+		}
+	}
+	// Deterministic link ordering for tie-breaks.
+	ordered := make([]*linkState, 0, len(states))
+	for _, st := range states {
+		ordered = append(ordered, st)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].link.Name < ordered[j].link.Name })
+
+	for len(unassigned) > 0 {
+		// Find the bottleneck: min residual/nflows over links with flows.
+		var bottleneck *linkState
+		fair := math.Inf(1)
+		for _, st := range ordered {
+			if st.nflows == 0 {
+				continue
+			}
+			f := st.residual / float64(st.nflows)
+			if f < fair {
+				fair = f
+				bottleneck = st
+			}
+		}
+		if bottleneck == nil {
+			break // should not happen: flows with no links are loopback
+		}
+		// Fix every unassigned flow crossing the bottleneck at the fair
+		// share, then subtract its rate along its whole path.
+		for _, f := range n.flowOrder {
+			if _, ok := unassigned[f]; !ok {
+				continue
+			}
+			crosses := false
+			for _, l := range f.route.Links {
+				if l == bottleneck.link {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = fair
+			delete(unassigned, f)
+			for _, l := range f.route.Links {
+				st := states[l]
+				st.residual -= fair
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.nflows--
+			}
+		}
+	}
+}
+
+// ActiveFlows reports the number of flows currently sharing bandwidth.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// TransferTime predicts, without starting a flow, how long a solo
+// transfer of the given size would take between two hosts (latency +
+// bytes divided by the path's narrowest link). Useful for tests and
+// quick estimates.
+func (n *Network) TransferTime(src, dst string, bytes float64) (float64, error) {
+	if src == dst {
+		return loopbackLatency, nil
+	}
+	hs, hd := n.hosts[src], n.hosts[dst]
+	if hs == nil || hd == nil {
+		return 0, fmt.Errorf("netsim: unknown host %s or %s", src, dst)
+	}
+	r, err := n.routeBetween(hs, hd)
+	if err != nil {
+		return 0, err
+	}
+	bw := math.Inf(1)
+	for _, l := range r.Links {
+		if l.Bandwidth < bw {
+			bw = l.Bandwidth
+		}
+	}
+	return r.Latency + bytes/bw, nil
+}

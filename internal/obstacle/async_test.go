@@ -1,0 +1,128 @@
+package obstacle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/p2pdc"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+)
+
+// runScheme executes the solver on a platform kind with either scheme
+// and returns total time and rank-0's final residual.
+func runScheme(t *testing.T, kind platform.Kind, peers int, cfg Config) (float64, float64) {
+	t.Helper()
+	plat, err := platform.ForKind(kind, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := p2pdc.NewEnvironment(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := p2pdc.HostsOf(plat, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := p2psap.Synchronous
+	if cfg.Async {
+		scheme = p2psap.Asynchronous
+	}
+	var lastRes float64 = math.Inf(1)
+	app := App(cfg, func(rank, round int, res float64) {
+		if rank == 0 {
+			lastRes = res
+		}
+	})
+	spec := p2pdc.RunSpec{
+		Submitter: plat.Frontend,
+		Hosts:     hosts,
+		Scheme:    scheme,
+	}
+	res, err := env.Run(spec, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	return res.Total, lastRes
+}
+
+// TestAsyncConvergesNumerically: the asynchronous scheme (stale
+// boundaries allowed) still converges to the obstacle fixed point —
+// the mathematical property the paper's distributed iterative methods
+// rely on.
+func TestAsyncConvergesNumerically(t *testing.T) {
+	// Each round must outlast the network latency, otherwise ghost
+	// rows never refresh between rounds and the iteration stalls at
+	// the staleness plateau — hence many sweeps per round (a realistic
+	// asynchronous-method configuration: lots of local work between
+	// exchanges).
+	cfg := Config{
+		Problem:   DefaultProblem(16),
+		Rounds:    300,
+		Sweeps:    200,
+		Level:     costmodel.O0,
+		Numerics:  true,
+		ConvEvery: 10,
+		Async:     true,
+	}
+	_, res := runScheme(t, platform.KindCluster, 3, cfg)
+	if res > 1e-8 {
+		t.Fatalf("async iteration did not converge: residual %v", res)
+	}
+}
+
+// TestAsyncFasterOnHighLatencyNetwork: on xDSL the asynchronous
+// scheme hides boundary-exchange latency under computation, so the
+// same iteration budget finishes sooner — P2PSAP's reason to offer
+// per-scheme communication modes (paper §I, §III-D).
+func TestAsyncFasterOnHighLatencyNetwork(t *testing.T) {
+	base := Config{
+		Problem:   Problem{N: 256},
+		Rounds:    40,
+		Sweeps:    2,
+		Level:     costmodel.O0,
+		Numerics:  false,
+		ConvEvery: 40, // rare sync points
+	}
+	syncCfg := base
+	asyncCfg := base
+	asyncCfg.Async = true
+	tSync, _ := runScheme(t, platform.KindDaisy, 4, syncCfg)
+	tAsync, _ := runScheme(t, platform.KindDaisy, 4, asyncCfg)
+	if tAsync >= tSync {
+		t.Fatalf("async (%v s) not faster than sync (%v s) on xDSL", tAsync, tSync)
+	}
+	if tAsync > 0.8*tSync {
+		t.Fatalf("async saves only %.1f%%, expected substantial latency hiding",
+			100*(1-tAsync/tSync))
+	}
+}
+
+// TestAsyncSameComputeOnCluster: on the low-latency cluster the two
+// schemes should be close (little latency to hide).
+func TestAsyncSameComputeOnCluster(t *testing.T) {
+	base := Config{
+		Problem:   Problem{N: 256},
+		Rounds:    30,
+		Sweeps:    4,
+		Level:     costmodel.O0,
+		Numerics:  false,
+		ConvEvery: 30,
+	}
+	syncCfg := base
+	asyncCfg := base
+	asyncCfg.Async = true
+	tSync, _ := runScheme(t, platform.KindCluster, 4, syncCfg)
+	tAsync, _ := runScheme(t, platform.KindCluster, 4, asyncCfg)
+	if tAsync > tSync {
+		t.Fatalf("async slower than sync on cluster: %v vs %v", tAsync, tSync)
+	}
+	if tAsync < 0.85*tSync {
+		t.Fatalf("cluster gap too large (%v vs %v): latency hiding should be marginal", tAsync, tSync)
+	}
+}

@@ -1,0 +1,259 @@
+package obstacle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/costmodel"
+	"repro/internal/p2pdc"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+)
+
+func TestStripOfCoversGrid(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {16, 4}, {7, 7}, {100, 1}, {5, 2}} {
+		covered := 0
+		prevHi := 0
+		for r := 0; r < tc.p; r++ {
+			lo, hi := StripOf(tc.n, tc.p, r)
+			if lo != prevHi {
+				t.Fatalf("n=%d p=%d r=%d: lo=%d, want %d", tc.n, tc.p, r, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n || prevHi != tc.n {
+			t.Fatalf("n=%d p=%d: covered %d rows", tc.n, tc.p, covered)
+		}
+	}
+}
+
+func TestPropertyStripBalanced(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		p := int(pRaw)%32 + 1
+		if p > n {
+			p = n
+		}
+		minRows, maxRows := n, 0
+		total := 0
+		for r := 0; r < p; r++ {
+			lo, hi := StripOf(n, p, r)
+			rows := hi - lo
+			if rows < minRows {
+				minRows = rows
+			}
+			if rows > maxRows {
+				maxRows = rows
+			}
+			total += rows
+		}
+		return total == n && maxRows-minRows <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialSolveConverges(t *testing.T) {
+	cfg := Config{Problem: DefaultProblem(24), Rounds: 4000, Sweeps: 1, Tol: 1e-10, Numerics: true}
+	u, res := SerialSolve(cfg)
+	if res > 1e-10 {
+		t.Fatalf("did not converge: residual %v", res)
+	}
+	// Solution respects the obstacle.
+	pb := cfg.Problem
+	for i := 1; i <= pb.N; i++ {
+		for j := 1; j <= pb.N; j++ {
+			if u[i][j] < pb.Psi(i-1, j-1)-1e-12 {
+				t.Fatalf("u[%d][%d]=%v below obstacle %v", i, j, u[i][j], pb.Psi(i-1, j-1))
+			}
+		}
+	}
+	// Obstacle actually binds somewhere (otherwise the test is vacuous).
+	mid := pb.N / 2
+	if u[mid][mid] < pb.ObstacleHeight-1e-9 {
+		t.Fatalf("plateau centre %v below obstacle height", u[mid][mid])
+	}
+}
+
+func TestSerialNontrivialWithoutObstacle(t *testing.T) {
+	cfg := Config{Problem: Problem{N: 16, Force: 1e-3}, Rounds: 2000, Sweeps: 1, Tol: 1e-12, Numerics: true}
+	u, _ := SerialSolve(cfg)
+	if u[8][8] <= 0 {
+		t.Fatal("interior solution should be positive with positive force")
+	}
+}
+
+// runDistributed executes the distributed solver on a small cluster in
+// numerics mode and returns the residual trace from rank 0.
+func runDistributed(t *testing.T, peers, n, rounds, sweeps int) float64 {
+	t.Helper()
+	plat, err := platform.Cluster(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := p2pdc.NewEnvironment(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := p2pdc.HostsOf(plat, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Problem:  DefaultProblem(n),
+		Rounds:   rounds,
+		Sweeps:   sweeps,
+		Level:    costmodel.O0,
+		Numerics: true,
+	}
+	var lastGlobal float64 = math.Inf(1)
+	app := App(cfg, func(rank, round int, res float64) {
+		if rank == 0 {
+			lastGlobal = res
+		}
+	})
+	spec := p2pdc.RunSpec{
+		Submitter:    plat.Frontend,
+		Hosts:        hosts,
+		Scheme:       p2psap.Synchronous,
+		ScatterBytes: cfg.ScatterBytesPerPeer(peers),
+		GatherBytes:  cfg.GatherBytesPerPeer(peers),
+	}
+	res, err := env.Run(spec, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	return lastGlobal
+}
+
+func TestDistributedMatchesSerialSweep1(t *testing.T) {
+	// With one sweep per round, the distributed iteration is exactly
+	// serial Jacobi, so residual traces must match to float precision.
+	n, rounds := 20, 60
+	serialCfg := Config{Problem: DefaultProblem(n), Rounds: rounds, Sweeps: 1, Numerics: true}
+	_, serialRes := SerialSolve(serialCfg)
+	distRes := runDistributed(t, 4, n, rounds, 1)
+	if math.Abs(serialRes-distRes) > 1e-12 {
+		t.Fatalf("serial residual %v != distributed %v", serialRes, distRes)
+	}
+}
+
+func TestDistributedPeerCountInvariance(t *testing.T) {
+	n, rounds := 18, 40
+	r2 := runDistributed(t, 2, n, rounds, 1)
+	r3 := runDistributed(t, 3, n, rounds, 1)
+	r6 := runDistributed(t, 6, n, rounds, 1)
+	if math.Abs(r2-r3) > 1e-12 || math.Abs(r2-r6) > 1e-12 {
+		t.Fatalf("residuals differ across peer counts: %v %v %v", r2, r3, r6)
+	}
+}
+
+func TestDistributedMultiSweepConverges(t *testing.T) {
+	// Block iterations (sweeps > 1) still converge to the same fixed
+	// point even though intermediate trajectories differ.
+	res := runDistributed(t, 3, 16, 400, 3)
+	if res > 1e-9 {
+		t.Fatalf("block iteration did not converge: %v", res)
+	}
+}
+
+func TestModeledModeTimesScaleWithLevel(t *testing.T) {
+	times := make(map[costmodel.Level]float64)
+	for _, lvl := range []costmodel.Level{costmodel.O0, costmodel.O3} {
+		plat, err := platform.Cluster(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := p2pdc.NewEnvironment(plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts, _ := p2pdc.HostsOf(plat, 2)
+		cfg := Config{Problem: Problem{N: 1024}, Rounds: 20, Sweeps: 20, Level: lvl, Numerics: false}
+		spec := p2pdc.RunSpec{Submitter: plat.Frontend, Hosts: hosts, Scheme: p2psap.Synchronous}
+		res, err := env.Run(spec, App(cfg, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[lvl] = res.Total
+	}
+	if times[costmodel.O3] >= times[costmodel.O0] {
+		t.Fatalf("O3 (%v) not faster than O0 (%v)", times[costmodel.O3], times[costmodel.O0])
+	}
+	ratio := times[costmodel.O3] / times[costmodel.O0]
+	if ratio < 0.28 || ratio > 0.50 {
+		t.Fatalf("O3/O0 ratio %v implausible (compute factor is 0.33)", ratio)
+	}
+}
+
+func TestModeledTolStopsEarly(t *testing.T) {
+	plat, _ := platform.Cluster(2)
+	env, _ := p2pdc.NewEnvironment(plat)
+	hosts, _ := p2pdc.HostsOf(plat, 2)
+	// Synthetic residual is 0.9^round: tol 0.5 stops within ~7 rounds.
+	cfg := Config{Problem: Problem{N: 64}, Rounds: 1000, Sweeps: 1, Tol: 0.5, Numerics: false}
+	rounds := 0
+	app := App(cfg, func(rank, round int, res float64) {
+		if rank == 0 && round > rounds {
+			rounds = round
+		}
+	})
+	spec := p2pdc.RunSpec{Submitter: plat.Frontend, Hosts: hosts, Scheme: p2psap.Synchronous}
+	if _, err := env.Run(spec, app); err != nil {
+		t.Fatal(err)
+	}
+	if rounds > 10 {
+		t.Fatalf("ran %d rounds, tol should stop it around 7", rounds)
+	}
+}
+
+func TestConfigSizes(t *testing.T) {
+	cfg := DefaultConfig(costmodel.O0)
+	if cfg.BytesPerBoundary() != 8*1200 {
+		t.Fatalf("boundary bytes = %v", cfg.BytesPerBoundary())
+	}
+	if cfg.ScatterBytesPerPeer(4) != 2*8*1200*1200/4 {
+		t.Fatalf("scatter bytes = %v", cfg.ScatterBytesPerPeer(4))
+	}
+	if cfg.GatherBytesPerPeer(8) != 8*1200*1200/8 {
+		t.Fatalf("gather bytes = %v", cfg.GatherBytesPerPeer(8))
+	}
+}
+
+func TestAppErrorsOnTooManyPeers(t *testing.T) {
+	plat, _ := platform.Cluster(4)
+	env, _ := p2pdc.NewEnvironment(plat)
+	hosts, _ := p2pdc.HostsOf(plat, 4)
+	cfg := Config{Problem: Problem{N: 2}, Rounds: 1, Sweeps: 1, Numerics: false}
+	spec := p2pdc.RunSpec{Submitter: plat.Frontend, Hosts: hosts, Scheme: p2psap.Synchronous}
+	res, _ := env.Run(spec, App(cfg, nil))
+	if res == nil || res.FirstError() == nil {
+		t.Fatal("4 peers on a 2-row grid must error")
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	a := newGrid(4)
+	b := newGrid(4)
+	b[2][3] = 0.5
+	if d := MaxDiff(a, b, 0, 4); d != 0.5 {
+		t.Fatalf("MaxDiff = %v", d)
+	}
+}
+
+func BenchmarkSerialSweep(b *testing.B) {
+	cfg := Config{Problem: DefaultProblem(128), Rounds: 1, Sweeps: 1, Numerics: true}
+	u := newGrid(cfg.Problem.N)
+	next := newGrid(cfg.Problem.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep(cfg.Problem, u, next, 0, cfg.Problem.N)
+		u, next = next, u
+	}
+}

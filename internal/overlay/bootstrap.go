@@ -1,0 +1,116 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/proximity"
+)
+
+// Bootstrap builds the administrator-installed core of the overlay
+// (§III-A.3): one server plus the given core trackers, permanently
+// on-line, with neighbour sets preconfigured along the IP-ordered
+// line.
+func Bootstrap(sys *System, serverAddr proximity.Addr, trackerAddrs []proximity.Addr) (*Server, []*Tracker, error) {
+	if len(trackerAddrs) == 0 {
+		return nil, nil, fmt.Errorf("overlay: bootstrap needs at least one core tracker")
+	}
+	srv, err := NewServer(sys, serverAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs := append([]proximity.Addr(nil), trackerAddrs...)
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	trackers := make([]*Tracker, 0, len(addrs))
+	for _, a := range addrs {
+		t, err := NewTracker(sys, a, serverAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv.RegisterTracker(a)
+		trackers = append(trackers, t)
+	}
+	for _, t := range trackers {
+		t.BootstrapNeighbors(addrs)
+	}
+	return srv, trackers, nil
+}
+
+// CrashTracker kills the tracker and simulates connection-break
+// detection: every tracker that maintains a line connection to it
+// notices after cfg.FailureDetect and runs the repair protocol
+// (§III-A.5).
+func CrashTracker(sys *System, dead *Tracker) {
+	addr := dead.Addr()
+	sys.Kill(addr)
+	dead.Stop()
+	// Snapshot who is connected to the dead tracker *now*; the broken
+	// TCP connection is what the survivors observe.
+	var observers []*Tracker
+	for _, a := range sortedActorAddrs(sys) {
+		t, ok := sys.actors[a].(*Tracker)
+		if !ok || !sys.Alive(a) {
+			continue
+		}
+		if t.connLeft == addr || t.connRight == addr {
+			observers = append(observers, t)
+		}
+	}
+	for _, obs := range observers {
+		obs := obs
+		side := +1
+		if addr < obs.Addr() {
+			side = -1
+		}
+		sys.sim.Schedule(sys.cfg.FailureDetect, func() {
+			if sys.Alive(obs.Addr()) {
+				obs.NotifyNeighborCrash(addr, side)
+			}
+		})
+	}
+}
+
+func sortedActorAddrs(sys *System) []proximity.Addr {
+	m := make(map[proximity.Addr]bool, len(sys.actors))
+	for a := range sys.actors {
+		m[a] = true
+	}
+	return sortedAddrs(m)
+}
+
+// LineOrder returns all live trackers sorted by IP — the canonical
+// line. Tests use it to assert the repaired topology.
+func LineOrder(sys *System) []*Tracker {
+	var out []*Tracker
+	for _, a := range sortedActorAddrs(sys) {
+		if t, ok := sys.actors[a].(*Tracker); ok && sys.Alive(a) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// CheckLine verifies the line invariant over live trackers: each
+// tracker's maintained connections point at the nearest live tracker
+// on each side (ends have one side empty). It returns a descriptive
+// error on the first violation.
+func CheckLine(sys *System) error {
+	line := LineOrder(sys)
+	for i, t := range line {
+		var wantLeft, wantRight proximity.Addr
+		if i > 0 {
+			wantLeft = line[i-1].Addr()
+		}
+		if i < len(line)-1 {
+			wantRight = line[i+1].Addr()
+		}
+		l, r := t.Connections()
+		if l != wantLeft {
+			return fmt.Errorf("overlay: tracker %v left connection = %v, want %v", t.Addr(), l, wantLeft)
+		}
+		if r != wantRight {
+			return fmt.Errorf("overlay: tracker %v right connection = %v, want %v", t.Addr(), r, wantRight)
+		}
+	}
+	return nil
+}

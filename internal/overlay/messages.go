@@ -1,0 +1,131 @@
+// Package overlay implements the decentralized P2PDC topology manager
+// of paper §III-A: a permanent server, a line topology of trackers
+// ordered by IP with symmetric neighbour sets N, and peers grouped in
+// zones, one zone per tracker. Trackers and peers join by proximity
+// forwarding (longest-common-IP-prefix metric), trackers repair the
+// line when a neighbour crashes, and peers fail over to a neighbour
+// zone when their tracker dies.
+//
+// Entities are deterministic event-driven actors on the internal/des
+// kernel; a Transport delivers messages with per-pair latency, so the
+// whole control plane is simulated network-accurately without
+// goroutines.
+package overlay
+
+import (
+	"repro/internal/proximity"
+)
+
+// MsgKind enumerates control-plane message types.
+type MsgKind int
+
+// Control-plane message kinds (paper §III-A.4 through §III-A.7 and
+// §III-B).
+const (
+	// Bootstrap.
+	MsgGetTrackers MsgKind = iota // node -> server: request tracker list
+	MsgTrackerList                // server -> node: closest connected trackers
+
+	// Tracker join (§III-A.4).
+	MsgTrackerJoin     // new tracker -> tracker (forwarded to closest)
+	MsgTrackerWelcome  // closest tracker -> new tracker: here is my N
+	MsgNeighborAdd     // closest tracker -> members of N: new tracker exists
+	MsgNeighborRemove  // repair: drop a tracker from N
+	MsgNeighborListing // repair: replacement candidates for rebuilt N
+
+	// Tracker failure repair (§III-A.5).
+	MsgTrackerDead // neighbour -> N members + server: tracker crashed
+	MsgRelink      // surviving neighbours exchange farthest trackers
+
+	// Peer membership (§III-A.6, §III-A.7).
+	MsgPeerJoin    // new peer -> tracker (forwarded to closest)
+	MsgPeerAccept  // tracker -> peer: joined zone, here is my N
+	MsgPeerInfo    // peer -> tracker: resource description
+	MsgStateUpdate // peer -> tracker: periodic usage state
+	MsgStateAck    // tracker -> peer: answer to state update
+
+	// Statistics (§III-A.1).
+	MsgStatsReport // tracker -> server: periodic zone statistics
+
+	// Peer collection for a task (§III-B).
+	MsgPeerRequest     // submitter -> tracker: need peers matching req
+	MsgPeerCandidates  // tracker -> submitter: matching free peers
+	MsgMoreTrackersReq // submitter -> farthest tracker: expand search
+	MsgMoreTrackers    // farthest tracker -> submitter: its far side list
+	MsgReserve         // submitter/coordinator -> peer: reserve for task
+	MsgReserveAck      // peer -> reserver
+	MsgBusyNotice      // peer -> its tracker: not free any more
+	MsgRelease         // task end: peer free again
+
+	// Hierarchical task allocation (§III-C).
+	MsgGroupAssign // submitter -> coordinator: your group's peer list
+	MsgGroupReady  // coordinator -> submitter: all members reserved
+	MsgSubtask     // submitter -> coordinator -> peer: subtask data
+	MsgResult      // peer -> coordinator -> submitter: subtask result
+)
+
+var msgKindNames = map[MsgKind]string{
+	MsgGetTrackers: "GetTrackers", MsgTrackerList: "TrackerList",
+	MsgTrackerJoin: "TrackerJoin", MsgTrackerWelcome: "TrackerWelcome",
+	MsgNeighborAdd: "NeighborAdd", MsgNeighborRemove: "NeighborRemove",
+	MsgNeighborListing: "NeighborListing",
+	MsgTrackerDead:     "TrackerDead", MsgRelink: "Relink",
+	MsgPeerJoin: "PeerJoin", MsgPeerAccept: "PeerAccept",
+	MsgPeerInfo: "PeerInfo", MsgStateUpdate: "StateUpdate",
+	MsgStateAck:    "StateAck",
+	MsgStatsReport: "StatsReport",
+	MsgPeerRequest: "PeerRequest", MsgPeerCandidates: "PeerCandidates",
+	MsgMoreTrackersReq: "MoreTrackersReq", MsgMoreTrackers: "MoreTrackers",
+	MsgReserve: "Reserve", MsgReserveAck: "ReserveAck",
+	MsgBusyNotice: "BusyNotice", MsgRelease: "Release",
+	MsgGroupAssign: "GroupAssign", MsgGroupReady: "GroupReady",
+	MsgSubtask: "Subtask", MsgResult: "Result",
+}
+
+func (k MsgKind) String() string {
+	if s, ok := msgKindNames[k]; ok {
+		return s
+	}
+	return "MsgKind(?)"
+}
+
+// Resources describes what a peer publishes to its tracker
+// (paper §III-A.1: processor, memory, hard disk, usage state).
+type Resources struct {
+	CPUFlops float64 // processor speed
+	MemoryMB int
+	DiskGB   int
+	Busy     bool // current usage state
+}
+
+// Message is a control-plane datagram.
+type Message struct {
+	Kind MsgKind
+	From proximity.Addr
+	To   proximity.Addr
+
+	// Subject is the node the message talks about (joining tracker,
+	// dead tracker, reserved peer...).
+	Subject proximity.Addr
+	// Addrs carries tracker or peer lists.
+	Addrs []proximity.Addr
+	// Res carries peer resource descriptions.
+	Res Resources
+	// Count carries small integers (peers wanted, etc.).
+	Count int
+	// Token identifies a collection/allocation round.
+	Token int
+	// Side is -1 for the smaller-IP side, +1 for the larger-IP side.
+	Side int
+	// Bytes is the on-wire size; 0 means "default control size".
+	Bytes float64
+}
+
+// Transport delivers messages between actors with simulated latency.
+type Transport interface {
+	// Send delivers m (eventually). Implementations must be
+	// deterministic.
+	Send(m *Message)
+	// Now returns virtual time (seconds).
+	Now() float64
+}

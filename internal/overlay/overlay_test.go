@@ -1,0 +1,643 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/proximity"
+)
+
+func addr(s string) proximity.Addr { return proximity.MustParseAddr(s) }
+
+// coreAddrs generates n well-spread tracker addresses, as the paper's
+// administrator would ("spearing on the IP range").
+func coreAddrs(n int) []proximity.Addr {
+	out := make([]proximity.Addr, n)
+	for i := 0; i < n; i++ {
+		out[i] = proximity.Addr(uint32(10)<<24 | uint32(i)<<16 | 1)
+	}
+	return out
+}
+
+func newSys(t testing.TB) (*des.Simulation, *System) {
+	t.Helper()
+	sim := des.New()
+	sys, err := NewSystem(sim, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, sys
+}
+
+const serverIP = "9.9.9.9"
+
+func TestConfigValidate(t *testing.T) {
+	sim := des.New()
+	bad := DefaultConfig()
+	bad.NSize = 3
+	if _, err := NewSystem(sim, bad, nil); err == nil {
+		t.Fatal("odd NSize accepted")
+	}
+	bad = DefaultConfig()
+	bad.TimeoutT = 0
+	if _, err := NewSystem(sim, bad, nil); err == nil {
+		t.Fatal("zero timeout accepted")
+	}
+}
+
+func TestBootstrapLine(t *testing.T) {
+	sim, sys := newSys(t)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), coreAddrs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(1)
+	if err := CheckLine(sys); err != nil {
+		t.Fatal(err)
+	}
+	// Middle tracker sees both sides.
+	l, r := trackers[2].Connections()
+	if l != trackers[1].Addr() || r != trackers[3].Addr() {
+		t.Fatalf("middle connections = %v, %v", l, r)
+	}
+	// Ends have one empty side.
+	if l, _ := trackers[0].Connections(); l != 0 {
+		t.Fatal("first tracker has a left connection")
+	}
+	if _, r := trackers[4].Connections(); r != 0 {
+		t.Fatal("last tracker has a right connection")
+	}
+}
+
+func TestBootstrapEmptyFails(t *testing.T) {
+	_, sys := newSys(t)
+	if _, _, err := Bootstrap(sys, addr(serverIP), nil); err == nil {
+		t.Fatal("empty bootstrap accepted")
+	}
+}
+
+func TestDuplicateActor(t *testing.T) {
+	_, sys := newSys(t)
+	if _, err := NewServer(sys, addr(serverIP)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(sys, addr(serverIP)); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+// TestTrackerJoin reproduces §III-A.4 / Fig. 3: a new tracker T8 joins
+// and ends up correctly placed in the line.
+func TestTrackerJoin(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(5)
+	_, _, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New tracker between core[1] and core[2].
+	newAddr := proximity.Addr(uint32(core[1]) + 0x8000)
+	nt, err := NewTracker(sys, newAddr, addr(serverIP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt.Join([]proximity.Addr{core[4]}) // far contact: must be forwarded
+	sim.RunUntil(10)
+	if err := CheckLine(sys); err != nil {
+		t.Fatal(err)
+	}
+	l, r := nt.Connections()
+	if l != core[1] || r != core[2] {
+		t.Fatalf("new tracker connections = %v,%v; want %v,%v", l, r, core[1], core[2])
+	}
+}
+
+func TestTrackerJoinViaServer(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(4)
+	_, _, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := NewTracker(sys, addr("10.9.0.1"), addr(serverIP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt.Join(nil) // empty local list -> asks server
+	sim.RunUntil(10)
+	if err := CheckLine(sys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinForwardingCountsHops(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(8)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join near the top via the bottom tracker: must be forwarded.
+	nt, _ := NewTracker(sys, proximity.Addr(uint32(core[7])+1), addr(serverIP))
+	nt.Join([]proximity.Addr{core[0]})
+	sim.RunUntil(10)
+	total := 0
+	for _, tr := range trackers {
+		total += tr.JoinForwards
+	}
+	if total == 0 {
+		t.Fatal("expected at least one forwarded join")
+	}
+	if sys.MsgCount[MsgTrackerJoin] < 2 {
+		t.Fatalf("join messages = %d, want >= 2", sys.MsgCount[MsgTrackerJoin])
+	}
+}
+
+// TestTrackerCrashRepair reproduces §III-A.5 / Fig. 4: after T4
+// crashes its neighbours detect, inform their sides + server, and
+// reconnect across the hole.
+func TestTrackerCrashRepair(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(7)
+	srv, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(1)
+	dead := trackers[3]
+	CrashTracker(sys, dead)
+	sim.RunUntil(60)
+	if err := CheckLine(sys); err != nil {
+		t.Fatal(err)
+	}
+	// T3 and T5 now connect to each other.
+	_, r3 := trackers[2].Connections()
+	l5, _ := trackers[4].Connections()
+	if r3 != trackers[4].Addr() || l5 != trackers[2].Addr() {
+		t.Fatalf("hole not closed: r3=%v l5=%v", r3, l5)
+	}
+	// Server learned about the disconnection.
+	if _, ok := srv.Disconnnected[dead.Addr()]; !ok {
+		t.Fatal("server not informed of crash")
+	}
+	// Nobody keeps the dead tracker in N.
+	for _, tr := range LineOrder(sys) {
+		for _, n := range tr.Neighbors() {
+			if n == dead.Addr() {
+				t.Fatalf("tracker %v still lists dead %v", tr.Addr(), n)
+			}
+		}
+	}
+}
+
+func TestEndTrackerCrash(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(4)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(1)
+	CrashTracker(sys, trackers[0]) // end of the line
+	sim.RunUntil(60)
+	if err := CheckLine(sys); err != nil {
+		t.Fatal(err)
+	}
+	if l, _ := trackers[1].Connections(); l != 0 {
+		t.Fatalf("new end still has left connection %v", l)
+	}
+}
+
+func TestSequentialCrashes(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(9)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(1)
+	CrashTracker(sys, trackers[4])
+	sim.RunUntil(30)
+	CrashTracker(sys, trackers[5])
+	sim.RunUntil(60)
+	CrashTracker(sys, trackers[3])
+	sim.RunUntil(120)
+	if err := CheckLine(sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(LineOrder(sys)); got != 6 {
+		t.Fatalf("live trackers = %d, want 6", got)
+	}
+}
+
+func TestPeerJoinRoutesToClosestZone(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(5)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer with IP right next to tracker 3.
+	pAddr := proximity.Addr(uint32(core[3]) + 7)
+	p, err := NewPeer(sys, pAddr, addr(serverIP), Resources{CPUFlops: 3e9, MemoryMB: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Join([]proximity.Addr{core[0]}) // wrong zone contact: must forward
+	sim.RunUntil(10)
+	if !p.Joined() {
+		t.Fatal("peer did not join")
+	}
+	if p.Tracker() != core[3] {
+		t.Fatalf("peer tracker = %v, want %v", p.Tracker(), core[3])
+	}
+	if trackers[3].ZoneSize() != 1 {
+		t.Fatalf("zone size = %d", trackers[3].ZoneSize())
+	}
+	// Peer's tracker list was refreshed with the zone tracker's set.
+	if len(p.TrackerList()) < 2 {
+		t.Fatalf("tracker list not updated: %v", p.TrackerList())
+	}
+}
+
+func TestPeerStateUpdatesKeepMembership(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(3)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPeer(sys, proximity.Addr(uint32(core[1])+5), addr(serverIP), Resources{CPUFlops: 1e9})
+	p.Join(core)
+	// Run well past several sweep rounds: updates must keep it alive.
+	sim.RunUntil(10 * sys.cfg.TimeoutT)
+	if trackers[1].ZoneSize() != 1 {
+		t.Fatal("peer dropped despite regular updates")
+	}
+	if sys.MsgCount[MsgStateUpdate] < 5 {
+		t.Fatalf("too few state updates: %d", sys.MsgCount[MsgStateUpdate])
+	}
+	if sys.MsgCount[MsgStateAck] < 5 {
+		t.Fatalf("too few acks: %d", sys.MsgCount[MsgStateAck])
+	}
+}
+
+func TestSilentPeerIsDropped(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(3)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPeer(sys, proximity.Addr(uint32(core[1])+5), addr(serverIP), Resources{CPUFlops: 1e9})
+	p.Join(core)
+	sim.RunUntil(5)
+	if trackers[1].ZoneSize() != 1 {
+		t.Fatal("peer did not join")
+	}
+	sys.Kill(p.Addr()) // peer disconnects silently
+	sim.RunUntil(5 + 3*sys.cfg.TimeoutT)
+	if trackers[1].ZoneSize() != 0 {
+		t.Fatal("dead peer not dropped after timeout T")
+	}
+}
+
+// TestPeerFailoverToNeighborZone reproduces §III-A.7: when a tracker
+// dies, its peers stop receiving acks and join a neighbour zone.
+func TestPeerFailoverToNeighborZone(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(4)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPeer(sys, proximity.Addr(uint32(core[2])+9), addr(serverIP), Resources{CPUFlops: 1e9})
+	p.Join(core)
+	sim.RunUntil(5)
+	if p.Tracker() != core[2] {
+		t.Fatalf("joined %v, want %v", p.Tracker(), core[2])
+	}
+	CrashTracker(sys, trackers[2])
+	sim.RunUntil(5 + 6*sys.cfg.TimeoutT)
+	if !p.Joined() {
+		t.Fatal("peer did not rejoin after tracker crash")
+	}
+	if p.Tracker() == core[2] {
+		t.Fatal("peer still points at dead tracker")
+	}
+	if p.Rejoins != 1 {
+		t.Fatalf("rejoins = %d, want 1", p.Rejoins)
+	}
+}
+
+func TestServerDownOverlayKeepsWorking(t *testing.T) {
+	// §III-A.7: "when the server disconnects, the system continues
+	// working; new trackers and new peers can join through their local
+	// tracker lists".
+	sim, sys := newSys(t)
+	core := coreAddrs(5)
+	srv, _, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(1)
+	sys.Kill(srv.Addr())
+	// A peer joins using its locally stored list only.
+	p, _ := NewPeer(sys, proximity.Addr(uint32(core[4])+3), addr(serverIP), Resources{CPUFlops: 1e9})
+	p.Join(core)
+	// A tracker joins too.
+	nt, _ := NewTracker(sys, proximity.Addr(uint32(core[0])+0x8000), addr(serverIP))
+	nt.Join(core)
+	sim.RunUntil(30)
+	if !p.Joined() {
+		t.Fatal("peer could not join with server down")
+	}
+	if err := CheckLine(sys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeerRequestFiltersResources(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(1)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trackers[0]
+	specs := []Resources{
+		{CPUFlops: 1e9, MemoryMB: 512},
+		{CPUFlops: 3e9, MemoryMB: 4096},
+		{CPUFlops: 2e9, MemoryMB: 2048},
+	}
+	for i, r := range specs {
+		p, _ := NewPeer(sys, proximity.Addr(uint32(core[0])+uint32(i)+1), addr(serverIP), r)
+		p.Join(core)
+	}
+	sim.RunUntil(5)
+	if tr.ZoneSize() != 3 {
+		t.Fatalf("zone = %d", tr.ZoneSize())
+	}
+	// Requester is a fourth peer in the same zone.
+	req, _ := NewPeer(sys, proximity.Addr(uint32(core[0])+100), addr(serverIP), Resources{CPUFlops: 1e9})
+	req.Join(core)
+	var got []proximity.Addr
+	req.OnMessage = func(m *Message) {
+		if m.Kind == MsgPeerCandidates {
+			got = m.Addrs
+		}
+	}
+	sim.RunUntil(6)
+	sys.Send(&Message{
+		Kind: MsgPeerRequest, From: req.Addr(), To: tr.Addr(),
+		Res: Resources{CPUFlops: 1.5e9, MemoryMB: 1024}, Count: 10,
+	})
+	sim.RunUntil(7)
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v, want the two big peers", got)
+	}
+}
+
+func TestReserveMakesPeerBusy(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(1)
+	_, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trackers[0]
+	p, _ := NewPeer(sys, proximity.Addr(uint32(core[0])+1), addr(serverIP), Resources{CPUFlops: 1e9})
+	p.Join(core)
+	sim.RunUntil(5)
+	reserver := proximity.Addr(uint32(core[0]) + 50)
+	rsv, _ := NewPeer(sys, reserver, addr(serverIP), Resources{})
+	_ = rsv
+	sys.Send(&Message{Kind: MsgReserve, From: reserver, To: p.Addr(), Token: 1})
+	sim.RunUntil(6)
+	if p.ReservedBy() != reserver {
+		t.Fatal("peer not reserved")
+	}
+	if len(tr.FreePeers()) != 0 {
+		t.Fatal("reserved peer still listed free")
+	}
+	// Release.
+	sys.Send(&Message{Kind: MsgRelease, From: reserver, To: p.Addr()})
+	sim.RunUntil(7)
+	if p.ReservedBy() != 0 {
+		t.Fatal("peer not released")
+	}
+	if len(tr.FreePeers()) != 1 {
+		t.Fatal("released peer not free at tracker")
+	}
+}
+
+func TestDoubleReserveOnlyFirstWins(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(1)
+	if _, _, err := Bootstrap(sys, addr(serverIP), core); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPeer(sys, proximity.Addr(uint32(core[0])+1), addr(serverIP), Resources{CPUFlops: 1e9})
+	p.Join(core)
+	a := proximity.Addr(uint32(core[0]) + 60)
+	b := proximity.Addr(uint32(core[0]) + 61)
+	acks := map[proximity.Addr]int{}
+	for _, r := range []proximity.Addr{a, b} {
+		r := r
+		pr, _ := NewPeer(sys, r, addr(serverIP), Resources{})
+		pr.OnMessage = func(m *Message) {
+			if m.Kind == MsgReserveAck {
+				acks[r]++
+			}
+		}
+	}
+	sim.RunUntil(5)
+	sys.Send(&Message{Kind: MsgReserve, From: a, To: p.Addr(), Token: 1})
+	sys.Send(&Message{Kind: MsgReserve, From: b, To: p.Addr(), Token: 2})
+	sim.RunUntil(6)
+	if acks[a] != 1 || acks[b] != 0 {
+		t.Fatalf("acks = %v; only first reserver may win", acks)
+	}
+}
+
+func TestStatsReporting(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(2)
+	srv, _, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPeer(sys, proximity.Addr(uint32(core[0])+1), addr(serverIP), Resources{CPUFlops: 7e9})
+	p.Join(core)
+	sim.RunUntil(2.5 * sys.cfg.StatsInterval)
+	if srv.Reports < 2 {
+		t.Fatalf("server received %d reports", srv.Reports)
+	}
+}
+
+// Property: the neighbour set never exceeds capacity, never contains
+// the owner, and keeps each side sorted closest-first.
+func TestPropertyNeighborSetInvariants(t *testing.T) {
+	f := func(owner uint32, raw []uint32) bool {
+		ns := newNeighborSet(proximity.Addr(owner), 8)
+		for _, r := range raw {
+			ns.insert(proximity.Addr(r))
+		}
+		if len(ns.left) > 4 || len(ns.right) > 4 {
+			return false
+		}
+		if ns.contains(proximity.Addr(owner)) {
+			return false
+		}
+		for _, a := range ns.left {
+			if a >= proximity.Addr(owner) {
+				return false
+			}
+		}
+		for _, a := range ns.right {
+			if a <= proximity.Addr(owner) {
+				return false
+			}
+		}
+		for i := 1; i < len(ns.left); i++ {
+			if proximity.Closer(proximity.Addr(owner), ns.left[i], ns.left[i-1]) {
+				return false
+			}
+		}
+		for i := 1; i < len(ns.right); i++ {
+			if proximity.Closer(proximity.Addr(owner), ns.right[i], ns.right[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: joining k trackers in random order always repairs into a
+// consistent line.
+func TestPropertyJoinOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim := des.New()
+		sys, err := NewSystem(sim, DefaultConfig(), nil)
+		if err != nil {
+			return false
+		}
+		core := coreAddrs(3)
+		if _, _, err := Bootstrap(sys, addr(serverIP), core); err != nil {
+			return false
+		}
+		sim.RunUntil(1)
+		k := 2 + rng.Intn(6)
+		for i := 0; i < k; i++ {
+			a := proximity.Addr(uint32(10)<<24 | uint32(rng.Intn(1<<20))<<4 | uint32(i))
+			if sys.Actor(a) != nil {
+				continue
+			}
+			nt, err := NewTracker(sys, a, addr(serverIP))
+			if err != nil {
+				return false
+			}
+			nt.Join(core)
+			sim.RunUntil(sim.Now() + 5)
+		}
+		sim.RunUntil(sim.Now() + 30)
+		return CheckLine(sys) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random churn (crash one non-end tracker, let repair run)
+// preserves the line invariant.
+func TestPropertyChurnKeepsLine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim := des.New()
+		sys, _ := NewSystem(sim, DefaultConfig(), nil)
+		_, trackers, err := Bootstrap(sys, addr(serverIP), coreAddrs(10))
+		if err != nil {
+			return false
+		}
+		sim.RunUntil(1)
+		alive := append([]*Tracker(nil), trackers...)
+		for round := 0; round < 4 && len(alive) > 2; round++ {
+			i := rng.Intn(len(alive))
+			CrashTracker(sys, alive[i])
+			alive = append(alive[:i], alive[i+1:]...)
+			sim.RunUntil(sim.Now() + 60)
+			if CheckLine(sys) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageKindString(t *testing.T) {
+	if MsgTrackerJoin.String() != "TrackerJoin" {
+		t.Fatal("string name wrong")
+	}
+	if MsgKind(999).String() != "MsgKind(?)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	sim, sys := newSys(t)
+	_, _, err := Bootstrap(sys, addr(serverIP), coreAddrs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPeer(sys, addr("10.0.0.77"), addr(serverIP), Resources{CPUFlops: 1})
+	p.Join(coreAddrs(2))
+	sim.RunUntil(5)
+	if sys.TotalMessages() == 0 {
+		t.Fatal("no traffic counted")
+	}
+	sys.ResetCounters()
+	if sys.TotalMessages() != 0 || sys.MsgBytes != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func BenchmarkHundredTrackerJoins(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := des.New()
+		sys, _ := NewSystem(sim, DefaultConfig(), nil)
+		core := coreAddrs(4)
+		if _, _, err := Bootstrap(sys, addr(serverIP), core); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			a := proximity.Addr(uint32(10)<<24 | uint32(j+1)<<8 | 7)
+			nt, err := NewTracker(sys, a, addr(serverIP))
+			if err != nil {
+				b.Fatal(err)
+			}
+			nt.Join(core)
+			sim.RunUntil(sim.Now() + 2)
+		}
+		sim.RunUntil(sim.Now() + 10)
+	}
+}
+
+func ExampleCheckLine() {
+	sim := des.New()
+	sys, _ := NewSystem(sim, DefaultConfig(), nil)
+	_, _, _ = Bootstrap(sys, proximity.MustParseAddr("9.9.9.9"),
+		[]proximity.Addr{proximity.MustParseAddr("10.0.0.1"), proximity.MustParseAddr("10.1.0.1")})
+	sim.RunUntil(1)
+	fmt.Println(CheckLine(sys) == nil)
+	// Output: true
+}

@@ -1,0 +1,188 @@
+package overlay
+
+import (
+	"repro/internal/proximity"
+)
+
+// Peer is a donor of computational resources (§III-A.1). Peers join a
+// zone through the closest tracker, publish their resources, push
+// periodic state updates, and fail over to a neighbour zone when the
+// tracker stops answering (§III-A.7).
+type Peer struct {
+	sys    *System
+	addr   proximity.Addr
+	server proximity.Addr
+
+	res Resources
+
+	// trackerList is the locally stored list, refreshed on join.
+	trackerList []proximity.Addr
+	tracker     proximity.Addr // current zone tracker, 0 if none
+	joined      bool
+
+	// Failover accounting.
+	pendingAcks int
+	lastAck     float64
+	Rejoins     int
+
+	// Reservation state (§III-B): a reserved peer tells its tracker it
+	// is busy and acks the reserver.
+	reservedBy proximity.Addr
+
+	// OnReserve, if set, is called when the peer is reserved for a
+	// computation (used by the allocation layer).
+	OnReserve func(by proximity.Addr, token int)
+	// OnMessage, if set, receives any message the peer logic does not
+	// consume (application-level extension hook).
+	OnMessage func(m *Message)
+
+	stopped bool
+}
+
+// NewPeer creates and registers a peer actor with the given resources.
+func NewPeer(sys *System, addr, server proximity.Addr, res Resources) (*Peer, error) {
+	p := &Peer{sys: sys, addr: addr, server: server, res: res}
+	if err := sys.Register(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Addr implements Actor.
+func (p *Peer) Addr() proximity.Addr { return p.addr }
+
+// Tracker returns the current zone tracker (0 before joining).
+func (p *Peer) Tracker() proximity.Addr { return p.tracker }
+
+// Joined reports whether the peer has been accepted into a zone.
+func (p *Peer) Joined() bool { return p.joined }
+
+// TrackerList returns the locally stored tracker list.
+func (p *Peer) TrackerList() []proximity.Addr {
+	return append([]proximity.Addr(nil), p.trackerList...)
+}
+
+// Resources returns the published resource description.
+func (p *Peer) Resources() Resources { return p.res }
+
+// ReservedBy returns the reserver address (0 when free).
+func (p *Peer) ReservedBy() proximity.Addr { return p.reservedBy }
+
+// Join starts the join protocol using the locally stored tracker list
+// (set at install time, §III-A.3); with an empty list the peer asks
+// the server.
+func (p *Peer) Join(localList []proximity.Addr) {
+	p.trackerList = append([]proximity.Addr(nil), localList...)
+	if len(p.trackerList) == 0 {
+		p.sys.Send(&Message{Kind: MsgGetTrackers, From: p.addr, To: p.server})
+		return
+	}
+	cands := append([]proximity.Addr(nil), p.trackerList...)
+	proximity.SortByProximity(p.addr, cands)
+	p.sys.Send(&Message{Kind: MsgPeerJoin, From: p.addr, To: cands[0], Subject: p.addr, Res: p.res})
+}
+
+// Handle implements Actor.
+func (p *Peer) Handle(m *Message) {
+	switch m.Kind {
+	case MsgTrackerList:
+		if len(m.Addrs) > 0 {
+			p.Join(m.Addrs)
+		}
+	case MsgPeerAccept:
+		p.tracker = m.From
+		p.joined = true
+		p.pendingAcks = 0
+		p.lastAck = p.sys.Now()
+		// "New peer updates its tracker list" with the zone tracker's N.
+		p.trackerList = mergeAddrs(p.trackerList, append(m.Addrs, m.From))
+		// Publish resources, then start periodic updates.
+		p.sys.Send(&Message{Kind: MsgPeerInfo, From: p.addr, To: p.tracker, Res: p.res})
+		p.scheduleUpdate()
+	case MsgStateAck:
+		if m.From == p.tracker {
+			p.pendingAcks = 0
+			p.lastAck = p.sys.Now()
+		}
+	case MsgReserve:
+		if p.reservedBy != 0 && p.reservedBy != m.From {
+			// Already taken: no ack; the reserver will pick someone else.
+			return
+		}
+		p.reservedBy = m.From
+		p.res.Busy = true
+		p.sys.Send(&Message{Kind: MsgReserveAck, From: p.addr, To: m.From, Token: m.Token})
+		if p.tracker != 0 {
+			p.sys.Send(&Message{Kind: MsgBusyNotice, From: p.addr, To: p.tracker})
+		}
+		if p.OnReserve != nil {
+			p.OnReserve(m.From, m.Token)
+		}
+	case MsgRelease:
+		p.reservedBy = 0
+		p.res.Busy = false
+		if p.tracker != 0 {
+			p.sys.Send(&Message{Kind: MsgRelease, From: p.addr, To: p.tracker, Subject: p.addr})
+		}
+	default:
+		if p.OnMessage != nil {
+			p.OnMessage(m)
+		}
+	}
+}
+
+// scheduleUpdate pushes the next periodic state update and checks for
+// tracker-ack timeout (§III-A.7).
+func (p *Peer) scheduleUpdate() {
+	interval := p.sys.cfg.PeerUpdateInterval
+	p.sys.sim.Schedule(interval, func() {
+		if p.stopped || !p.sys.Alive(p.addr) || !p.joined {
+			return
+		}
+		// Timeout check first: if the tracker has not acked for T,
+		// consider it dead and rejoin through the local tracker list.
+		if p.pendingAcks > 0 && p.sys.Now()-p.lastAck > p.sys.cfg.TimeoutT {
+			p.failover()
+			return
+		}
+		p.pendingAcks++
+		p.sys.Send(&Message{Kind: MsgStateUpdate, From: p.addr, To: p.tracker, Res: p.res})
+		p.scheduleUpdate()
+	})
+}
+
+// failover drops the dead tracker and rejoins via the closest
+// remaining tracker in the local list ("they will join to neighbors
+// zone").
+func (p *Peer) failover() {
+	dead := p.tracker
+	p.joined = false
+	p.tracker = 0
+	p.Rejoins++
+	list := p.trackerList[:0]
+	for _, a := range p.trackerList {
+		if a != dead {
+			list = append(list, a)
+		}
+	}
+	p.trackerList = list
+	p.Join(p.trackerList)
+}
+
+// Stop halts periodic activity.
+func (p *Peer) Stop() { p.stopped = true }
+
+// mergeAddrs unions two address lists preserving first-seen order.
+func mergeAddrs(a, b []proximity.Addr) []proximity.Addr {
+	seen := make(map[proximity.Addr]bool, len(a)+len(b))
+	out := make([]proximity.Addr, 0, len(a)+len(b))
+	for _, lst := range [][]proximity.Addr{a, b} {
+		for _, x := range lst {
+			if x != 0 && !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}

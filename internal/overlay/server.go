@@ -1,0 +1,82 @@
+package overlay
+
+import (
+	"sort"
+
+	"repro/internal/proximity"
+)
+
+// Server is the permanent contact point of the overlay (§III-A.1). It
+// tracks which trackers are connected, hands bootstrap lists of the
+// closest trackers to joining nodes, and accumulates the statistics
+// trackers report. When the server is down the overlay keeps working;
+// trackers buffer their reports (handled tracker-side).
+type Server struct {
+	sys  *System
+	addr proximity.Addr
+
+	trackers map[proximity.Addr]bool
+	// Stats: per-node cumulative donated/consumed figures and
+	// connection events, as the paper's server "can also store
+	// statistic information".
+	Reports       int
+	KnownPeers    map[proximity.Addr]Resources
+	Disconnnected map[proximity.Addr]float64 // tracker -> time of death report
+}
+
+// NewServer creates and registers the server actor.
+func NewServer(sys *System, addr proximity.Addr) (*Server, error) {
+	s := &Server{
+		sys:           sys,
+		addr:          addr,
+		trackers:      make(map[proximity.Addr]bool),
+		KnownPeers:    make(map[proximity.Addr]Resources),
+		Disconnnected: make(map[proximity.Addr]float64),
+	}
+	if err := sys.Register(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Addr implements Actor.
+func (s *Server) Addr() proximity.Addr { return s.addr }
+
+// RegisterTracker records a tracker as connected (used for the
+// administrator-installed core trackers at bootstrap, §III-A.3, and
+// when join reports arrive).
+func (s *Server) RegisterTracker(t proximity.Addr) { s.trackers[t] = true }
+
+// Trackers returns the connected trackers, sorted by address.
+func (s *Server) Trackers() []proximity.Addr { return sortedAddrs(s.trackers) }
+
+// Handle implements Actor.
+func (s *Server) Handle(m *Message) {
+	switch m.Kind {
+	case MsgGetTrackers:
+		// Reply with the closest connected trackers to the requester.
+		list := s.closestTrackers(m.From, 8)
+		s.sys.Send(&Message{Kind: MsgTrackerList, From: s.addr, To: m.From, Addrs: list})
+	case MsgStatsReport:
+		s.Reports++
+		s.trackers[m.From] = true
+		for i, p := range m.Addrs {
+			_ = i
+			s.KnownPeers[p] = m.Res
+		}
+	case MsgTrackerDead:
+		s.Disconnnected[m.Subject] = s.sys.Now()
+		delete(s.trackers, m.Subject)
+	case MsgNeighborAdd:
+		s.trackers[m.Subject] = true
+	}
+}
+
+func (s *Server) closestTrackers(ref proximity.Addr, k int) []proximity.Addr {
+	list := sortedAddrs(s.trackers)
+	sort.SliceStable(list, func(i, j int) bool { return proximity.Closer(ref, list[i], list[j]) })
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}

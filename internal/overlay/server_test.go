@@ -1,0 +1,89 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/proximity"
+)
+
+func TestPeerJoinViaServerBootstrap(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(3)
+	_, _, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer with an empty local tracker list: must bootstrap through
+	// the server ("when peers have no contact to join overlay network,
+	// they contact the server to receive a list of closest connected
+	// trackers").
+	p, err := NewPeer(sys, proximity.Addr(uint32(core[2])+4), addr(serverIP), Resources{CPUFlops: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Join(nil)
+	sim.RunUntil(10)
+	if !p.Joined() {
+		t.Fatal("peer did not join via server bootstrap")
+	}
+	if p.Tracker() != core[2] {
+		t.Fatalf("peer landed in zone %v, want closest %v", p.Tracker(), core[2])
+	}
+	if sys.MsgCount[MsgGetTrackers] == 0 || sys.MsgCount[MsgTrackerList] == 0 {
+		t.Fatal("server bootstrap messages missing")
+	}
+}
+
+func TestServerLearnsPeersFromStats(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(2)
+	srv, _, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p, err := NewPeer(sys, proximity.Addr(uint32(core[0])+uint32(i)+2), addr(serverIP), Resources{CPUFlops: 2e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Join(core)
+	}
+	sim.RunUntil(1.5 * sys.cfg.StatsInterval)
+	if len(srv.KnownPeers) != 3 {
+		t.Fatalf("server knows %d peers, want 3", len(srv.KnownPeers))
+	}
+}
+
+func TestServerTrackerListTracksJoinsAndDeaths(t *testing.T) {
+	sim, sys := newSys(t)
+	core := coreAddrs(3)
+	srv, trackers, err := Bootstrap(sys, addr(serverIP), core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Trackers()); got != 3 {
+		t.Fatalf("server trackers = %d", got)
+	}
+	// A volunteer joins: the closest tracker informs the server.
+	nt, err := NewTracker(sys, proximity.Addr(uint32(core[1])+0x100), addr(serverIP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt.Join(core)
+	sim.RunUntil(10)
+	if got := len(srv.Trackers()); got != 4 {
+		t.Fatalf("server trackers after join = %d, want 4", got)
+	}
+	// A crash removes it.
+	CrashTracker(sys, trackers[0])
+	sim.RunUntil(60)
+	found := false
+	for _, a := range srv.Trackers() {
+		if a == trackers[0].Addr() {
+			found = true
+		}
+	}
+	if found {
+		t.Fatal("server still lists the crashed tracker")
+	}
+}

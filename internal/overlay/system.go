@@ -1,0 +1,299 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/proximity"
+)
+
+// Config collects protocol timing and sizing parameters.
+type Config struct {
+	// NSize is the neighbour-set capacity |N|; half the slots hold the
+	// closest trackers with larger IPs, half with smaller (§III-A.1).
+	NSize int
+	// PeerUpdateInterval is how often peers push their usage state.
+	PeerUpdateInterval float64
+	// TimeoutT is the paper's "time T": a tracker drops a peer whose
+	// state updates stop for T, and a peer fails over when acks stop
+	// for T (§III-A.7).
+	TimeoutT float64
+	// FailureDetect is how long a connected neighbour needs to notice a
+	// broken tracker connection.
+	FailureDetect float64
+	// StatsInterval is how often trackers report zone statistics to the
+	// server.
+	StatsInterval float64
+	// CtlBytes is the nominal size of a control message on the wire.
+	CtlBytes float64
+}
+
+// DefaultConfig returns sane experiment defaults.
+func DefaultConfig() Config {
+	return Config{
+		NSize:              8,
+		PeerUpdateInterval: 30,
+		TimeoutT:           90,
+		FailureDetect:      5,
+		StatsInterval:      300,
+		CtlBytes:           256,
+	}
+}
+
+func (c Config) validate() error {
+	if c.NSize < 2 || c.NSize%2 != 0 {
+		return fmt.Errorf("overlay: NSize must be even and >= 2, got %d", c.NSize)
+	}
+	if c.PeerUpdateInterval <= 0 || c.TimeoutT <= 0 || c.FailureDetect <= 0 || c.StatsInterval <= 0 {
+		return fmt.Errorf("overlay: intervals must be positive")
+	}
+	return nil
+}
+
+// Actor is an event-driven protocol entity.
+type Actor interface {
+	Addr() proximity.Addr
+	Handle(m *Message)
+}
+
+// LatencyFunc gives the one-way delay for a message of the given size
+// between two overlay addresses.
+type LatencyFunc func(from, to proximity.Addr, bytes float64) float64
+
+// System hosts all actors, routes messages with latency, tracks
+// liveness and counts traffic. It implements Transport.
+type System struct {
+	sim     *des.Simulation
+	cfg     Config
+	actors  map[proximity.Addr]Actor
+	dead    map[proximity.Addr]bool
+	latency LatencyFunc
+
+	// Traffic accounting for ablation benches.
+	MsgCount map[MsgKind]int
+	MsgBytes float64
+}
+
+// NewSystem creates a system on the given kernel. latency may be nil,
+// in which case a flat 1 ms delay is used.
+func NewSystem(sim *des.Simulation, cfg Config, latency LatencyFunc) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if latency == nil {
+		latency = func(_, _ proximity.Addr, _ float64) float64 { return 1e-3 }
+	}
+	return &System{
+		sim:      sim,
+		cfg:      cfg,
+		actors:   make(map[proximity.Addr]Actor),
+		dead:     make(map[proximity.Addr]bool),
+		latency:  latency,
+		MsgCount: make(map[MsgKind]int),
+	}, nil
+}
+
+// Sim exposes the kernel for scheduling.
+func (s *System) Sim() *des.Simulation { return s.sim }
+
+// Config returns the protocol parameters.
+func (s *System) Config() Config { return s.cfg }
+
+// Register adds an actor; duplicate addresses are an error.
+func (s *System) Register(a Actor) error {
+	if _, ok := s.actors[a.Addr()]; ok {
+		return fmt.Errorf("overlay: duplicate actor %v", a.Addr())
+	}
+	s.actors[a.Addr()] = a
+	return nil
+}
+
+// Actor returns the actor at addr, or nil.
+func (s *System) Actor(addr proximity.Addr) Actor { return s.actors[addr] }
+
+// Kill marks an actor crashed: it stops receiving and sending.
+func (s *System) Kill(addr proximity.Addr) { s.dead[addr] = true }
+
+// Revive clears the crashed mark (the node must re-join by protocol).
+func (s *System) Revive(addr proximity.Addr) { delete(s.dead, addr) }
+
+// Alive reports liveness.
+func (s *System) Alive(addr proximity.Addr) bool { return !s.dead[addr] }
+
+// Now implements Transport.
+func (s *System) Now() float64 { return s.sim.Now() }
+
+// Send implements Transport: the message is delivered after the pair
+// latency unless either endpoint is dead at the respective moment.
+func (s *System) Send(m *Message) {
+	if s.dead[m.From] {
+		return
+	}
+	s.MsgCount[m.Kind]++
+	bytes := m.Bytes
+	if bytes == 0 {
+		bytes = s.cfg.CtlBytes
+	}
+	s.MsgBytes += bytes
+	d := s.latency(m.From, m.To, bytes)
+	s.sim.Schedule(d, func() {
+		if s.dead[m.To] {
+			return
+		}
+		if a := s.actors[m.To]; a != nil {
+			a.Handle(m)
+		}
+	})
+}
+
+// TotalMessages sums traffic over all kinds.
+func (s *System) TotalMessages() int {
+	n := 0
+	for _, c := range s.MsgCount {
+		n += c
+	}
+	return n
+}
+
+// ResetCounters zeroes traffic accounting (between experiment phases).
+func (s *System) ResetCounters() {
+	s.MsgCount = make(map[MsgKind]int)
+	s.MsgBytes = 0
+}
+
+// neighborSet maintains a tracker's set N: up to NSize/2 closest
+// trackers on each IP side of the owner (§III-A.1).
+type neighborSet struct {
+	owner proximity.Addr
+	half  int
+	left  []proximity.Addr // IPs smaller than owner, closest first
+	right []proximity.Addr // IPs larger than owner, closest first
+}
+
+func newNeighborSet(owner proximity.Addr, size int) *neighborSet {
+	return &neighborSet{owner: owner, half: size / 2}
+}
+
+// insert adds a tracker, keeping each side trimmed to half capacity
+// and ordered closest-first; returns true if the set changed.
+func (ns *neighborSet) insert(a proximity.Addr) bool {
+	if a == ns.owner || ns.contains(a) {
+		return false
+	}
+	side := &ns.left
+	if a > ns.owner {
+		side = &ns.right
+	}
+	*side = append(*side, a)
+	proximity.SortByProximity(ns.owner, *side)
+	if len(*side) > ns.half {
+		*side = (*side)[:ns.half]
+		return ns.contains(a)
+	}
+	return true
+}
+
+// remove drops a tracker from the set.
+func (ns *neighborSet) remove(a proximity.Addr) {
+	ns.left = without(ns.left, a)
+	ns.right = without(ns.right, a)
+}
+
+func without(xs []proximity.Addr, a proximity.Addr) []proximity.Addr {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != a {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (ns *neighborSet) contains(a proximity.Addr) bool {
+	for _, x := range ns.left {
+		if x == a {
+			return true
+		}
+	}
+	for _, x := range ns.right {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// all returns every member, left side then right side, closest first.
+func (ns *neighborSet) all() []proximity.Addr {
+	out := make([]proximity.Addr, 0, len(ns.left)+len(ns.right))
+	out = append(out, ns.left...)
+	out = append(out, ns.right...)
+	return out
+}
+
+// sideOf returns -1 if a is on the smaller-IP side of owner, +1 else.
+func (ns *neighborSet) sideOf(a proximity.Addr) int {
+	if a < ns.owner {
+		return -1
+	}
+	return 1
+}
+
+// closestOn returns the nearest member on the given side, or 0.
+func (ns *neighborSet) closestOn(side int) proximity.Addr {
+	if side < 0 {
+		if len(ns.left) > 0 {
+			return ns.left[0]
+		}
+		return 0
+	}
+	if len(ns.right) > 0 {
+		return ns.right[0]
+	}
+	return 0
+}
+
+// farthestOn returns the farthest member on the given side, or 0.
+func (ns *neighborSet) farthestOn(side int) proximity.Addr {
+	if side < 0 {
+		if len(ns.left) > 0 {
+			return ns.left[len(ns.left)-1]
+		}
+		return 0
+	}
+	if len(ns.right) > 0 {
+		return ns.right[len(ns.right)-1]
+	}
+	return 0
+}
+
+// sideMembers returns a copy of one side.
+func (ns *neighborSet) sideMembers(side int) []proximity.Addr {
+	if side < 0 {
+		return append([]proximity.Addr(nil), ns.left...)
+	}
+	return append([]proximity.Addr(nil), ns.right...)
+}
+
+// closestTo returns, among owner and all members, the address closest
+// to target; used to route join messages (§III-A.4).
+func (ns *neighborSet) closestTo(target proximity.Addr) proximity.Addr {
+	best := ns.owner
+	for _, c := range ns.all() {
+		if proximity.Closer(target, c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// sortedAddrs is a helper for deterministic iteration in tests.
+func sortedAddrs(m map[proximity.Addr]bool) []proximity.Addr {
+	out := make([]proximity.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

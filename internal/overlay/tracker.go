@@ -1,0 +1,329 @@
+package overlay
+
+import (
+	"sort"
+
+	"repro/internal/proximity"
+)
+
+// peerRecord is what a tracker knows about a zone member.
+type peerRecord struct {
+	res        Resources
+	lastUpdate float64
+	busy       bool
+}
+
+// Tracker manages one zone of peers and a slice of the tracker line
+// (§III-A). Trackers keep a neighbour set N with the closest trackers
+// on each IP side, maintain connections with the two nearest, detect
+// neighbour crashes and repair the line.
+type Tracker struct {
+	sys    *System
+	addr   proximity.Addr
+	server proximity.Addr
+
+	n *neighborSet
+	// connLeft / connRight are the two maintained connections
+	// ("each tracker maintains connection with the closest tracker on
+	// right side and the closest tracker on left side").
+	connLeft, connRight proximity.Addr
+
+	peers map[proximity.Addr]*peerRecord
+
+	// JoinForwards counts how many MsgTrackerJoin/MsgPeerJoin this
+	// tracker forwarded (routing cost metric).
+	JoinForwards int
+
+	stopped bool
+}
+
+// NewTracker creates and registers a tracker actor. The tracker does
+// not join the line automatically: call BootstrapNeighbors for
+// administrator-installed core trackers, or Join for volunteers.
+func NewTracker(sys *System, addr, server proximity.Addr) (*Tracker, error) {
+	t := &Tracker{
+		sys:    sys,
+		addr:   addr,
+		server: server,
+		n:      newNeighborSet(addr, sys.cfg.NSize),
+		peers:  make(map[proximity.Addr]*peerRecord),
+	}
+	if err := sys.Register(t); err != nil {
+		return nil, err
+	}
+	t.schedulePeerSweep()
+	t.scheduleStats()
+	return t, nil
+}
+
+// Addr implements Actor.
+func (t *Tracker) Addr() proximity.Addr { return t.addr }
+
+// Neighbors returns the current neighbour set, left then right.
+func (t *Tracker) Neighbors() []proximity.Addr { return t.n.all() }
+
+// Connections returns the two maintained line connections (0 = none).
+func (t *Tracker) Connections() (left, right proximity.Addr) { return t.connLeft, t.connRight }
+
+// ZoneSize returns the number of peers in this tracker's zone.
+func (t *Tracker) ZoneSize() int { return len(t.peers) }
+
+// ZonePeers returns the zone's peers sorted by address.
+func (t *Tracker) ZonePeers() []proximity.Addr {
+	m := make(map[proximity.Addr]bool, len(t.peers))
+	for a := range t.peers {
+		m[a] = true
+	}
+	return sortedAddrs(m)
+}
+
+// FreePeers returns non-busy zone peers sorted by address.
+func (t *Tracker) FreePeers() []proximity.Addr {
+	m := make(map[proximity.Addr]bool)
+	for a, r := range t.peers {
+		if !r.busy && !r.res.Busy {
+			m[a] = true
+		}
+	}
+	return sortedAddrs(m)
+}
+
+// BootstrapNeighbors wires the administrator-installed core trackers
+// directly (they are configured, not joined; §III-A.3).
+func (t *Tracker) BootstrapNeighbors(line []proximity.Addr) {
+	for _, a := range line {
+		t.n.insert(a)
+	}
+	t.refreshConnections()
+}
+
+// Join sends the join message toward the closest tracker in the local
+// tracker list (§III-A.4).
+func (t *Tracker) Join(localList []proximity.Addr) {
+	if len(localList) == 0 {
+		// No contacts: ask the server for a fresh list.
+		t.sys.Send(&Message{Kind: MsgGetTrackers, From: t.addr, To: t.server})
+		return
+	}
+	cands := append([]proximity.Addr(nil), localList...)
+	proximity.SortByProximity(t.addr, cands)
+	t.sys.Send(&Message{Kind: MsgTrackerJoin, From: t.addr, To: cands[0], Subject: t.addr})
+}
+
+func (t *Tracker) refreshConnections() {
+	t.connLeft = t.n.closestOn(-1)
+	t.connRight = t.n.closestOn(+1)
+}
+
+// Handle implements Actor.
+func (t *Tracker) Handle(m *Message) {
+	switch m.Kind {
+	case MsgTrackerList:
+		// Bootstrap answer from the server: resume joining.
+		if len(m.Addrs) > 0 {
+			t.Join(m.Addrs)
+		}
+	case MsgTrackerJoin:
+		t.handleTrackerJoin(m)
+	case MsgTrackerWelcome:
+		// We are the new tracker: build N from the closest tracker's
+		// set, then connect to the nearest member on each side.
+		for _, a := range m.Addrs {
+			t.n.insert(a)
+		}
+		t.n.insert(m.From)
+		t.refreshConnections()
+		// Register with the server for bookkeeping.
+		t.sys.Send(&Message{Kind: MsgStatsReport, From: t.addr, To: t.server})
+	case MsgNeighborAdd:
+		t.addNeighbor(m.Subject)
+	case MsgNeighborRemove:
+		t.n.remove(m.Subject)
+		t.refreshConnections()
+	case MsgTrackerDead:
+		t.handleTrackerDead(m)
+	case MsgRelink:
+		// Surviving neighbour sends its farthest trackers so we can
+		// refill our set (§III-A.5).
+		for _, a := range m.Addrs {
+			t.n.insert(a)
+		}
+		t.refreshConnections()
+	case MsgPeerJoin:
+		t.handlePeerJoin(m)
+	case MsgPeerInfo:
+		if r, ok := t.peers[m.From]; ok {
+			r.res = m.Res
+			r.lastUpdate = t.sys.Now()
+		}
+	case MsgStateUpdate:
+		if r, ok := t.peers[m.From]; ok {
+			r.lastUpdate = t.sys.Now()
+			r.res.Busy = m.Res.Busy
+			t.sys.Send(&Message{Kind: MsgStateAck, From: t.addr, To: m.From})
+		} else {
+			// Unknown peer (e.g. zone moved): treat as a join.
+			t.handlePeerJoin(&Message{Kind: MsgPeerJoin, From: m.From, To: t.addr, Subject: m.From, Res: m.Res})
+		}
+	case MsgBusyNotice:
+		if r, ok := t.peers[m.From]; ok {
+			r.busy = true
+		}
+	case MsgRelease:
+		if r, ok := t.peers[m.Subject]; ok {
+			r.busy = false
+		}
+	case MsgPeerRequest:
+		t.handlePeerRequest(m)
+	case MsgMoreTrackersReq:
+		// Submitter wants trackers on our far side relative to it
+		// (§III-B: "these two farthest trackers send to submitter
+		// trackers in their tracker list in other side with submitter").
+		side := +1
+		if m.From > t.addr {
+			side = -1
+		}
+		t.sys.Send(&Message{
+			Kind: MsgMoreTrackers, From: t.addr, To: m.From,
+			Addrs: t.n.sideMembers(side), Token: m.Token,
+		})
+	}
+}
+
+// handleTrackerJoin routes a join to the closest tracker or welcomes
+// the newcomer if we are it (§III-A.4).
+func (t *Tracker) handleTrackerJoin(m *Message) {
+	newcomer := m.Subject
+	closest := t.n.closestTo(newcomer)
+	if closest != t.addr {
+		t.JoinForwards++
+		t.sys.Send(&Message{Kind: MsgTrackerJoin, From: t.addr, To: closest, Subject: newcomer})
+		return
+	}
+	// We are the closest tracker in the overlay.
+	// 1. Inform all trackers in N about the newcomer.
+	for _, a := range t.n.all() {
+		t.sys.Send(&Message{Kind: MsgNeighborAdd, From: t.addr, To: a, Subject: newcomer})
+	}
+	t.sys.Send(&Message{Kind: MsgNeighborAdd, From: t.addr, To: t.server, Subject: newcomer})
+	// 2. Send our set (plus ourselves) to the newcomer.
+	welcome := append(t.n.all(), t.addr)
+	t.sys.Send(&Message{Kind: MsgTrackerWelcome, From: t.addr, To: newcomer, Addrs: welcome})
+	// 3. Insert the newcomer, dropping the farthest member on the same
+	// side if the side is full.
+	t.addNeighbor(newcomer)
+}
+
+func (t *Tracker) addNeighbor(a proximity.Addr) {
+	t.n.insert(a)
+	t.refreshConnections()
+}
+
+// handleTrackerDead repairs the line after a neighbour crash
+// (§III-A.5). m.Subject is the dead tracker; m.Addrs carries the
+// sender's members on the far side so we can refill.
+func (t *Tracker) handleTrackerDead(m *Message) {
+	t.n.remove(m.Subject)
+	for _, a := range m.Addrs {
+		t.n.insert(a)
+	}
+	t.refreshConnections()
+}
+
+// NotifyNeighborCrash is invoked by the failure detector when one of
+// the two maintained connections breaks. side is -1 if the dead
+// tracker was on our left, +1 for right.
+func (t *Tracker) NotifyNeighborCrash(dead proximity.Addr, side int) {
+	t.n.remove(dead)
+	// Inform trackers along our opposite-of-dead side plus the server;
+	// ship our members on the dead side so they can rebuild (§III-A.5:
+	// T3 informs left side about T4's death and sends its right-side
+	// list).
+	informSide := -side
+	carry := t.n.sideMembers(side)
+	for _, a := range t.n.sideMembers(informSide) {
+		t.sys.Send(&Message{Kind: MsgTrackerDead, From: t.addr, To: a, Subject: dead, Addrs: carry})
+	}
+	t.sys.Send(&Message{Kind: MsgTrackerDead, From: t.addr, To: t.server, Subject: dead})
+	t.refreshConnections()
+	// Establish the new connection across the hole and exchange
+	// farthest trackers with the survivor.
+	survivor := t.n.closestOn(side)
+	if survivor != 0 {
+		far := t.n.sideMembers(-side)
+		t.sys.Send(&Message{Kind: MsgRelink, From: t.addr, To: survivor, Addrs: far})
+	}
+}
+
+// handlePeerJoin adds a peer to the zone or forwards to a closer
+// tracker (§III-A.6).
+func (t *Tracker) handlePeerJoin(m *Message) {
+	newcomer := m.Subject
+	closest := t.n.closestTo(newcomer)
+	if closest != t.addr {
+		t.JoinForwards++
+		t.sys.Send(&Message{Kind: MsgPeerJoin, From: t.addr, To: closest, Subject: newcomer, Res: m.Res})
+		return
+	}
+	t.peers[newcomer] = &peerRecord{res: m.Res, lastUpdate: t.sys.Now()}
+	accept := append(t.n.all(), t.addr)
+	t.sys.Send(&Message{Kind: MsgPeerAccept, From: t.addr, To: newcomer, Addrs: accept})
+}
+
+// handlePeerRequest filters free peers matching the request and sends
+// them back (§III-B).
+func (t *Tracker) handlePeerRequest(m *Message) {
+	var match []proximity.Addr
+	for a, r := range t.peers {
+		if r.busy || r.res.Busy || a == m.From {
+			continue
+		}
+		if m.Res.CPUFlops > 0 && r.res.CPUFlops < m.Res.CPUFlops {
+			continue
+		}
+		if m.Res.MemoryMB > 0 && r.res.MemoryMB < m.Res.MemoryMB {
+			continue
+		}
+		match = append(match, a)
+	}
+	sort.Slice(match, func(i, j int) bool { return match[i] < match[j] })
+	if m.Count > 0 && len(match) > m.Count {
+		match = match[:m.Count]
+	}
+	t.sys.Send(&Message{
+		Kind: MsgPeerCandidates, From: t.addr, To: m.From,
+		Addrs: match, Token: m.Token,
+	})
+}
+
+// schedulePeerSweep periodically drops peers whose updates stopped for
+// longer than T (§III-A.7).
+func (t *Tracker) schedulePeerSweep() {
+	t.sys.sim.Schedule(t.sys.cfg.TimeoutT, func() {
+		if t.stopped || !t.sys.Alive(t.addr) {
+			return
+		}
+		now := t.sys.Now()
+		for a, r := range t.peers {
+			if now-r.lastUpdate > t.sys.cfg.TimeoutT {
+				delete(t.peers, a)
+			}
+		}
+		t.schedulePeerSweep()
+	})
+}
+
+// scheduleStats periodically reports zone statistics to the server.
+func (t *Tracker) scheduleStats() {
+	t.sys.sim.Schedule(t.sys.cfg.StatsInterval, func() {
+		if t.stopped || !t.sys.Alive(t.addr) {
+			return
+		}
+		addrs := t.ZonePeers()
+		t.sys.Send(&Message{Kind: MsgStatsReport, From: t.addr, To: t.server, Addrs: addrs})
+		t.scheduleStats()
+	})
+}
+
+// Stop halts periodic activity (graceful shutdown in tests).
+func (t *Tracker) Stop() { t.stopped = true }

@@ -1,0 +1,355 @@
+// Package p2pdc is the P2PDC computing environment: it executes a
+// task-parallel application on a set of simulated peers connected by a
+// platform's network, with direct peer communication through P2PSAP
+// channels. A run has three phases, as in the paper: the submitter
+// scatters subtask data to the peers, peers iterate (computing and
+// exchanging directly), and results are gathered back at the
+// submitter.
+//
+// The environment measures virtual wall-clock time exactly — this is
+// the paper's "reference time t_normal_execution ... measured using
+// hardware counters", with the deterministic simulation clock playing
+// the counters' role.
+package p2pdc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+)
+
+// Environment binds a platform to an event kernel, network, message
+// layer and protocol instance.
+type Environment struct {
+	Sim   *des.Simulation
+	Net   *netsim.Network
+	Post  *netsim.Post
+	Proto *p2psap.Protocol
+	Plat  *platform.Platform
+}
+
+// NewEnvironment instantiates the platform and the full communication
+// stack on a fresh kernel.
+func NewEnvironment(plat *platform.Platform) (*Environment, error) {
+	sim := des.New()
+	net, err := plat.NewNetwork(sim)
+	if err != nil {
+		return nil, err
+	}
+	post := netsim.NewPost(net)
+	return &Environment{
+		Sim:   sim,
+		Net:   net,
+		Post:  post,
+		Proto: p2psap.New(post),
+		Plat:  plat,
+	}, nil
+}
+
+// App is the per-peer subtask body. It runs as one simulated process
+// per rank and may compute, exchange with other ranks, and reduce.
+type App func(w *Worker) error
+
+// RunSpec configures one execution.
+type RunSpec struct {
+	// Submitter is the host that scatters inputs and gathers results.
+	Submitter string
+	// Hosts are the working peers, one rank each, in rank order.
+	Hosts []string
+	// Scheme selects synchronous or asynchronous P2PSAP channels.
+	Scheme p2psap.Scheme
+	// ScatterBytes / GatherBytes are per-peer subtask input and result
+	// sizes moved in the scatter and gather phases (0 skips a phase).
+	ScatterBytes float64
+	GatherBytes  float64
+}
+
+// RunResult reports the timing decomposition of an execution.
+type RunResult struct {
+	Total       float64
+	ScatterTime float64
+	ComputeTime float64 // scatter end -> last worker finished
+	GatherTime  float64
+	// WorkerTimes holds each rank's busy time (end of its app body).
+	WorkerTimes []float64
+	// Errors collects per-rank application errors (nil entries for ok).
+	Errors []error
+}
+
+// Run executes the application and returns the measured phase times.
+func (e *Environment) Run(spec RunSpec, app App) (*RunResult, error) {
+	if len(spec.Hosts) == 0 {
+		return nil, fmt.Errorf("p2pdc: no hosts")
+	}
+	if e.Net.Host(spec.Submitter) == nil {
+		return nil, fmt.Errorf("p2pdc: unknown submitter host %q", spec.Submitter)
+	}
+	for _, h := range spec.Hosts {
+		if e.Net.Host(h) == nil {
+			return nil, fmt.Errorf("p2pdc: unknown host %q", h)
+		}
+	}
+	res := &RunResult{
+		WorkerTimes: make([]float64, len(spec.Hosts)),
+		Errors:      make([]error, len(spec.Hosts)),
+	}
+	start := e.Sim.Now()
+	n := len(spec.Hosts)
+
+	scatterDone := make([]bool, n)
+	var scatterEnd float64
+	computeDone := 0
+	var computeEnd float64
+
+	// Submitter process: scatter inputs, then wait for results.
+	gathered := 0
+	gatherDoneCond := e.Sim.NewCond()
+	e.Sim.Spawn("submitter", 0, func(p *des.Process) {
+		if spec.ScatterBytes > 0 {
+			for i, h := range spec.Hosts {
+				tag := fmt.Sprintf("p2pdc:scatter:%d", i)
+				if err := e.Post.SendAsync(spec.Submitter, h, tag, spec.ScatterBytes, nil); err != nil {
+					res.Errors[i] = err
+				}
+			}
+		}
+		if spec.GatherBytes > 0 {
+			for range spec.Hosts {
+				e.Post.Recv(p, spec.Submitter, "p2pdc:gather")
+				gathered++
+			}
+		}
+		gatherDoneCond.Signal()
+	})
+
+	// Worker processes.
+	for i, h := range spec.Hosts {
+		i, h := i, h
+		e.Sim.Spawn(fmt.Sprintf("rank%d", i), 0, func(p *des.Process) {
+			if spec.ScatterBytes > 0 {
+				e.Post.Recv(p, h, fmt.Sprintf("p2pdc:scatter:%d", i))
+			}
+			scatterDone[i] = true
+			if t := e.Sim.Now() - start; t > scatterEnd {
+				scatterEnd = t
+			}
+			w := &Worker{
+				env:   e,
+				proc:  p,
+				rank:  i,
+				hosts: spec.Hosts,
+				spec:  &spec,
+			}
+			if err := app(w); err != nil {
+				res.Errors[i] = err
+			}
+			res.WorkerTimes[i] = e.Sim.Now() - start
+			computeDone++
+			if t := e.Sim.Now() - start; t > computeEnd {
+				computeEnd = t
+			}
+			if spec.GatherBytes > 0 {
+				if err := e.Post.Send(p, h, spec.Submitter, "p2pdc:gather", spec.GatherBytes, i); err != nil && res.Errors[i] == nil {
+					res.Errors[i] = err
+				}
+			}
+		})
+	}
+
+	// Drive the simulation until the submitter has everything. A
+	// stalled application (e.g. a rank that errored out of a
+	// collective, leaving the others waiting) surfaces as a kernel
+	// deadlock panic; convert it into an error so callers see the
+	// per-rank causes.
+	e.Sim.Spawn("watchdog", 0, func(p *des.Process) {
+		gatherDoneCond.Wait(p)
+	})
+	stall := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("p2pdc: execution stalled: %v (first app error: %v)", r, res.FirstError())
+			}
+		}()
+		e.Sim.Run()
+		return nil
+	}()
+
+	res.Total = e.Sim.Now() - start
+	res.ScatterTime = scatterEnd
+	res.ComputeTime = computeEnd - scatterEnd
+	res.GatherTime = res.Total - computeEnd
+	if res.GatherTime < 0 {
+		res.GatherTime = 0
+	}
+	if stall != nil {
+		return res, stall
+	}
+	if computeDone != n {
+		return res, fmt.Errorf("p2pdc: only %d of %d workers finished", computeDone, n)
+	}
+	return res, nil
+}
+
+// FirstError returns the first non-nil application error, or nil.
+func (r *RunResult) FirstError() error {
+	for _, err := range r.Errors {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Worker is the per-rank execution context handed to the App.
+type Worker struct {
+	env   *Environment
+	proc  *des.Process
+	rank  int
+	hosts []string
+	spec  *RunSpec
+}
+
+// Rank returns this worker's 0-based rank.
+func (w *Worker) Rank() int { return w.rank }
+
+// Size returns the number of ranks.
+func (w *Worker) Size() int { return len(w.hosts) }
+
+// Host returns the host this rank runs on.
+func (w *Worker) Host() string { return w.hosts[w.rank] }
+
+// Now returns virtual time.
+func (w *Worker) Now() float64 { return w.env.Sim.Now() }
+
+// Compute blocks for the time the host needs to execute cycles of
+// work (cycles / host speed).
+func (w *Worker) Compute(cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	w.proc.Sleep(cycles / w.env.Net.Host(w.Host()).Speed)
+}
+
+// Sleep blocks for d virtual seconds (protocol modelling).
+func (w *Worker) Sleep(d float64) { w.proc.Sleep(d) }
+
+// channel returns the P2PSAP channel to a peer for a traffic class.
+// Data and control (convergence) traffic use distinct sessions so a
+// small control message can never overtake a large data message in
+// the same mailbox and be mistaken for it.
+func (w *Worker) channel(peer int, class string) (*p2psap.Channel, error) {
+	if peer < 0 || peer >= len(w.hosts) {
+		return nil, fmt.Errorf("p2pdc: rank %d out of range [0,%d)", peer, len(w.hosts))
+	}
+	a, b := w.rank, peer
+	if a > b {
+		a, b = b, a
+	}
+	tag := fmt.Sprintf("r%d-r%d:%s", a, b, class)
+	return w.env.Proto.Channel(w.hosts[a], w.hosts[b], tag, w.spec.Scheme)
+}
+
+// Send transmits bytes to another rank through the pair's P2PSAP
+// data channel (eager: the transfer proceeds in the background).
+func (w *Worker) Send(to int, bytes float64, payload interface{}) error {
+	ch, err := w.channel(to, "data")
+	if err != nil {
+		return err
+	}
+	return ch.Send(w.proc, w.Host(), bytes, payload)
+}
+
+// Recv blocks until a data message from the given rank arrives.
+func (w *Worker) Recv(from int) (interface{}, error) {
+	ch, err := w.channel(from, "data")
+	if err != nil {
+		return nil, err
+	}
+	return ch.Recv(w.proc, w.Host())
+}
+
+// TryRecvLatest returns the freshest pending data message from the
+// given rank without blocking (asynchronous iterations).
+func (w *Worker) TryRecvLatest(from int) (interface{}, bool, error) {
+	ch, err := w.channel(from, "data")
+	if err != nil {
+		return nil, false, err
+	}
+	return ch.TryRecvLatest(w.proc, w.Host())
+}
+
+// sendCtl / recvCtl move control values on the dedicated channel.
+func (w *Worker) sendCtl(to int, bytes float64, payload interface{}) error {
+	ch, err := w.channel(to, "ctl")
+	if err != nil {
+		return err
+	}
+	return ch.Send(w.proc, w.Host(), bytes, payload)
+}
+
+func (w *Worker) recvCtl(from int) (interface{}, error) {
+	ch, err := w.channel(from, "ctl")
+	if err != nil {
+		return nil, err
+	}
+	return ch.Recv(w.proc, w.Host())
+}
+
+// ConvergeMax performs the convergence test of distributed iterative
+// methods: every rank contributes a local residual, rank 0 gathers
+// them (its P2PSAP receive processing serializes, making the test cost
+// grow with the peer count), computes the maximum and broadcasts it.
+// All ranks return the global maximum. It doubles as a barrier.
+func (w *Worker) ConvergeMax(local float64) (float64, error) {
+	const valBytes = 8
+	if w.Size() == 1 {
+		return local, nil
+	}
+	if w.rank != 0 {
+		if err := w.sendCtl(0, valBytes, local); err != nil {
+			return 0, err
+		}
+		v, err := w.recvCtl(0)
+		if err != nil {
+			return 0, err
+		}
+		return v.(float64), nil
+	}
+	max := local
+	for i := 1; i < w.Size(); i++ {
+		v, err := w.recvCtl(i)
+		if err != nil {
+			return 0, err
+		}
+		if f := v.(float64); f > max {
+			max = f
+		}
+	}
+	for i := 1; i < w.Size(); i++ {
+		if err := w.sendCtl(i, valBytes, max); err != nil {
+			return 0, err
+		}
+	}
+	return max, nil
+}
+
+// Barrier synchronizes all ranks through the rank-0 gather/broadcast.
+func (w *Worker) Barrier() error {
+	_, err := w.ConvergeMax(0)
+	return err
+}
+
+// HostsOf returns the first n host names of a platform, sorted, which
+// is how experiments pick peers ("we use, in turn, 2^1..2^5 nodes").
+func HostsOf(plat *platform.Platform, n int) ([]string, error) {
+	hosts := plat.Hosts()
+	if len(hosts) < n {
+		return nil, fmt.Errorf("p2pdc: platform has %d hosts, need %d", len(hosts), n)
+	}
+	sort.Strings(hosts)
+	return hosts[:n], nil
+}

@@ -1,0 +1,281 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/proximity"
+)
+
+// Experiment-wide physical constants. Bandwidths are bytes/s (the
+// paper quotes bits/s: 1 Gbps = 125e6 B/s).
+const (
+	Gbps = 125e6 // bytes/s per gigabit
+	Mbps = 125e3 // bytes/s per megabit
+
+	// NodeSpeed is the calibrated compute speed of one Bordeplage-class
+	// node (Intel Xeon EM64T 3 GHz in the paper) in abstract flop/s.
+	// All three platforms use identical machines (paper §IV-A.3), only
+	// networks differ.
+	NodeSpeed = 3e9
+)
+
+// Cluster builds the Stage-1 Bordeplage-like cluster: n nodes with
+// 1 Gbps / 100 µs NICs attached to a 10 Gbps / 100 µs backbone
+// (paper §IV-A.4).
+func Cluster(n int) (*Platform, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("platform: cluster needs >= 1 node, got %d", n)
+	}
+	p := New(fmt.Sprintf("cluster-%d", n))
+	if err := p.AddRouter("backbone"); err != nil {
+		return nil, err
+	}
+	// The backbone is modelled as a router; node NIC links carry the
+	// 1 Gbps / 100 µs characteristics and a shared backbone link pair
+	// models the 10 Gbps fabric. To keep intra-cluster paths symmetric
+	// we attach all NICs to the backbone router directly and add one
+	// "fabric" self-capacity link crossed by every path: netsim routes
+	// are link lists, so we insert the fabric link between NIC links.
+	if err := p.AddRouter("fabric"); err != nil {
+		return nil, err
+	}
+	if err := p.Connect("backbone", "fabric", "fabric-trunk", 10*Gbps, 100e-6); err != nil {
+		return nil, err
+	}
+	if err := addFrontend(p, "backbone"); err != nil {
+		return nil, err
+	}
+	base := proximity.MustParseAddr("172.16.0.0")
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node-%03d", i)
+		ip := proximity.Addr(uint32(base) + uint32(i) + 1)
+		if err := p.AddHost(name, ip, NodeSpeed); err != nil {
+			return nil, err
+		}
+		// Alternate sides of the trunk so node<->node paths traverse the
+		// 10 Gbps fabric exactly when crossing halves, like a two-level
+		// cluster tree.
+		attach := "backbone"
+		if i%2 == 1 {
+			attach = "fabric"
+		}
+		link := fmt.Sprintf("nic-%d", i)
+		if err := p.Connect(name, attach, link, 1*Gbps, 100e-6); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// DaisyConfig parametrizes the Stage-2A topology (paper Fig. 8).
+type DaisyConfig struct {
+	CentralRouters  int     // "5 central routers just for connecting petals"
+	PetalRouters    int     // routers per petal (10)
+	DSLAMsPerRouter int     // 4
+	NodesPerDSLAM   int     // 5 (one DSLAM exceptionally carries 5+24)
+	ExtraNodes      int     // 24 extra nodes on one DSLAM to reach 1024
+	CentralRing     float64 // l1: 100 Gbps
+	PetalLink       float64 // l2: 10 Gbps (router-router and DSLAM-router)
+	LastMileMin     float64 // l3 lower bound: 5 Mbps
+	LastMileMax     float64 // l3 upper bound: 10 Mbps
+	Seed            int64   // last-mile bandwidth assignment seed
+}
+
+// DefaultDaisy returns the paper's exact Fig. 8 configuration:
+// 5 central routers, 5 petals of 10 routers, 4 DSLAMs per petal router,
+// 5 nodes per DSLAM plus one exceptional DSLAM with 24 extra nodes,
+// for a total of 5*10*4*5 + 24 = 1024 nodes.
+func DefaultDaisy() DaisyConfig {
+	return DaisyConfig{
+		CentralRouters:  5,
+		PetalRouters:    10,
+		DSLAMsPerRouter: 4,
+		NodesPerDSLAM:   5,
+		ExtraNodes:      24,
+		CentralRing:     100 * Gbps,
+		PetalLink:       10 * Gbps,
+		LastMileMin:     5 * Mbps,
+		LastMileMax:     10 * Mbps,
+		Seed:            42,
+	}
+}
+
+// Daisy builds the Stage-2A xDSL platform. Node last-mile links draw a
+// bandwidth uniformly from [LastMileMin, LastMileMax] using the seeded
+// generator, matching "5 to 10 Mbps, value randomly assigned".
+func Daisy(cfg DaisyConfig) (*Platform, error) {
+	if cfg.CentralRouters < 1 || cfg.PetalRouters < 1 || cfg.DSLAMsPerRouter < 1 || cfg.NodesPerDSLAM < 1 {
+		return nil, fmt.Errorf("platform: invalid daisy config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := New("daisy-xdsl")
+
+	// Central ring (l1 @ 100 Gbps).
+	for i := 0; i < cfg.CentralRouters; i++ {
+		if err := p.AddRouter(fmt.Sprintf("core-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.CentralRouters; i++ {
+		j := (i + 1) % cfg.CentralRouters
+		if cfg.CentralRouters == 1 {
+			break
+		}
+		if cfg.CentralRouters == 2 && i == 1 {
+			break // avoid a duplicate edge on a 2-ring
+		}
+		name := fmt.Sprintf("l1-%d", i)
+		if err := p.Connect(fmt.Sprintf("core-%d", i), fmt.Sprintf("core-%d", j), name, cfg.CentralRing, 1e-3); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := addFrontend(p, "core-0"); err != nil {
+		return nil, err
+	}
+	node := 0
+	extraLeft := cfg.ExtraNodes
+	base := proximity.MustParseAddr("82.64.0.0")
+	addNode := func(dslam string, petal int) error {
+		name := fmt.Sprintf("node-%04d", node)
+		// IPs cluster by petal in /19 blocks so IP proximity correlates
+		// with physical proximity, as ISPs allocate regionally.
+		ip := proximity.Addr(uint32(base) + uint32(petal)<<13 + uint32(node)&0x1FFF + 1)
+		if err := p.AddHost(name, ip, NodeSpeed); err != nil {
+			return err
+		}
+		bw := cfg.LastMileMin + rng.Float64()*(cfg.LastMileMax-cfg.LastMileMin)
+		// xDSL last-mile latency ~ 8 ms (fast-path DSL).
+		link := fmt.Sprintf("l3-%d", node)
+		node++
+		return p.Connect(name, dslam, link, bw, 8e-3)
+	}
+
+	// Petals: each hangs off one central router; petal routers chain in
+	// a line (l2 @ 10 Gbps), each carrying DSLAMs (also l2).
+	for petal := 0; petal < cfg.CentralRouters; petal++ {
+		prev := fmt.Sprintf("core-%d", petal)
+		for r := 0; r < cfg.PetalRouters; r++ {
+			router := fmt.Sprintf("petal-%d-r%d", petal, r)
+			if err := p.AddRouter(router); err != nil {
+				return nil, err
+			}
+			link := fmt.Sprintf("l2-%d-%d", petal, r)
+			if err := p.Connect(prev, router, link, cfg.PetalLink, 2e-3); err != nil {
+				return nil, err
+			}
+			prev = router
+			for d := 0; d < cfg.DSLAMsPerRouter; d++ {
+				dslam := fmt.Sprintf("dslam-%d-%d-%d", petal, r, d)
+				if err := p.AddRouter(dslam); err != nil {
+					return nil, err
+				}
+				dl := fmt.Sprintf("l2d-%d-%d-%d", petal, r, d)
+				if err := p.Connect(router, dslam, dl, cfg.PetalLink, 2e-3); err != nil {
+					return nil, err
+				}
+				count := cfg.NodesPerDSLAM
+				if extraLeft > 0 && petal == 0 && r == 0 && d == 0 {
+					count += extraLeft // the exceptional 5+24 DSLAM
+					extraLeft = 0
+				}
+				for k := 0; k < count; k++ {
+					if err := addNode(dslam, petal); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// LAN builds the Stage-2B platform: n nodes, each connected at
+// 100 Mbps to a 1 Gbps backbone switch (paper §IV-A.4 Stage-2B).
+func LAN(n int) (*Platform, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("platform: LAN needs >= 1 node, got %d", n)
+	}
+	p := New(fmt.Sprintf("lan-%d", n))
+	if err := p.AddRouter("switch-a"); err != nil {
+		return nil, err
+	}
+	if err := p.AddRouter("switch-b"); err != nil {
+		return nil, err
+	}
+	// The 1 Gbps backbone joins two access switches; every node-node
+	// path crosses it, so backbone contention is modelled.
+	if err := p.Connect("switch-a", "switch-b", "backbone", 1*Gbps, 200e-6); err != nil {
+		return nil, err
+	}
+	if err := addFrontend(p, "switch-a"); err != nil {
+		return nil, err
+	}
+	base := proximity.MustParseAddr("10.10.0.0")
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("node-%04d", i)
+		ip := proximity.Addr(uint32(base) + uint32(i) + 1)
+		if err := p.AddHost(name, ip, NodeSpeed); err != nil {
+			return nil, err
+		}
+		attach := "switch-a"
+		if i%2 == 1 {
+			attach = "switch-b"
+		}
+		link := fmt.Sprintf("drop-%d", i)
+		if err := p.Connect(name, attach, link, 100*Mbps, 300e-6); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// addFrontend attaches the submitter host to the given attachment
+// point over a 1 Gbps link. The frontend models the scientist's
+// well-connected machine that submits tasks and never computes.
+func addFrontend(p *Platform, attach string) error {
+	ip := proximity.MustParseAddr("192.168.100.1")
+	if err := p.AddHost("frontend", ip, NodeSpeed); err != nil {
+		return err
+	}
+	if err := p.Connect("frontend", attach, "frontend-uplink", 1*Gbps, 200e-6); err != nil {
+		return err
+	}
+	p.Frontend = "frontend"
+	return nil
+}
+
+// Kind selects one of the three evaluation platforms by name.
+type Kind string
+
+// Platform kinds used across experiments and CLIs.
+const (
+	KindCluster Kind = "grid5000"
+	KindDaisy   Kind = "xdsl"
+	KindLAN     Kind = "lan"
+)
+
+// ForKind builds the platform of the given kind sized for n working
+// peers. The Daisy topology is always built at full Fig. 8 scale
+// (1024 nodes) and experiments use its first n nodes, mirroring the
+// paper ("both networks connect 2^10 nodes, out of which we use, in
+// turn, 2^1..2^5").
+func ForKind(kind Kind, n int) (*Platform, error) {
+	switch kind {
+	case KindCluster:
+		return Cluster(n)
+	case KindDaisy:
+		return Daisy(DefaultDaisy())
+	case KindLAN:
+		// Paper: the LAN also connects 2^10 nodes; build all of them so
+		// backbone contention is realistic, but cap for tractability.
+		size := 1024
+		if n > size {
+			size = n
+		}
+		return LAN(size)
+	default:
+		return nil, fmt.Errorf("platform: unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,278 @@
+// Package platform describes simulated computing platforms: the set of
+// hosts, routers, links and routes over which experiments run. It
+// provides generators for the three platforms of the paper's
+// evaluation — the Grid'5000 Bordeplage-like cluster (Stage-1), the
+// Daisy xDSL topology (Stage-2A, Fig. 8) and a campus LAN
+// (Stage-2B) — plus a text serialization so platform files can be
+// written, versioned and parsed like SimGrid platform descriptions.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/proximity"
+)
+
+// Node is a vertex of the platform graph: a compute host or a pure
+// forwarding element (router/DSLAM/switch).
+type Node struct {
+	Name   string
+	IP     proximity.Addr
+	Speed  float64 // flop/s; 0 for routers
+	Router bool
+}
+
+// Edge joins two nodes through a named link.
+type Edge struct {
+	A, B      string
+	LinkName  string
+	Bandwidth float64 // bytes/s
+	Latency   float64 // seconds
+}
+
+// Platform is an undirected graph of nodes and edges with shortest-path
+// routing (fewest hops, then lowest total latency).
+type Platform struct {
+	Name string
+	// Frontend names the well-connected submitter host, when the
+	// platform has one (experiment platforms do).
+	Frontend string
+	nodes    map[string]*Node
+	edges    []Edge
+	adj      map[string][]int // node -> edge indices
+
+	// routing cache: per source, predecessor tree.
+	predCache map[string]map[string]int // src -> node -> incoming edge index
+}
+
+// New returns an empty platform.
+func New(name string) *Platform {
+	return &Platform{
+		Name:      name,
+		nodes:     make(map[string]*Node),
+		adj:       make(map[string][]int),
+		predCache: make(map[string]map[string]int),
+	}
+}
+
+// AddHost adds a compute host.
+func (p *Platform) AddHost(name string, ip proximity.Addr, speed float64) error {
+	return p.addNode(&Node{Name: name, IP: ip, Speed: speed})
+}
+
+// AddRouter adds a forwarding-only node.
+func (p *Platform) AddRouter(name string) error {
+	return p.addNode(&Node{Name: name, Router: true})
+}
+
+func (p *Platform) addNode(n *Node) error {
+	if _, ok := p.nodes[n.Name]; ok {
+		return fmt.Errorf("platform: duplicate node %q", n.Name)
+	}
+	if !n.Router && n.Speed <= 0 {
+		return fmt.Errorf("platform: host %q needs positive speed", n.Name)
+	}
+	p.nodes[n.Name] = n
+	return nil
+}
+
+// Connect adds an undirected edge between existing nodes.
+func (p *Platform) Connect(a, b, linkName string, bandwidth, latency float64) error {
+	if _, ok := p.nodes[a]; !ok {
+		return fmt.Errorf("platform: unknown node %q", a)
+	}
+	if _, ok := p.nodes[b]; !ok {
+		return fmt.Errorf("platform: unknown node %q", b)
+	}
+	if bandwidth <= 0 || latency < 0 {
+		return fmt.Errorf("platform: link %q invalid bandwidth/latency", linkName)
+	}
+	for _, e := range p.edges {
+		if e.LinkName == linkName {
+			return fmt.Errorf("platform: duplicate link name %q", linkName)
+		}
+	}
+	idx := len(p.edges)
+	p.edges = append(p.edges, Edge{A: a, B: b, LinkName: linkName, Bandwidth: bandwidth, Latency: latency})
+	p.adj[a] = append(p.adj[a], idx)
+	p.adj[b] = append(p.adj[b], idx)
+	p.predCache = make(map[string]map[string]int) // invalidate
+	return nil
+}
+
+// Node returns a node by name, or nil.
+func (p *Platform) Node(name string) *Node { return p.nodes[name] }
+
+// Hosts returns the names of all compute hosts, sorted. The frontend
+// host, when set, is excluded: it submits work, it does not compute.
+func (p *Platform) Hosts() []string {
+	var out []string
+	for name, n := range p.nodes {
+		if !n.Router && name != p.Frontend {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Nodes returns all node names, sorted.
+func (p *Platform) Nodes() []string {
+	var out []string
+	for name := range p.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns a copy of the edge list.
+func (p *Platform) Edges() []Edge { return append([]Edge(nil), p.edges...) }
+
+// Path returns the edge indices of the route from src to dst computed
+// by BFS on hop count with latency as tie-break (deterministic).
+func (p *Platform) Path(src, dst string) ([]int, error) {
+	if _, ok := p.nodes[src]; !ok {
+		return nil, fmt.Errorf("platform: unknown node %q", src)
+	}
+	if _, ok := p.nodes[dst]; !ok {
+		return nil, fmt.Errorf("platform: unknown node %q", dst)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	pred, ok := p.predCache[src]
+	if !ok {
+		pred = p.shortestPathTree(src)
+		p.predCache[src] = pred
+	}
+	if _, reached := pred[dst]; !reached {
+		return nil, fmt.Errorf("platform: %q unreachable from %q", dst, src)
+	}
+	// Walk predecessors from dst back to src.
+	var rev []int
+	cur := dst
+	for cur != src {
+		ei := pred[cur]
+		rev = append(rev, ei)
+		e := p.edges[ei]
+		if e.A == cur {
+			cur = e.B
+		} else {
+			cur = e.A
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// shortestPathTree runs Dijkstra with cost = (hops, latency) lexicographic.
+func (p *Platform) shortestPathTree(src string) map[string]int {
+	type cost struct {
+		hops int
+		lat  float64
+	}
+	dist := map[string]cost{src: {}}
+	pred := make(map[string]int)
+	visited := make(map[string]bool)
+	for {
+		// Extract unvisited node with min cost (linear scan: platforms
+		// have at most ~1100 nodes, and trees are cached per source).
+		var cur string
+		best := cost{hops: math.MaxInt32, lat: math.Inf(1)}
+		for name, d := range dist {
+			if visited[name] {
+				continue
+			}
+			if d.hops < best.hops || (d.hops == best.hops && d.lat < best.lat) ||
+				(d.hops == best.hops && d.lat == best.lat && (cur == "" || name < cur)) {
+				best = d
+				cur = name
+			}
+		}
+		if cur == "" {
+			return pred
+		}
+		visited[cur] = true
+		for _, ei := range p.adj[cur] {
+			e := p.edges[ei]
+			next := e.B
+			if next == cur {
+				next = e.A
+			}
+			nd := cost{hops: best.hops + 1, lat: best.lat + e.Latency}
+			old, seen := dist[next]
+			if !seen || nd.hops < old.hops || (nd.hops == old.hops && nd.lat < old.lat) {
+				dist[next] = nd
+				pred[next] = ei
+			}
+		}
+	}
+}
+
+// Realize creates all hosts and links of the platform inside the given
+// network. The platform itself serves as the network's RouteProvider,
+// so construct the network as netsim.New(sim, platform) and then call
+// platform.Realize(network).
+func (p *Platform) Realize(n *netsim.Network) error {
+	for _, name := range p.Nodes() {
+		node := p.nodes[name]
+		if node.Router {
+			continue // routers are not endpoints
+		}
+		if _, err := n.AddHost(name, node.Speed); err != nil {
+			return err
+		}
+	}
+	for _, e := range p.edges {
+		if _, err := n.AddLink(e.LinkName, e.Bandwidth, e.Latency); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// boundPlatform implements netsim.RouteProvider: it resolves the link
+// sequence between two hosts and sums path latency. Link handles are
+// looked up by name in the realized network.
+type boundPlatform struct {
+	p   *Platform
+	net *netsim.Network
+}
+
+func (bp *boundPlatform) Route(src, dst string) (*netsim.Route, error) {
+	path, err := bp.p.Path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	r := &netsim.Route{}
+	for _, ei := range path {
+		e := bp.p.edges[ei]
+		l := bp.net.Link(e.LinkName)
+		if l == nil {
+			return nil, fmt.Errorf("platform: link %q not realized in network", e.LinkName)
+		}
+		r.Links = append(r.Links, l)
+		r.Latency += e.Latency
+	}
+	return r, nil
+}
+
+// NewNetwork creates a netsim.Network on the given kernel, wires this
+// platform in as the route provider, and realizes every host and link.
+func (p *Platform) NewNetwork(sim *des.Simulation) (*netsim.Network, error) {
+	bp := &boundPlatform{p: p}
+	net := netsim.New(sim, bp)
+	bp.net = net
+	if err := p.Realize(net); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,408 @@
+package platform
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/proximity"
+)
+
+func ip(s string) proximity.Addr { return proximity.MustParseAddr(s) }
+
+func TestAddNodesAndEdges(t *testing.T) {
+	p := New("t")
+	if err := p.AddHost("h1", ip("10.0.0.1"), 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddRouter("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddHost("h1", ip("10.0.0.2"), 1e9); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := p.AddHost("bad", ip("10.0.0.3"), 0); err == nil {
+		t.Fatal("zero-speed host accepted")
+	}
+	if err := p.Connect("h1", "r1", "l1", 1e6, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Connect("h1", "r1", "l1", 1e6, 0.001); err == nil {
+		t.Fatal("duplicate link name accepted")
+	}
+	if err := p.Connect("h1", "nope", "l2", 1e6, 0.001); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if err := p.Connect("h1", "r1", "l3", -1, 0.001); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+}
+
+func TestPathLine(t *testing.T) {
+	// h1 - r1 - r2 - h2
+	p := New("line")
+	p.AddHost("h1", ip("10.0.0.1"), 1e9)
+	p.AddHost("h2", ip("10.0.0.2"), 1e9)
+	p.AddRouter("r1")
+	p.AddRouter("r2")
+	p.Connect("h1", "r1", "a", 1e6, 0.001)
+	p.Connect("r1", "r2", "b", 1e6, 0.001)
+	p.Connect("r2", "h2", "c", 1e6, 0.001)
+	path, err := p.Path("h1", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ei := range path {
+		names = append(names, p.edges[ei].LinkName)
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("path = %v", names)
+	}
+}
+
+func TestPathPrefersFewerHops(t *testing.T) {
+	// Two routes h1->h2: direct slow link (1 hop) vs two fast links.
+	p := New("choice")
+	p.AddHost("h1", ip("10.0.0.1"), 1e9)
+	p.AddHost("h2", ip("10.0.0.2"), 1e9)
+	p.AddRouter("r")
+	p.Connect("h1", "h2", "direct", 1e3, 0.5)
+	p.Connect("h1", "r", "f1", 1e9, 0.001)
+	p.Connect("r", "h2", "f2", 1e9, 0.001)
+	path, _ := p.Path("h1", "h2")
+	if len(path) != 1 || p.edges[path[0]].LinkName != "direct" {
+		t.Fatalf("expected 1-hop direct route, got %d hops", len(path))
+	}
+}
+
+func TestPathLatencyTieBreak(t *testing.T) {
+	// Same hop count, different latency: pick the lower-latency route.
+	p := New("tie")
+	p.AddHost("h1", ip("10.0.0.1"), 1e9)
+	p.AddHost("h2", ip("10.0.0.2"), 1e9)
+	p.AddRouter("ra")
+	p.AddRouter("rb")
+	p.Connect("h1", "ra", "slow1", 1e9, 0.5)
+	p.Connect("ra", "h2", "slow2", 1e9, 0.5)
+	p.Connect("h1", "rb", "fast1", 1e9, 0.001)
+	p.Connect("rb", "h2", "fast2", 1e9, 0.001)
+	path, _ := p.Path("h1", "h2")
+	if p.edges[path[0]].LinkName != "fast1" {
+		t.Fatalf("expected low-latency route, got %v", p.edges[path[0]].LinkName)
+	}
+}
+
+func TestPathSelf(t *testing.T) {
+	p := New("self")
+	p.AddHost("h", ip("10.0.0.1"), 1e9)
+	path, err := p.Path("h", "h")
+	if err != nil || len(path) != 0 {
+		t.Fatalf("self path = %v, %v", path, err)
+	}
+}
+
+func TestPathUnreachable(t *testing.T) {
+	p := New("split")
+	p.AddHost("h1", ip("10.0.0.1"), 1e9)
+	p.AddHost("h2", ip("10.0.0.2"), 1e9)
+	if _, err := p.Path("h1", "h2"); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+	if _, err := p.Path("h1", "ghost"); err == nil {
+		t.Fatal("expected unknown-node error")
+	}
+}
+
+func TestClusterGenerator(t *testing.T) {
+	p, err := Cluster(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := p.Hosts()
+	if len(hosts) != 8 {
+		t.Fatalf("hosts = %d, want 8", len(hosts))
+	}
+	// Every pair must be routable.
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			if _, err := p.Path(a, b); err != nil {
+				t.Fatalf("no route %s -> %s: %v", a, b, err)
+			}
+		}
+	}
+	if _, err := Cluster(0); err == nil {
+		t.Fatal("cluster(0) accepted")
+	}
+}
+
+func TestClusterTransferTime(t *testing.T) {
+	p, err := Cluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	n, err := p.NewNetwork(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node-0 (backbone side) to node-1 (fabric side): two 1 Gbps NIC
+	// links + 10 Gbps trunk; bottleneck 1 Gbps, latency 3x100 µs.
+	tt, err := n.TransferTime("node-000", "node-001", 125e6) // 1 Gbit payload
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 300e-6 + 125e6/(1*Gbps)
+	if math.Abs(tt-want) > 1e-9 {
+		t.Fatalf("transfer time = %v, want %v", tt, want)
+	}
+}
+
+func TestDaisyGeneratorScale(t *testing.T) {
+	p, err := Daisy(DefaultDaisy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Hosts()); got != 1024 {
+		t.Fatalf("daisy hosts = %d, want 1024 (Fig. 8)", got)
+	}
+	// Spot-check routability across petals.
+	if _, err := p.Path("node-0000", "node-1023"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaisyLastMileBandwidthRange(t *testing.T) {
+	cfg := DefaultDaisy()
+	p, err := Daisy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen5, seen9 := false, false
+	for _, e := range p.Edges() {
+		if strings.HasPrefix(e.LinkName, "l3-") {
+			if e.Bandwidth < cfg.LastMileMin-1 || e.Bandwidth > cfg.LastMileMax+1 {
+				t.Fatalf("last-mile %s bandwidth %v outside [%v,%v]", e.LinkName, e.Bandwidth, cfg.LastMileMin, cfg.LastMileMax)
+			}
+			if e.Bandwidth < 6*Mbps {
+				seen5 = true
+			}
+			if e.Bandwidth > 9*Mbps {
+				seen9 = true
+			}
+		}
+	}
+	if !seen5 || !seen9 {
+		t.Fatal("random last-mile bandwidths do not span the 5-10 Mbps range")
+	}
+}
+
+func TestDaisyDeterministicSeed(t *testing.T) {
+	a, _ := Daisy(DefaultDaisy())
+	b, _ := Daisy(DefaultDaisy())
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestDaisyInvalidConfig(t *testing.T) {
+	cfg := DefaultDaisy()
+	cfg.PetalRouters = 0
+	if _, err := Daisy(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestLANGenerator(t *testing.T) {
+	p, err := LAN(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hosts()) != 16 {
+		t.Fatalf("hosts = %d", len(p.Hosts()))
+	}
+	sim := des.New()
+	n, err := p.NewNetwork(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-switch path: drop + backbone + drop; bottleneck 100 Mbps.
+	tt, err := n.TransferTime("node-0000", "node-0001", 12.5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 300e-6 + 200e-6 + 300e-6 + 12.5e6/(100*Mbps)
+	if math.Abs(tt-want) > 1e-9 {
+		t.Fatalf("transfer = %v, want %v", tt, want)
+	}
+	if _, err := LAN(0); err == nil {
+		t.Fatal("LAN(0) accepted")
+	}
+}
+
+func TestForKind(t *testing.T) {
+	for _, k := range []Kind{KindCluster, KindDaisy, KindLAN} {
+		p, err := ForKind(k, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if len(p.Hosts()) < 4 {
+			t.Fatalf("%s: only %d hosts", k, len(p.Hosts()))
+		}
+	}
+	if _, err := ForKind("vax", 4); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	orig, err := Cluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != orig.Name {
+		t.Fatalf("name %q != %q", parsed.Name, orig.Name)
+	}
+	if strings.Join(parsed.Nodes(), ",") != strings.Join(orig.Nodes(), ",") {
+		t.Fatal("node sets differ")
+	}
+	if len(parsed.Edges()) != len(orig.Edges()) {
+		t.Fatal("edge counts differ")
+	}
+	// Routing must agree.
+	po, _ := orig.Path("node-000", "node-003")
+	pp, _ := parsed.Path("node-000", "node-003")
+	if len(po) != len(pp) {
+		t.Fatalf("paths differ: %d vs %d hops", len(po), len(pp))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"host h 10.0.0.1 1e9",                   // before header
+		"platform p\nhost h bad-ip 1e9",         // bad IP
+		"platform p\nhost h 10.0.0.1 x",         // bad speed
+		"platform p\nhost h",                    // arity
+		"platform p\nrouter",                    // arity
+		"platform p\nlink a b c 1 2",            // unknown nodes
+		"platform p\nfrobnicate x",              // unknown directive
+		"platform p\nplatform q",                // duplicate header
+		"platform p\nrouter r\nlink r r l x 0",  // bad bandwidth
+		"platform p\nrouter r\nlink r r l 1 xx", // bad latency
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("Parse accepted %q", c)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	in := "# a platform\nplatform demo\n\nhost h1 10.0.0.1 1e9\n# trailing comment\n"
+	p, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hosts()) != 1 {
+		t.Fatal("comment parsing broke hosts")
+	}
+}
+
+// Property: any cluster size in [1,64] yields a platform where all
+// host pairs route, and the route crosses at most 3 links.
+func TestPropertyClusterRoutes(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%64) + 1
+		p, err := Cluster(n)
+		if err != nil {
+			return false
+		}
+		hosts := p.Hosts()
+		for i := 0; i < len(hosts) && i < 6; i++ {
+			for j := 0; j < len(hosts) && j < 6; j++ {
+				if i == j {
+					continue
+				}
+				path, err := p.Path(hosts[i], hosts[j])
+				if err != nil || len(path) == 0 || len(path) > 3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialize -> parse -> serialize is a fixed point.
+func TestPropertySerializeFixedPoint(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := int(raw%16) + 1
+		p, err := LAN(n)
+		if err != nil {
+			return false
+		}
+		var b1 bytes.Buffer
+		if err := p.Write(&b1); err != nil {
+			return false
+		}
+		q, err := Parse(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			return false
+		}
+		var b2 bytes.Buffer
+		if err := q.Write(&b2); err != nil {
+			return false
+		}
+		return b1.String() == b2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDaisyBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Daisy(DefaultDaisy()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterRouting(b *testing.B) {
+	p, _ := Cluster(32)
+	hosts := p.Hosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i+7)%len(hosts)]
+		if src != dst {
+			if _, err := p.Path(src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/proximity"
+)
+
+// The text format is line-oriented, in the spirit of SimGrid platform
+// files but trivially diffable:
+//
+//	platform <name>
+//	host <name> <ip> <flops>
+//	router <name>
+//	link <a> <b> <linkname> <bandwidth B/s> <latency s>
+//
+// Comments start with '#'; blank lines are ignored.
+
+// Write serializes the platform.
+func (p *Platform) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "platform %s\n", p.Name)
+	if p.Frontend != "" {
+		fmt.Fprintf(bw, "frontend %s\n", p.Frontend)
+	}
+	for _, name := range p.Nodes() {
+		n := p.nodes[name]
+		if n.Router {
+			fmt.Fprintf(bw, "router %s\n", n.Name)
+		} else {
+			fmt.Fprintf(bw, "host %s %s %g\n", n.Name, n.IP, n.Speed)
+		}
+	}
+	edges := append([]Edge(nil), p.edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].LinkName < edges[j].LinkName })
+	for _, e := range edges {
+		fmt.Fprintf(bw, "link %s %s %s %g %g\n", e.A, e.B, e.LinkName, e.Bandwidth, e.Latency)
+	}
+	return bw.Flush()
+}
+
+// Parse reads a platform from the text format produced by Write.
+func Parse(r io.Reader) (*Platform, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var p *Platform
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "platform":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("platform: line %d: want 'platform <name>'", lineNo)
+			}
+			if p != nil {
+				return nil, fmt.Errorf("platform: line %d: duplicate platform header", lineNo)
+			}
+			p = New(fields[1])
+		case "host":
+			if p == nil {
+				return nil, fmt.Errorf("platform: line %d: host before platform header", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("platform: line %d: want 'host <name> <ip> <flops>'", lineNo)
+			}
+			ip, err := proximity.ParseAddr(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("platform: line %d: %v", lineNo, err)
+			}
+			speed, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("platform: line %d: bad speed: %v", lineNo, err)
+			}
+			if err := p.AddHost(fields[1], ip, speed); err != nil {
+				return nil, fmt.Errorf("platform: line %d: %v", lineNo, err)
+			}
+		case "frontend":
+			if p == nil || len(fields) != 2 {
+				return nil, fmt.Errorf("platform: line %d: want 'frontend <name>' after header", lineNo)
+			}
+			p.Frontend = fields[1]
+		case "router":
+			if p == nil {
+				return nil, fmt.Errorf("platform: line %d: router before platform header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("platform: line %d: want 'router <name>'", lineNo)
+			}
+			if err := p.AddRouter(fields[1]); err != nil {
+				return nil, fmt.Errorf("platform: line %d: %v", lineNo, err)
+			}
+		case "link":
+			if p == nil {
+				return nil, fmt.Errorf("platform: line %d: link before platform header", lineNo)
+			}
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("platform: line %d: want 'link <a> <b> <name> <bw> <lat>'", lineNo)
+			}
+			bw, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("platform: line %d: bad bandwidth: %v", lineNo, err)
+			}
+			lat, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("platform: line %d: bad latency: %v", lineNo, err)
+			}
+			if err := p.Connect(fields[1], fields[2], fields[3], bw, lat); err != nil {
+				return nil, fmt.Errorf("platform: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("platform: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("platform: empty input")
+	}
+	return p, nil
+}

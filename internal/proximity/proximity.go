@@ -1,0 +1,109 @@
+// Package proximity implements the IP-based proximity metric used by
+// the decentralized P2PDC topology manager (paper §III-A.2): the
+// longest common IP prefix length between two IPv4 addresses measures
+// how close two nodes are, using only local information.
+package proximity
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address held as a 32-bit integer for cheap prefix
+// arithmetic.
+type Addr uint32
+
+// ParseAddr parses dotted-quad notation ("145.82.1.1").
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("proximity: %q is not a dotted quad", s)
+	}
+	var a uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("proximity: bad octet %q in %q", p, s)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return Addr(a), nil
+}
+
+// MustParseAddr is ParseAddr that panics; for literals in tests and
+// generators.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String formats the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// CommonPrefixLen returns the length in bits (0..32) of the longest
+// common prefix of two addresses. This is the paper's proximity
+// measure: larger means closer.
+func CommonPrefixLen(a, b Addr) int {
+	x := uint32(a) ^ uint32(b)
+	if x == 0 {
+		return 32
+	}
+	n := 0
+	for x&0x80000000 == 0 {
+		n++
+		x <<= 1
+	}
+	return n
+}
+
+// Closer reports whether candidate x is strictly closer to ref than
+// candidate y, breaking prefix-length ties by smaller absolute numeric
+// distance and then by smaller address, so orderings are total and
+// deterministic.
+func Closer(ref, x, y Addr) bool {
+	px, py := CommonPrefixLen(ref, x), CommonPrefixLen(ref, y)
+	if px != py {
+		return px > py
+	}
+	dx, dy := absDiff(ref, x), absDiff(ref, y)
+	if dx != dy {
+		return dx < dy
+	}
+	return x < y
+}
+
+func absDiff(a, b Addr) uint32 {
+	if a > b {
+		return uint32(a) - uint32(b)
+	}
+	return uint32(b) - uint32(a)
+}
+
+// Closest returns the index in candidates of the address closest to
+// ref, or -1 for an empty slice.
+func Closest(ref Addr, candidates []Addr) int {
+	best := -1
+	for i, c := range candidates {
+		if best == -1 || Closer(ref, c, candidates[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// SortByProximity orders addrs in place from closest to farthest
+// relative to ref (insertion sort keeps it dependency-free and the
+// slices involved are small neighbour sets).
+func SortByProximity(ref Addr, addrs []Addr) {
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && Closer(ref, addrs[j], addrs[j-1]); j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+		}
+	}
+}

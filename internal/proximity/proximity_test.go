@@ -1,0 +1,195 @@
+package proximity
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"145.82.1.1", 145<<24 | 82<<16 | 1<<8 | 1, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.1.1.1", 0, false},
+		{"-1.1.1.1", 0, false},
+		{"a.b.c.d", 0, false},
+		{"01.2.3.4", 0, false}, // leading zero rejected
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseAddr(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"0.0.0.0", "10.0.0.1", "145.82.1.129", "255.255.255.255"} {
+		a := MustParseAddr(s)
+		if a.String() != s {
+			t.Errorf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParseAddr("not an ip")
+}
+
+// TestPaperExample reproduces §III-A.2: P1=145.82.1.1, P2=145.82.1.129,
+// P3=145.83.56.74; prefix(P1,P2)=24, prefix(P1,P3)=15, so P2 is closer.
+func TestPaperExample(t *testing.T) {
+	p1 := MustParseAddr("145.82.1.1")
+	p2 := MustParseAddr("145.82.1.129")
+	p3 := MustParseAddr("145.83.56.74")
+	if got := CommonPrefixLen(p1, p2); got != 24 {
+		t.Errorf("prefix(P1,P2) = %d, want 24", got)
+	}
+	if got := CommonPrefixLen(p1, p3); got != 15 {
+		t.Errorf("prefix(P1,P3) = %d, want 15", got)
+	}
+	if !Closer(p1, p2, p3) {
+		t.Error("P2 should be closer to P1 than P3")
+	}
+	if Closer(p1, p3, p2) {
+		t.Error("Closer must be asymmetric on strict order")
+	}
+}
+
+func TestCommonPrefixLenIdentity(t *testing.T) {
+	a := MustParseAddr("10.1.2.3")
+	if CommonPrefixLen(a, a) != 32 {
+		t.Error("identical addresses must share 32 bits")
+	}
+	if CommonPrefixLen(0, 0x80000000) != 0 {
+		t.Error("first-bit difference must give 0")
+	}
+}
+
+func TestCloserTieBreaks(t *testing.T) {
+	ref := MustParseAddr("10.0.0.100")
+	near := MustParseAddr("10.0.0.96") // prefix ~27 bits, dist 4
+	far := MustParseAddr("10.0.0.97")  // same-ish prefix region, dist 3
+	// Determinism: exactly one of Closer(x,y), Closer(y,x) when x!=y.
+	if Closer(ref, near, far) == Closer(ref, far, near) {
+		t.Error("Closer must impose a strict total order for distinct addrs")
+	}
+}
+
+func TestClosest(t *testing.T) {
+	ref := MustParseAddr("145.82.1.1")
+	cands := []Addr{
+		MustParseAddr("9.9.9.9"),
+		MustParseAddr("145.83.56.74"),
+		MustParseAddr("145.82.1.129"),
+	}
+	if got := Closest(ref, cands); got != 2 {
+		t.Errorf("Closest = %d, want 2", got)
+	}
+	if Closest(ref, nil) != -1 {
+		t.Error("Closest of empty must be -1")
+	}
+}
+
+func TestSortByProximity(t *testing.T) {
+	ref := MustParseAddr("145.82.1.1")
+	addrs := []Addr{
+		MustParseAddr("200.0.0.1"),
+		MustParseAddr("145.82.1.129"),
+		MustParseAddr("145.83.56.74"),
+		MustParseAddr("145.82.1.2"),
+	}
+	SortByProximity(ref, addrs)
+	want := []string{"145.82.1.2", "145.82.1.129", "145.83.56.74", "200.0.0.1"}
+	for i, w := range want {
+		if addrs[i].String() != w {
+			t.Fatalf("sorted[%d] = %v, want %v (full: %v)", i, addrs[i], w, addrs)
+		}
+	}
+}
+
+// Property: prefix length is symmetric and bounded.
+func TestPropertyPrefixSymmetric(t *testing.T) {
+	f := func(a, b uint32) bool {
+		p := CommonPrefixLen(Addr(a), Addr(b))
+		q := CommonPrefixLen(Addr(b), Addr(a))
+		return p == q && p >= 0 && p <= 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Closer is a strict total order for distinct elements.
+func TestPropertyCloserTotalOrder(t *testing.T) {
+	f := func(r, x, y uint32) bool {
+		if x == y {
+			return !Closer(Addr(r), Addr(x), Addr(y)) && !Closer(Addr(r), Addr(y), Addr(x))
+		}
+		return Closer(Addr(r), Addr(x), Addr(y)) != Closer(Addr(r), Addr(y), Addr(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SortByProximity output is sorted per Closer and is a
+// permutation of the input.
+func TestPropertySortByProximity(t *testing.T) {
+	f := func(r uint32, raw []uint32) bool {
+		ref := Addr(r)
+		addrs := make([]Addr, len(raw))
+		orig := make([]Addr, len(raw))
+		for i, v := range raw {
+			addrs[i] = Addr(v)
+			orig[i] = Addr(v)
+		}
+		SortByProximity(ref, addrs)
+		for i := 1; i < len(addrs); i++ {
+			if Closer(ref, addrs[i], addrs[i-1]) {
+				return false
+			}
+		}
+		// Permutation check via multiset compare.
+		sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+		cpy := append([]Addr(nil), addrs...)
+		sort.Slice(cpy, func(i, j int) bool { return cpy[i] < cpy[j] })
+		for i := range cpy {
+			if cpy[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round trip String -> ParseAddr is the identity.
+func TestPropertyStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		b, err := ParseAddr(a.String())
+		return err == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

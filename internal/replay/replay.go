@@ -1,0 +1,108 @@
+// Package replay is dPerf's trace-based simulation stage: the SimGrid
+// MSG equivalent. Per-rank traces are replayed as processes over a
+// simulated platform; compute records advance the local clock, send
+// and receive records move bytes through the P2PSAP channel model,
+// and conv records perform the rank-0 gather/broadcast convergence
+// pattern. The result is the total predicted time t_predicted
+// (paper §III-D.2: "with SimGrid we calculate the necessary time for
+// communicating over the network; to this time, SimGrid adds the
+// computation time already present in the trace file").
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/p2pdc"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Spec configures a replay.
+type Spec struct {
+	Platform *platform.Platform
+	// Hosts maps rank -> host name; must have len(Traces) entries.
+	Hosts []string
+	// Submitter is the scatter/gather endpoint (platform frontend).
+	Submitter string
+	// Scheme selects the P2PSAP channel scheme used for data records.
+	Scheme p2psap.Scheme
+	// ScatterBytes/GatherBytes model the P2PDC input distribution and
+	// result collection phases around the traced execution.
+	ScatterBytes float64
+	GatherBytes  float64
+}
+
+// Result is the prediction outcome.
+type Result struct {
+	// PredictedSeconds is t_predicted: virtual time from submission to
+	// the last result's arrival at the submitter.
+	PredictedSeconds float64
+	// ComputeSeconds / phase breakdown mirror p2pdc.RunResult.
+	ScatterSeconds float64
+	ComputeSeconds float64
+	GatherSeconds  float64
+}
+
+// Run replays the traces and returns the predicted time.
+func Run(spec Spec, traces []*trace.Trace) (*Result, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("replay: no traces")
+	}
+	if len(spec.Hosts) != len(traces) {
+		return nil, fmt.Errorf("replay: %d hosts for %d traces", len(spec.Hosts), len(traces))
+	}
+	if err := trace.Validate(traces); err != nil {
+		return nil, err
+	}
+	env, err := p2pdc.NewEnvironment(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	app := func(w *p2pdc.Worker) error {
+		t := traces[w.Rank()]
+		for _, r := range t.Records {
+			switch r.Kind {
+			case trace.KindCompute:
+				w.Sleep(r.NS / 1e9)
+			case trace.KindSend:
+				if err := w.Send(r.Peer, r.Bytes, nil); err != nil {
+					return err
+				}
+			case trace.KindRecv:
+				if _, err := w.Recv(r.Peer); err != nil {
+					return err
+				}
+			case trace.KindConv:
+				if _, err := w.ConvergeMax(0); err != nil {
+					return err
+				}
+			case trace.KindBarrier:
+				if err := w.Barrier(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	runSpec := p2pdc.RunSpec{
+		Submitter:    spec.Submitter,
+		Hosts:        spec.Hosts,
+		Scheme:       spec.Scheme,
+		ScatterBytes: spec.ScatterBytes,
+		GatherBytes:  spec.GatherBytes,
+	}
+	res, err := env.Run(runSpec, app)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.FirstError(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		PredictedSeconds: res.Total,
+		ScatterSeconds:   res.ScatterTime,
+		ComputeSeconds:   res.ComputeTime,
+		GatherSeconds:    res.GatherTime,
+	}, nil
+}

@@ -1,0 +1,166 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func clusterSpec(t testing.TB, peers int) Spec {
+	t.Helper()
+	plat, err := platform.Cluster(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := plat.Hosts()[:peers]
+	return Spec{
+		Platform:  plat,
+		Hosts:     hosts,
+		Submitter: plat.Frontend,
+		Scheme:    p2psap.Synchronous,
+	}
+}
+
+func TestReplayComputeOnly(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	traces := []*trace.Trace{
+		{Rank: 0, Of: 2, Records: []trace.Record{{Kind: trace.KindCompute, NS: 2e9}}},
+		{Rank: 1, Of: 2, Records: []trace.Record{{Kind: trace.KindCompute, NS: 1e9}}},
+	}
+	res, err := Run(spec, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total is dominated by the 2 s compute record.
+	if math.Abs(res.PredictedSeconds-2.0) > 1e-3 {
+		t.Fatalf("predicted = %v, want ~2.0", res.PredictedSeconds)
+	}
+}
+
+func TestReplaySendRecvPairs(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	traces := []*trace.Trace{
+		{Rank: 0, Of: 2, Records: []trace.Record{
+			{Kind: trace.KindSend, Peer: 1, Bytes: 125e6}, // 1 Gbit
+		}},
+		{Rank: 1, Of: 2, Records: []trace.Record{
+			{Kind: trace.KindRecv, Peer: 0, Bytes: 125e6},
+		}},
+	}
+	res, err := Run(spec, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 Gbit over a 1 Gbps bottleneck ≈ 1 s plus overheads.
+	if res.PredictedSeconds < 1.0 || res.PredictedSeconds > 1.2 {
+		t.Fatalf("predicted = %v, want ≈1s", res.PredictedSeconds)
+	}
+}
+
+func TestReplayConvSynchronizes(t *testing.T) {
+	spec := clusterSpec(t, 3)
+	mk := func(rank int, ns float64) *trace.Trace {
+		return &trace.Trace{Rank: rank, Of: 3, Records: []trace.Record{
+			{Kind: trace.KindCompute, NS: ns},
+			{Kind: trace.KindConv},
+		}}
+	}
+	// Slowest rank computes 3 s: everyone leaves conv after it.
+	res, err := Run(spec, []*trace.Trace{mk(0, 1e9), mk(1, 3e9), mk(2, 0.5e9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictedSeconds < 3.0 {
+		t.Fatalf("conv did not wait for slowest rank: %v", res.PredictedSeconds)
+	}
+}
+
+func TestReplayBarrier(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	traces := []*trace.Trace{
+		{Rank: 0, Of: 2, Records: []trace.Record{{Kind: trace.KindCompute, NS: 5e8}, {Kind: trace.KindBarrier}}},
+		{Rank: 1, Of: 2, Records: []trace.Record{{Kind: trace.KindBarrier}}},
+	}
+	res, err := Run(spec, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictedSeconds < 0.5 {
+		t.Fatalf("barrier did not wait: %v", res.PredictedSeconds)
+	}
+}
+
+func TestReplayScatterGatherPhases(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	spec.ScatterBytes = 125e6 // 1 s at 1 Gbps per peer
+	spec.GatherBytes = 125e5  // 0.1 s
+	traces := []*trace.Trace{
+		{Rank: 0, Of: 2, Records: []trace.Record{{Kind: trace.KindCompute, NS: 1e9}}},
+		{Rank: 1, Of: 2, Records: []trace.Record{{Kind: trace.KindCompute, NS: 1e9}}},
+	}
+	res, err := Run(spec, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScatterSeconds < 0.9 {
+		t.Fatalf("scatter = %v, want ≈1s+", res.ScatterSeconds)
+	}
+	if res.GatherSeconds <= 0 {
+		t.Fatalf("gather = %v", res.GatherSeconds)
+	}
+	want := res.ScatterSeconds + res.ComputeSeconds + res.GatherSeconds
+	if math.Abs(res.PredictedSeconds-want) > 1e-9 {
+		t.Fatal("phase decomposition does not sum to total")
+	}
+}
+
+func TestReplayRejectsInvalidTraces(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	bad := []*trace.Trace{
+		{Rank: 0, Of: 2, Records: []trace.Record{{Kind: trace.KindSend, Peer: 1, Bytes: 8}}},
+		{Rank: 1, Of: 2}, // missing the matching recv
+	}
+	if _, err := Run(spec, bad); err == nil {
+		t.Fatal("mismatched traces accepted")
+	}
+	if _, err := Run(spec, nil); err == nil {
+		t.Fatal("empty traces accepted")
+	}
+	if _, err := Run(Spec{Platform: spec.Platform, Hosts: spec.Hosts[:1], Submitter: spec.Submitter}, bad); err == nil {
+		t.Fatal("host/trace count mismatch accepted")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	mk := func() (Spec, []*trace.Trace) {
+		spec := clusterSpec(t, 2)
+		traces := []*trace.Trace{
+			{Rank: 0, Of: 2, Records: []trace.Record{
+				{Kind: trace.KindCompute, NS: 1e8},
+				{Kind: trace.KindSend, Peer: 1, Bytes: 1e6},
+				{Kind: trace.KindConv},
+			}},
+			{Rank: 1, Of: 2, Records: []trace.Record{
+				{Kind: trace.KindRecv, Peer: 0, Bytes: 1e6},
+				{Kind: trace.KindConv},
+			}},
+		}
+		return spec, traces
+	}
+	s1, t1 := mk()
+	r1, err := Run(s1, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, t2 := mk()
+	r2, err := Run(s2, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PredictedSeconds != r2.PredictedSeconds {
+		t.Fatalf("nondeterministic replay: %v vs %v", r1.PredictedSeconds, r2.PredictedSeconds)
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteAll writes one trace file per rank into dir (created if
+// needed), named rank-<i>.trace — the layout the dPerf pipeline hands
+// to the simulation stage ("a set of trace files for each execution
+// and per participating process").
+func WriteAll(dir string, traces []*Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range traces {
+		if t.Rank != i {
+			return fmt.Errorf("trace: slot %d holds rank %d", i, t.Rank)
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("rank-%d.trace", i)))
+		if err != nil {
+			return err
+		}
+		if err := t.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadAll reads rank-0.trace, rank-1.trace, ... from dir until a rank
+// file is missing, validates the set, and returns it.
+func LoadAll(dir string) ([]*Trace, error) {
+	var traces []*Trace
+	for i := 0; ; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("rank-%d.trace", i))
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t, err := Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		if t.Rank < 0 {
+			t.Rank = i // tolerate headerless files
+		}
+		if t.Rank != i {
+			return nil, fmt.Errorf("trace: %s claims rank %d", path, t.Rank)
+		}
+		traces = append(traces, t)
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: no rank-*.trace files in %s", dir)
+	}
+	if err := Validate(traces); err != nil {
+		return nil, err
+	}
+	return traces, nil
+}

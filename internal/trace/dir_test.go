@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func pairTraces() []*Trace {
+	return []*Trace{
+		{Rank: 0, Of: 2, Records: []Record{
+			{Kind: KindCompute, NS: 100},
+			{Kind: KindSend, Peer: 1, Bytes: 64},
+			{Kind: KindConv},
+		}},
+		{Rank: 1, Of: 2, Records: []Record{
+			{Kind: KindRecv, Peer: 0, Bytes: 64},
+			{Kind: KindConv},
+		}},
+	}
+}
+
+func TestWriteAllLoadAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteAll(dir, pairTraces()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d traces", len(got))
+	}
+	if got[0].Records[1].Bytes != 64 || got[1].Records[0].Peer != 0 {
+		t.Fatalf("content mangled: %+v", got)
+	}
+}
+
+func TestWriteAllRejectsMisordered(t *testing.T) {
+	tr := pairTraces()
+	tr[0], tr[1] = tr[1], tr[0]
+	if err := WriteAll(t.TempDir(), tr); err == nil {
+		t.Fatal("misordered ranks accepted")
+	}
+}
+
+func TestLoadAllEmptyDir(t *testing.T) {
+	if _, err := LoadAll(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestLoadAllValidates(t *testing.T) {
+	dir := t.TempDir()
+	// Write a rank-0 that sends with no matching recv in rank-1.
+	bad := []*Trace{
+		{Rank: 0, Of: 2, Records: []Record{{Kind: KindSend, Peer: 1, Bytes: 8}}},
+		{Rank: 1, Of: 2},
+	}
+	if err := WriteAll(dir, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAll(dir); err == nil {
+		t.Fatal("inconsistent trace set accepted")
+	}
+}
+
+func TestLoadAllBadFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "rank-0.trace"), []byte("garbage line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAll(dir); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}

@@ -1,0 +1,241 @@
+// Package trace defines dPerf's trace file format: the per-process
+// event sequences that static analysis + block benchmarking produce
+// and that trace-based simulation replays (paper §III-D: "traces
+// contain computation time measured using hardware counters and
+// expressed in nanoseconds, followed by relevant parameters for
+// communication calls").
+//
+// The on-disk format is line oriented, one file per rank:
+//
+//	# dperf trace rank=0 of=4
+//	compute 1250000
+//	send 1 9600
+//	recv 1 9600
+//	conv
+//	barrier
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Kind tags a record.
+type Kind int
+
+// Record kinds.
+const (
+	KindCompute Kind = iota
+	KindSend
+	KindRecv
+	KindConv // global max-reduction + broadcast (convergence test)
+	KindBarrier
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "send"
+	case KindRecv:
+		return "recv"
+	case KindConv:
+		return "conv"
+	case KindBarrier:
+		return "barrier"
+	}
+	return "?"
+}
+
+// Record is one trace event.
+type Record struct {
+	Kind Kind
+	// NS is computation time in nanoseconds (KindCompute).
+	NS float64
+	// Peer is the partner rank (send/recv).
+	Peer int
+	// Bytes is the payload size on the wire (send/recv).
+	Bytes float64
+}
+
+// Trace is one rank's event sequence.
+type Trace struct {
+	Rank    int
+	Of      int // total ranks
+	Records []Record
+}
+
+// TotalComputeNS sums the compute records.
+func (t *Trace) TotalComputeNS() float64 {
+	var ns float64
+	for _, r := range t.Records {
+		if r.Kind == KindCompute {
+			ns += r.NS
+		}
+	}
+	return ns
+}
+
+// CountKind returns the number of records of a kind.
+func (t *Trace) CountKind(k Kind) int {
+	n := 0
+	for _, r := range t.Records {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# dperf trace rank=%d of=%d\n", t.Rank, t.Of)
+	for _, r := range t.Records {
+		switch r.Kind {
+		case KindCompute:
+			fmt.Fprintf(bw, "compute %g\n", r.NS)
+		case KindSend:
+			fmt.Fprintf(bw, "send %d %g\n", r.Peer, r.Bytes)
+		case KindRecv:
+			fmt.Fprintf(bw, "recv %d %g\n", r.Peer, r.Bytes)
+		case KindConv:
+			fmt.Fprintf(bw, "conv\n")
+		case KindBarrier:
+			fmt.Fprintf(bw, "barrier\n")
+		default:
+			return fmt.Errorf("trace: unknown record kind %d", r.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads one trace file.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{Rank: -1}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Header comment: extract rank=X of=Y when present.
+			for _, f := range strings.Fields(line) {
+				if strings.HasPrefix(f, "rank=") {
+					v, err := strconv.Atoi(strings.TrimPrefix(f, "rank="))
+					if err == nil {
+						t.Rank = v
+					}
+				}
+				if strings.HasPrefix(f, "of=") {
+					v, err := strconv.Atoi(strings.TrimPrefix(f, "of="))
+					if err == nil {
+						t.Of = v
+					}
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "compute":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: want 'compute <ns>'", lineNo)
+			}
+			ns, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || ns < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad duration %q", lineNo, fields[1])
+			}
+			t.Records = append(t.Records, Record{Kind: KindCompute, NS: ns})
+		case "send", "recv":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: want '%s <peer> <bytes>'", lineNo, fields[0])
+			}
+			peer, err := strconv.Atoi(fields[1])
+			if err != nil || peer < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad peer %q", lineNo, fields[1])
+			}
+			bytes, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || bytes < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad size %q", lineNo, fields[2])
+			}
+			k := KindSend
+			if fields[0] == "recv" {
+				k = KindRecv
+			}
+			t.Records = append(t.Records, Record{Kind: k, Peer: peer, Bytes: bytes})
+		case "conv":
+			t.Records = append(t.Records, Record{Kind: KindConv})
+		case "barrier":
+			t.Records = append(t.Records, Record{Kind: KindBarrier})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Validate checks cross-rank consistency: every send has a matching
+// recv on the peer (counts per direction) and all conv/barrier counts
+// agree. Replay deadlocks otherwise; better to fail fast.
+func Validate(traces []*Trace) error {
+	n := len(traces)
+	type pair struct{ from, to int }
+	sends := make(map[pair]int)
+	recvs := make(map[pair]int)
+	convs := make([]int, n)
+	bars := make([]int, n)
+	for i, t := range traces {
+		if t.Rank != i {
+			return fmt.Errorf("trace: rank %d file claims rank %d", i, t.Rank)
+		}
+		for _, r := range t.Records {
+			switch r.Kind {
+			case KindSend:
+				if r.Peer >= n || r.Peer == i {
+					return fmt.Errorf("trace: rank %d sends to invalid peer %d", i, r.Peer)
+				}
+				sends[pair{i, r.Peer}]++
+			case KindRecv:
+				if r.Peer >= n || r.Peer == i {
+					return fmt.Errorf("trace: rank %d receives from invalid peer %d", i, r.Peer)
+				}
+				recvs[pair{r.Peer, i}]++
+			case KindConv:
+				convs[i]++
+			case KindBarrier:
+				bars[i]++
+			}
+		}
+	}
+	for p, c := range sends {
+		if recvs[p] != c {
+			return fmt.Errorf("trace: %d sends %d->%d but %d recvs", c, p.from, p.to, recvs[p])
+		}
+	}
+	for p, c := range recvs {
+		if sends[p] != c {
+			return fmt.Errorf("trace: %d recvs %d->%d but %d sends", c, p.from, p.to, sends[p])
+		}
+	}
+	for i := 1; i < n; i++ {
+		if convs[i] != convs[0] {
+			return fmt.Errorf("trace: rank %d has %d conv records, rank 0 has %d", i, convs[i], convs[0])
+		}
+		if bars[i] != bars[0] {
+			return fmt.Errorf("trace: rank %d has %d barriers, rank 0 has %d", i, bars[i], bars[0])
+		}
+	}
+	return nil
+}
