@@ -7,6 +7,12 @@
 //
 //	dperf -platform grid5000|xdsl|lan -peers 4 -level O3 [-src file.c]
 //	      [-emit-instrumented] [-emit-traces dir]
+//	      [-save-traces set.json] [-load-traces set.json]
+//
+// -save-traces persists the platform-independent trace set; a later
+// run with -load-traces skips analysis and benchmarking entirely and
+// replays the stored traces on any platform — dPerf's "benchmark
+// once, predict anywhere".
 package main
 
 import (
@@ -15,9 +21,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/core"
-	"repro/internal/costmodel"
-	"repro/internal/platform"
+	"repro/dperf"
 )
 
 func main() {
@@ -28,23 +32,71 @@ func main() {
 		srcPath      = flag.String("src", "", "mini-C source file (default: embedded obstacle problem)")
 		emitInstr    = flag.Bool("emit-instrumented", false, "print the instrumented source and exit")
 		emitTraces   = flag.String("emit-traces", "", "directory to write per-rank trace files")
+		saveTraces   = flag.String("save-traces", "", "file to write the trace set as JSON")
+		loadTraces   = flag.String("load-traces", "", "replay a previously saved trace set (skips analysis)")
 		n            = flag.Int64("n", 0, "override grid dimension N")
 	)
 	flag.Parse()
 
-	level, err := costmodel.ParseLevel(*levelName)
+	level, err := dperf.ParseLevel(*levelName)
 	if err != nil {
 		fatal(err)
 	}
-	source := core.ObstacleSource
+	kind := dperf.Kind(*platformName)
+
+	// Replay-only mode: a stored trace set is platform-independent, so
+	// prediction needs neither the source nor the benchmark stage.
+	// Everything except -platform is baked into the set; reject flags
+	// that would otherwise be silently ignored.
+	if *loadTraces != "" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "load-traces", "platform":
+			default:
+				fatal(fmt.Errorf("-%s has no effect with -load-traces: the trace set fixes the workload, peers and level", f.Name))
+			}
+		})
+		ts, err := dperf.LoadTraceSet(*loadTraces)
+		if err != nil {
+			fatal(err)
+		}
+		pred, err := ts.Predict(dperf.WithPlatform(kind))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("replayed stored trace set %q (%d ranks, level %s) on %s:\n",
+			ts.Workload, ts.Ranks, ts.Level, kind)
+		printPrediction(pred)
+		return
+	}
+
+	w := dperf.DefaultObstacleWorkload()
+	if *n > 0 {
+		w.N = *n
+	}
+	var workload dperf.Workload = w
 	if *srcPath != "" {
 		data, err := os.ReadFile(*srcPath)
 		if err != nil {
 			fatal(err)
 		}
-		source = string(data)
+		workload = dperf.ProgramWorkload{
+			Label:          filepath.Base(*srcPath),
+			Text:           string(data),
+			Scale:          []string{"N"},
+			Full:           w.Params(),
+			Bench:          w.BenchParams(*peers),
+			Serial:         w.SerialParams(),
+			ScatterPerPeer: w.ScatterBytes,
+			GatherPerPeer:  w.GatherBytes,
+		}
 	}
-	a, err := core.Analyze(source, []string{"N"})
+
+	pipe := dperf.New(workload,
+		dperf.WithPlatform(kind), dperf.WithRanks(*peers), dperf.WithLevel(level))
+
+	// Stage 1: static analysis.
+	a, err := pipe.Analyze()
 	if err != nil {
 		fatal(err)
 	}
@@ -52,28 +104,19 @@ func main() {
 		fmt.Print(a.Instrumented)
 		return
 	}
-
-	params := core.DefaultObstacleParams()
-	if *n > 0 {
-		params.N = *n
-	}
-
-	// Static analysis report.
 	fmt.Printf("dPerf analysis: %d basic blocks, %d communication sites\n",
 		len(a.An.Blocks), len(a.An.Comm))
-	for kind, count := range a.An.CommSummary() {
-		fmt.Printf("  comm %-14s x%d\n", kind, count)
+	for comm, count := range a.An.CommSummary() {
+		fmt.Printf("  comm %-14s x%d\n", comm, count)
 	}
 
-	// Block benchmarking at the reduced size.
-	rep, err := core.Benchmark(a, level, map[string]int64{
-		"N": params.BenchN, "ROUNDS": 2, "SWEEPS": params.Sweeps,
-	})
+	// Stage 2: block benchmarking at the reduced size.
+	rep, err := a.Bench()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("\nblock benchmarking (N=%d, level %s): total %.3f ms, instrumentation overhead %.2f%%\n",
-		params.BenchN, level, rep.TotalNS/1e6, rep.InstrumentationOverheadPct)
+		rep.Params["N"], level, rep.TotalNS/1e6, rep.InstrumentationOverheadPct)
 	fmt.Printf("%-5s %-10s %-6s %-10s %-12s %-8s\n", "id", "pos", "depth", "count", "unit [ns]", "share")
 	for _, b := range rep.Blocks {
 		if b.SharePct < 1 {
@@ -83,24 +126,32 @@ func main() {
 			b.ID, b.Pos, b.Depth, b.Count, b.UnitNS, b.SharePct)
 	}
 
-	// Prediction.
-	kind := platform.Kind(*platformName)
-	pred, err := core.PredictObstacle(kind, *peers, level, params)
+	// Stage 3: platform-independent traces.
+	ts, err := a.Traces()
+	if err != nil {
+		fatal(err)
+	}
+	if *saveTraces != "" {
+		if err := ts.SaveJSON(*saveTraces); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsaved trace set (%d ranks) to %s\n", ts.Ranks, *saveTraces)
+	}
+
+	// Stage 4: replay on the target platform.
+	pred, err := ts.Predict()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("\nprediction for %s, %d peers, level %s (N=%d, %d rounds x %d sweeps):\n",
-		kind, *peers, level, params.N, params.Rounds, params.Sweeps)
-	fmt.Printf("  scatter  %8.3f s\n", pred.Scatter)
-	fmt.Printf("  compute  %8.3f s\n", pred.Compute)
-	fmt.Printf("  gather   %8.3f s\n", pred.Gather)
-	fmt.Printf("  t_predicted = %.3f s\n", pred.Predicted)
+		kind, *peers, level, w.N, w.Rounds, w.Sweeps)
+	printPrediction(pred)
 
 	if *emitTraces != "" {
 		if err := os.MkdirAll(*emitTraces, 0o755); err != nil {
 			fatal(err)
 		}
-		for _, tr := range pred.Traces {
+		for _, tr := range ts.Traces {
 			path := filepath.Join(*emitTraces, fmt.Sprintf("rank-%d.trace", tr.Rank))
 			f, err := os.Create(path)
 			if err != nil {
@@ -113,8 +164,15 @@ func main() {
 				fatal(err)
 			}
 		}
-		fmt.Printf("wrote %d trace files to %s\n", len(pred.Traces), *emitTraces)
+		fmt.Printf("wrote %d trace files to %s\n", len(ts.Traces), *emitTraces)
 	}
+}
+
+func printPrediction(pred *dperf.Prediction) {
+	fmt.Printf("  scatter  %8.3f s\n", pred.Scatter)
+	fmt.Printf("  compute  %8.3f s\n", pred.Compute)
+	fmt.Printf("  gather   %8.3f s\n", pred.Gather)
+	fmt.Printf("  t_predicted = %.3f s\n", pred.Predicted)
 }
 
 func fatal(err error) {

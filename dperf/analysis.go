@@ -1,0 +1,140 @@
+package dperf
+
+import (
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/interp"
+	"repro/internal/minic"
+)
+
+// Analysis is the static-analysis artifact: a parsed program, its
+// block/communication analysis and the probe-instrumented source —
+// the artifact the original dPerf compiles with GCC at each level.
+type Analysis struct {
+	Prog *minic.Program
+	An   *minic.Analysis
+	// Instrumented is the unparsed, probe-bracketed source.
+	Instrumented string
+
+	workload Workload
+	cfg      config
+}
+
+// AnalyzeSource parses and statically analyzes a mini-C source.
+// scaleParams names the problem-size parameters block benchmarking
+// scales over. The result has no workload attached: Bench and Traces
+// need one (see Pipeline.Analyze or Analysis.WithWorkload), while
+// Benchmark and GenerateTraces take explicit parameters.
+func AnalyzeSource(source string, scaleParams []string) (*Analysis, error) {
+	prog, err := minic.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	an, err := minic.Analyze(prog, scaleParams)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		Prog:         prog,
+		An:           an,
+		Instrumented: minic.Unparse(prog, an),
+	}, nil
+}
+
+// WithWorkload returns a copy of the analysis bound to a workload, so
+// one analysis of a shared source can drive several scale/deployment
+// shapes.
+func (a *Analysis) WithWorkload(w Workload) *Analysis {
+	c := *a
+	c.workload = w
+	return &c
+}
+
+// Workload returns the bound workload, or nil.
+func (a *Analysis) Workload() Workload { return a.workload }
+
+// BlockCost is one row of a block-benchmarking report.
+type BlockCost struct {
+	ID       int
+	Func     string
+	Pos      minic.Pos
+	Depth    int
+	Count    int64
+	UnitNS   float64 // nanoseconds per execution at the bench size
+	TotalNS  float64
+	SharePct float64
+}
+
+// BenchReport is the result of the block-benchmarking stage.
+type BenchReport struct {
+	Level  Level
+	Params map[string]int64
+	Blocks []BlockCost
+	// TotalNS is the whole serial run's virtual time.
+	TotalNS float64
+	// InstrumentationOverheadPct estimates the probe overhead the
+	// paper keeps low ("an important feature of dPerf is the reduced
+	// slowdown due to the use of block benchmarking").
+	InstrumentationOverheadPct float64
+}
+
+// Bench runs block benchmarking at the workload's serial parameter
+// values, returning per-block unit costs. Of the pipeline options,
+// only WithLevel affects this stage.
+func (a *Analysis) Bench(opts ...Option) (*BenchReport, error) {
+	cfg := a.cfg.apply(opts)
+	if a.workload == nil {
+		return nil, errNoWorkload("Bench")
+	}
+	return Benchmark(a, cfg.level, a.workload.SerialParams())
+}
+
+// Benchmark runs the instrumented program serially at the given
+// (small) parameter values and returns per-block unit costs.
+func Benchmark(a *Analysis, level Level, params map[string]int64) (*BenchReport, error) {
+	res, err := interp.Run(a.Prog, a.An, interp.Config{
+		Params:  params,
+		Level:   level,
+		Backend: interp.SerialBackend{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &BenchReport{Level: level, Params: params, TotalNS: res.Seconds * 1e9}
+	ids := make([]int, 0, len(res.Blocks))
+	for id := range res.Blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := res.Blocks[id]
+		info := a.An.Block(id)
+		bc := BlockCost{
+			ID:      id,
+			Count:   st.Count,
+			UnitNS:  st.UnitCost() / costmodel.CPUHz * 1e9,
+			TotalNS: st.Cycles / costmodel.CPUHz * 1e9,
+		}
+		if info != nil {
+			bc.Func = info.Func
+			bc.Pos = info.Pos
+			bc.Depth = info.Depth
+		}
+		if rep.TotalNS > 0 {
+			bc.SharePct = 100 * bc.TotalNS / rep.TotalNS
+		}
+		rep.Blocks = append(rep.Blocks, bc)
+	}
+	// The probe cost itself is one block-counter increment per block
+	// entry; model it as 2 cycles per recorded execution.
+	var probes int64
+	for _, b := range rep.Blocks {
+		probes += b.Count
+	}
+	probeNS := float64(probes) * 2 / costmodel.CPUHz * 1e9
+	if rep.TotalNS > 0 {
+		rep.InstrumentationOverheadPct = 100 * probeNS / (rep.TotalNS + probeNS)
+	}
+	return rep, nil
+}

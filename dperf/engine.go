@@ -1,0 +1,72 @@
+package dperf
+
+import (
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// EngineSpec is everything a replay engine needs to turn a
+// platform-independent trace set into a platform-specific prediction.
+type EngineSpec struct {
+	Platform *platform.Platform
+	// Hosts maps rank -> host name; one entry per trace.
+	Hosts []string
+	// Submitter is the scatter/gather endpoint (platform frontend).
+	Submitter string
+	Scheme    p2psap.Scheme
+	// ScatterBytes/GatherBytes are the per-peer deployment payloads.
+	ScatterBytes float64
+	GatherBytes  float64
+	Traces       []*trace.Trace
+}
+
+// EngineResult is a replay outcome: t_predicted plus its phase
+// breakdown, all in virtual seconds.
+type EngineResult struct {
+	PredictedSeconds float64
+	ScatterSeconds   float64
+	ComputeSeconds   float64
+	GatherSeconds    float64
+}
+
+// Engine is the replay stage seam. The default engine simulates
+// in-process over the replay/p2pdc/netsim stack; alternative engines
+// (batched DES, sharded or distributed replay) implement the same
+// contract and plug in via WithEngine.
+type Engine interface {
+	// Name labels predictions produced by this engine.
+	Name() string
+	// Replay simulates the traces on the platform and returns the
+	// predicted time.
+	Replay(spec EngineSpec) (*EngineResult, error)
+}
+
+// DefaultEngine returns the in-process trace-replay engine: the
+// SimGrid-MSG equivalent built on replay, p2pdc and netsim.
+func DefaultEngine() Engine { return replayEngine{} }
+
+type replayEngine struct{}
+
+func (replayEngine) Name() string { return "replay" }
+
+func (replayEngine) Replay(spec EngineSpec) (*EngineResult, error) {
+	res, err := replay.Run(replay.Spec{
+		Platform:     spec.Platform,
+		Hosts:        spec.Hosts,
+		Submitter:    spec.Submitter,
+		Scheme:       spec.Scheme,
+		ScatterBytes: spec.ScatterBytes,
+		GatherBytes:  spec.GatherBytes,
+	}, spec.Traces)
+	if err != nil {
+		return nil, err
+	}
+	return &EngineResult{
+		PredictedSeconds: res.PredictedSeconds,
+		ScatterSeconds:   res.ScatterSeconds,
+		ComputeSeconds:   res.ComputeSeconds,
+		GatherSeconds:    res.GatherSeconds,
+	}, nil
+}

@@ -1,0 +1,101 @@
+package dperf
+
+import (
+	"repro/internal/platform"
+)
+
+// config carries the resolved pipeline settings. It is captured when
+// a Pipeline is created, flows into every artifact the pipeline
+// produces, and can be overridden per stage call with Options.
+type config struct {
+	level Level
+	ranks int
+	// ranksSet distinguishes an explicit WithRanks value from the
+	// default, so an explicit nonpositive count fails downstream
+	// instead of being silently replaced.
+	ranksSet bool
+	kind     Kind
+	custom   *Platform
+	scheme   Scheme
+	engine   Engine
+}
+
+// normalized fills unset fields with the documented defaults: level
+// O0, 4 ranks, the cluster platform, the synchronous scheme and the
+// in-process replay engine.
+func (c config) normalized() config {
+	if c.ranks == 0 && !c.ranksSet {
+		c.ranks = 4
+	}
+	if c.kind == "" && c.custom == nil {
+		c.kind = KindCluster
+	}
+	if c.engine == nil {
+		c.engine = DefaultEngine()
+	}
+	return c
+}
+
+func (c config) apply(opts []Option) config {
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.normalized()
+}
+
+// platformFor resolves the target platform and its report label for
+// the given rank count.
+func (c config) platformFor(ranks int) (*Platform, string, error) {
+	if c.custom != nil {
+		return c.custom, c.custom.Name, nil
+	}
+	p, err := platform.ForKind(c.kind, ranks)
+	if err != nil {
+		return nil, "", err
+	}
+	return p, string(c.kind), nil
+}
+
+// Option adjusts pipeline settings. Options passed to New become the
+// pipeline defaults; options passed to a stage call override them for
+// that call only.
+type Option func(*config)
+
+// WithLevel sets the GCC optimization level used for benchmarking and
+// trace generation.
+func WithLevel(l Level) Option { return func(c *config) { c.level = l } }
+
+// WithRanks sets the number of peer processes (default 4). A count
+// below one is rejected by the trace-generation stage.
+func WithRanks(n int) Option {
+	return func(c *config) {
+		c.ranks = n
+		c.ranksSet = true
+	}
+}
+
+// WithPlatform targets one of the built-in evaluation platforms
+// (default KindCluster).
+func WithPlatform(k Kind) Option {
+	return func(c *config) {
+		c.kind = k
+		c.custom = nil
+	}
+}
+
+// WithCustomPlatform targets a caller-built platform graph. The
+// platform must designate a Frontend host to submit from.
+func WithCustomPlatform(p *Platform) Option {
+	return func(c *config) {
+		c.custom = p
+		c.kind = ""
+	}
+}
+
+// WithScheme selects the P2PSAP computation scheme used during replay
+// (default Synchronous).
+func WithScheme(s Scheme) Option { return func(c *config) { c.scheme = s } }
+
+// WithEngine replaces the replay engine (default: the in-process
+// replay/p2pdc/netsim stack).
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }

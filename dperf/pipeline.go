@@ -1,0 +1,50 @@
+package dperf
+
+import "fmt"
+
+// Pipeline binds a Workload to pipeline settings. It is cheap to
+// construct; all work happens in the stage calls, each of which
+// returns a persistent artifact:
+//
+//	Analyze() → *Analysis → Bench() → *BenchReport
+//	                      → Traces() → *TraceSet → Predict() → *Prediction
+type Pipeline struct {
+	workload Workload
+	cfg      config
+}
+
+// New creates a pipeline for a workload. Options become the defaults
+// for every stage; stage calls may override them.
+func New(w Workload, opts ...Option) *Pipeline {
+	return &Pipeline{workload: w, cfg: config{}.apply(opts)}
+}
+
+// Analyze parses and statically analyzes the workload's source,
+// returning the analysis artifact the remaining stages consume.
+func (p *Pipeline) Analyze() (*Analysis, error) {
+	if p.workload == nil {
+		return nil, fmt.Errorf("dperf: pipeline has no workload")
+	}
+	a, err := AnalyzeSource(p.workload.Source(), p.workload.ScaleParams())
+	if err != nil {
+		return nil, err
+	}
+	a.workload = p.workload
+	a.cfg = p.cfg
+	return a, nil
+}
+
+// Predict runs the whole pipeline — analyze, generate traces, replay —
+// in one call. Equivalent to Analyze → Traces → Predict with the same
+// options.
+func (p *Pipeline) Predict(opts ...Option) (*Prediction, error) {
+	a, err := p.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := a.Traces(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return ts.Predict(opts...)
+}

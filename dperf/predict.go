@@ -1,0 +1,80 @@
+package dperf
+
+import (
+	"fmt"
+)
+
+// Prediction is a complete dPerf result for one configuration.
+type Prediction struct {
+	Workload string
+	Platform string
+	Engine   string
+	Ranks    int
+	Level    Level
+	Scheme   Scheme
+	// Predicted is t_predicted in seconds; Scatter/Compute/Gather are
+	// its phase breakdown.
+	Predicted float64
+	Scatter   float64
+	Compute   float64
+	Gather    float64
+	// TraceSet is the artifact this prediction was replayed from.
+	TraceSet *TraceSet
+}
+
+// Predict replays the trace set on the configured platform and
+// returns the prediction. The same trace set can be predicted on many
+// platforms — pass WithPlatform/WithCustomPlatform per call. Trace
+// sets loaded from JSON use the package defaults for anything not
+// overridden here.
+func (ts *TraceSet) Predict(opts ...Option) (*Prediction, error) {
+	cfg := ts.cfg.apply(opts)
+	if len(ts.Traces) == 0 {
+		return nil, fmt.Errorf("dperf: empty trace set")
+	}
+	plat, label, err := cfg.platformFor(ts.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	if plat.Frontend == "" {
+		return nil, fmt.Errorf("dperf: platform %s has no frontend host to submit from", plat.Name)
+	}
+	hosts, err := hostsFor(plat, ts.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cfg.engine.Replay(EngineSpec{
+		Platform:     plat,
+		Hosts:        hosts,
+		Submitter:    plat.Frontend,
+		Scheme:       cfg.scheme,
+		ScatterBytes: ts.ScatterBytes,
+		GatherBytes:  ts.GatherBytes,
+		Traces:       ts.Traces,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Prediction{
+		Workload:  ts.Workload,
+		Platform:  label,
+		Engine:    cfg.engine.Name(),
+		Ranks:     ts.Ranks,
+		Level:     ts.Level,
+		Scheme:    cfg.scheme,
+		Predicted: res.PredictedSeconds,
+		Scatter:   res.ScatterSeconds,
+		Compute:   res.ComputeSeconds,
+		Gather:    res.GatherSeconds,
+		TraceSet:  ts,
+	}, nil
+}
+
+// hostsFor picks the first n compute hosts of a platform.
+func hostsFor(plat *Platform, n int) ([]string, error) {
+	hosts := plat.Hosts()
+	if len(hosts) < n {
+		return nil, fmt.Errorf("dperf: platform %s has %d hosts, need %d", plat.Name, len(hosts), n)
+	}
+	return hosts[:n], nil
+}

@@ -1,0 +1,231 @@
+package dperf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/costmodel"
+	"repro/internal/interp"
+	"repro/internal/trace"
+)
+
+func errNoWorkload(stage string) error {
+	return fmt.Errorf("dperf: %s needs a workload; use Pipeline.Analyze or Analysis.WithWorkload", stage)
+}
+
+// traceBackend records communication events and cuts compute
+// segments at each event using the interpreter's cycle snapshots.
+type traceBackend struct {
+	rank, size int
+	lastCycles float64
+	recs       []trace.Record
+	// bytesPerDouble converts size arguments to wire bytes.
+	bytesPerDouble float64
+}
+
+func (tb *traceBackend) Rank() int { return tb.rank }
+func (tb *traceBackend) Size() int { return tb.size }
+
+func (tb *traceBackend) flush(cycles float64) {
+	d := cycles - tb.lastCycles
+	tb.lastCycles = cycles
+	if d > 0 {
+		tb.recs = append(tb.recs, trace.Record{Kind: trace.KindCompute, NS: d / costmodel.CPUHz * 1e9})
+	}
+}
+
+func (tb *traceBackend) Send(peer int, doubles, cycles float64) {
+	tb.flush(cycles)
+	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindSend, Peer: peer, Bytes: doubles * tb.bytesPerDouble})
+}
+
+func (tb *traceBackend) Recv(peer int, doubles, cycles float64) {
+	tb.flush(cycles)
+	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindRecv, Peer: peer, Bytes: doubles * tb.bytesPerDouble})
+}
+
+func (tb *traceBackend) AllreduceMax(x, cycles float64) float64 {
+	tb.flush(cycles)
+	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindConv})
+	return x
+}
+
+func (tb *traceBackend) Barrier(cycles float64) {
+	tb.flush(cycles)
+	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindBarrier})
+}
+
+// TraceSpec configures low-level trace generation.
+type TraceSpec struct {
+	Level Level
+	// FullParams are the production parameter values (e.g. N=1200).
+	FullParams map[string]int64
+	// BenchParams are the reduced values actually interpreted; scale
+	// parameters are scaled up by FullParams[k]/BenchParams[k].
+	BenchParams map[string]int64
+	// Ranks is the number of peer processes.
+	Ranks int
+}
+
+// GenerateTraces interprets the program once per rank at the bench
+// size, scaling block costs by ratio^depth and communication sizes
+// linearly — dPerf's scale-up of block-benchmarking results.
+func GenerateTraces(a *Analysis, spec TraceSpec) ([]*trace.Trace, error) {
+	if spec.Ranks < 1 {
+		return nil, fmt.Errorf("dperf: need at least one rank")
+	}
+	// Determine the scale ratio from the designated scale parameters.
+	ratio := 1.0
+	for name := range a.An.ScaleParams {
+		full, ok1 := spec.FullParams[name]
+		bench, ok2 := spec.BenchParams[name]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("dperf: scale parameter %q missing from params", name)
+		}
+		if bench <= 0 || full <= 0 {
+			return nil, fmt.Errorf("dperf: scale parameter %q must be positive", name)
+		}
+		ratio *= float64(full) / float64(bench)
+	}
+	// Per-block scale = ratio^depth.
+	blockScale := make(map[int]float64, len(a.An.Blocks))
+	for _, b := range a.An.Blocks {
+		s := 1.0
+		for d := 0; d < b.Depth; d++ {
+			s *= ratio
+		}
+		blockScale[b.ID] = s
+	}
+	traces := make([]*trace.Trace, spec.Ranks)
+	for r := 0; r < spec.Ranks; r++ {
+		tb := &traceBackend{rank: r, size: spec.Ranks, bytesPerDouble: 8}
+		res, err := interp.Run(a.Prog, a.An, interp.Config{
+			Params:     spec.BenchParams,
+			Level:      spec.Level,
+			Backend:    tb,
+			BlockScale: blockScale,
+			SizeScale:  ratio,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dperf: rank %d: %w", r, err)
+		}
+		tb.flush(res.Cycles) // trailing compute segment
+		traces[r] = &trace.Trace{Rank: r, Of: spec.Ranks, Records: tb.recs}
+	}
+	if err := trace.Validate(traces); err != nil {
+		return nil, err
+	}
+	return traces, nil
+}
+
+// TraceSet is the platform-independent pipeline artifact: one trace
+// per rank plus the deployment byte shape, everything replay needs.
+// Generate it once, then Predict on as many platforms as desired —
+// in this process or, via WriteJSON/ReadTraceSetJSON, in another one.
+type TraceSet struct {
+	Workload string `json:"workload,omitempty"`
+	Ranks    int    `json:"ranks"`
+	Level    Level  `json:"level"`
+	// ScatterBytes/GatherBytes are the per-peer deployment payloads
+	// captured from the workload at generation time.
+	ScatterBytes float64        `json:"scatter_bytes"`
+	GatherBytes  float64        `json:"gather_bytes"`
+	Traces       []*trace.Trace `json:"traces"`
+
+	cfg config
+}
+
+// Traces generates the platform-independent trace set for the bound
+// workload at the configured rank count and level.
+func (a *Analysis) Traces(opts ...Option) (*TraceSet, error) {
+	cfg := a.cfg.apply(opts)
+	if a.workload == nil {
+		return nil, errNoWorkload("Traces")
+	}
+	traces, err := GenerateTraces(a, TraceSpec{
+		Level:       cfg.level,
+		FullParams:  a.workload.Params(),
+		BenchParams: a.workload.BenchParams(cfg.ranks),
+		Ranks:       cfg.ranks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TraceSet{
+		Workload:     a.workload.Name(),
+		Ranks:        cfg.ranks,
+		Level:        cfg.level,
+		ScatterBytes: a.workload.ScatterBytes(cfg.ranks),
+		GatherBytes:  a.workload.GatherBytes(cfg.ranks),
+		Traces:       traces,
+		cfg:          cfg,
+	}, nil
+}
+
+// traceSetVersion guards the on-disk JSON format.
+const traceSetVersion = 1
+
+type traceSetJSON struct {
+	Version int `json:"dperf_traceset_version"`
+	TraceSet
+}
+
+// WriteJSON serializes the trace set, indented, with a format
+// version header.
+func (ts *TraceSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceSetJSON{Version: traceSetVersion, TraceSet: *ts})
+}
+
+// ReadTraceSetJSON loads a trace set written by WriteJSON and
+// validates cross-rank consistency, so a corrupted file fails here
+// rather than deadlocking replay.
+func ReadTraceSetJSON(r io.Reader) (*TraceSet, error) {
+	var tj traceSetJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tj); err != nil {
+		return nil, fmt.Errorf("dperf: decoding trace set: %w", err)
+	}
+	if tj.Version != traceSetVersion {
+		return nil, fmt.Errorf("dperf: trace set version %d, want %d", tj.Version, traceSetVersion)
+	}
+	ts := tj.TraceSet
+	if len(ts.Traces) != ts.Ranks {
+		return nil, fmt.Errorf("dperf: trace set claims %d ranks but has %d traces", ts.Ranks, len(ts.Traces))
+	}
+	for i, t := range ts.Traces {
+		if t == nil {
+			return nil, fmt.Errorf("dperf: trace set entry %d is null", i)
+		}
+	}
+	if err := trace.Validate(ts.Traces); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}
+
+// SaveJSON writes the trace set to a file.
+func (ts *TraceSet) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTraceSet reads a trace set from a file written by SaveJSON.
+func LoadTraceSet(path string) (*TraceSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTraceSetJSON(f)
+}

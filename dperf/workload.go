@@ -1,0 +1,105 @@
+package dperf
+
+// Workload abstracts the application under prediction: where its
+// source comes from, which parameters it scales over, and the shape
+// of its deployment (how many bytes the submitter scatters to and
+// gathers from each peer). The pipeline itself is workload-agnostic;
+// everything problem-specific enters through this interface.
+type Workload interface {
+	// Name labels artifacts and reports.
+	Name() string
+	// Source returns the mini-C program text to analyze.
+	Source() string
+	// ScaleParams names the problem-size parameters block
+	// benchmarking scales over (e.g. the grid dimension N).
+	ScaleParams() []string
+	// Params returns the production parameter values traces are
+	// scaled up to.
+	Params() map[string]int64
+	// BenchParams returns the reduced parameter values interpreted
+	// during trace generation. Implementations may depend on the rank
+	// count (e.g. a strip decomposition needs at least one row per
+	// rank).
+	BenchParams(ranks int) map[string]int64
+	// SerialParams returns the parameter values for the serial
+	// block-benchmarking stage. Unit costs are per-execution, so
+	// implementations typically cut the iteration count far below
+	// BenchParams to keep the stage cheap.
+	SerialParams() map[string]int64
+	// ScatterBytes is the payload the submitter sends to each of the
+	// given number of peers before execution.
+	ScatterBytes(ranks int) float64
+	// GatherBytes is the payload each peer returns afterwards.
+	GatherBytes(ranks int) float64
+}
+
+// ProgramWorkload adapts an arbitrary mini-C source to the Workload
+// interface: supply the text, the scale parameters, full and bench
+// parameter values, and per-peer byte shapers for the deployment.
+// Zero shaper functions mean zero bytes in that phase.
+type ProgramWorkload struct {
+	Label string
+	Text  string
+	Scale []string
+	Full  map[string]int64
+	Bench map[string]int64
+	// Serial overrides the parameter values for the serial
+	// block-benchmarking stage; nil falls back to Bench.
+	Serial map[string]int64
+	// ScatterPerPeer/GatherPerPeer map a rank count to bytes moved
+	// per peer during input distribution / result collection.
+	ScatterPerPeer func(ranks int) float64
+	GatherPerPeer  func(ranks int) float64
+}
+
+// Name implements Workload.
+func (w ProgramWorkload) Name() string {
+	if w.Label == "" {
+		return "program"
+	}
+	return w.Label
+}
+
+// Source implements Workload.
+func (w ProgramWorkload) Source() string { return w.Text }
+
+// ScaleParams implements Workload.
+func (w ProgramWorkload) ScaleParams() []string { return w.Scale }
+
+// Params implements Workload.
+func (w ProgramWorkload) Params() map[string]int64 { return copyParams(w.Full) }
+
+// BenchParams implements Workload.
+func (w ProgramWorkload) BenchParams(ranks int) map[string]int64 { return copyParams(w.Bench) }
+
+// SerialParams implements Workload.
+func (w ProgramWorkload) SerialParams() map[string]int64 {
+	if w.Serial == nil {
+		return copyParams(w.Bench)
+	}
+	return copyParams(w.Serial)
+}
+
+// ScatterBytes implements Workload.
+func (w ProgramWorkload) ScatterBytes(ranks int) float64 {
+	if w.ScatterPerPeer == nil {
+		return 0
+	}
+	return w.ScatterPerPeer(ranks)
+}
+
+// GatherBytes implements Workload.
+func (w ProgramWorkload) GatherBytes(ranks int) float64 {
+	if w.GatherPerPeer == nil {
+		return 0
+	}
+	return w.GatherPerPeer(ranks)
+}
+
+func copyParams(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

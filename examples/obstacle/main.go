@@ -1,7 +1,8 @@
 // Obstacle: run the obstacle problem with real numerics on a simulated
-// cluster under P2PDC, watch it converge, and verify the distributed
-// solution against the serial solver — the paper's workload end to
-// end, at a laptop-friendly size.
+// cluster under P2PDC, watch it converge, verify the distributed
+// solution against the serial solver, then cross-check the measured
+// time against a dPerf prediction from the public façade — the
+// paper's workload end to end, at a laptop-friendly size.
 //
 //	go run ./examples/obstacle
 package main
@@ -10,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/dperf"
 	"repro/internal/costmodel"
 	"repro/internal/obstacle"
 	"repro/internal/p2pdc"
@@ -26,7 +28,7 @@ func main() {
 		Tol:       1e-8,
 		Level:     costmodel.O3,
 		Numerics:  true,
-		ConvEvery: 10,
+		ConvEvery: 1, // convergence test every round, like the traced kernel
 	}
 
 	plat, err := platform.Cluster(peers)
@@ -71,4 +73,23 @@ func main() {
 	_, residual := obstacle.SerialSolve(serialCfg)
 	fmt.Printf("serial solver residual after the same iteration budget: %.3e\n", residual)
 	fmt.Println("distributed and serial solvers agree on the fixed point (see internal/obstacle tests for the exact-match proof)")
+
+	// Finally, predict the same deployment with the dPerf pipeline —
+	// source analysis, block benchmarking and trace replay, no
+	// numerics — and compare against the reference simulation above.
+	w := dperf.ObstacleWorkload{
+		N:      int64(cfg.Problem.N),
+		Rounds: int64(cfg.Rounds),
+		Sweeps: int64(cfg.Sweeps),
+		BenchN: 16,
+	}
+	pred, err := dperf.New(w,
+		dperf.WithPlatform(dperf.KindCluster),
+		dperf.WithRanks(peers),
+		dperf.WithLevel(cfg.Level)).Predict()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dPerf predicts %.3f virtual seconds for this deployment (%.1f%% off the reference run)\n",
+		pred.Predicted, 100*(pred.Predicted-res.Total)/res.Total)
 }

@@ -1,6 +1,6 @@
 // Quickstart: predict how long the obstacle problem takes on four LAN
 // peers versus a four-node cluster — the one-paragraph version of the
-// paper's workflow.
+// paper's workflow, written against the public dperf façade.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,18 +9,17 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/costmodel"
-	"repro/internal/platform"
+	"repro/dperf"
 )
 
 func main() {
 	// A reduced workload so the example finishes in a couple seconds.
-	params := core.ObstacleParams{N: 600, Rounds: 40, Sweeps: 8, BenchN: 24}
+	w := dperf.ObstacleWorkload{N: 600, Rounds: 40, Sweeps: 8, BenchN: 24}
+	pipe := dperf.New(w, dperf.WithLevel(dperf.O3), dperf.WithRanks(4))
 
 	// 1. dPerf analyzes the distributed source (static analysis,
 	//    basic blocks, communication calls).
-	a, err := core.Analyze(core.ObstacleSource, []string{"N"})
+	a, err := pipe.Analyze()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,18 +27,24 @@ func main() {
 		len(a.An.Blocks), len(a.An.Comm))
 
 	// 2. Block benchmarking at a small size gives per-block costs.
-	rep, err := core.Benchmark(a, costmodel.O3, map[string]int64{
-		"N": params.BenchN, "ROUNDS": 2, "SWEEPS": params.Sweeps,
-	})
+	rep, err := a.Bench()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("block benchmarking: %.3f ms serial, %.2f%% instrumentation overhead\n",
 		rep.TotalNS/1e6, rep.InstrumentationOverheadPct)
 
-	// 3. Scale up, emit traces, replay on each candidate platform.
-	for _, kind := range []platform.Kind{platform.KindCluster, platform.KindLAN, platform.KindDaisy} {
-		pred, err := core.PredictProgram(a, kind, 4, costmodel.O3, params)
+	// 3. Generate traces once — they are platform-independent.
+	ts, err := a.Traces()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace set: %d ranks, scatter %.0f B/peer, gather %.0f B/peer\n",
+		ts.Ranks, ts.ScatterBytes, ts.GatherBytes)
+
+	// 4. Replay the same trace set on each candidate platform.
+	for _, kind := range []dperf.Kind{dperf.KindCluster, dperf.KindLAN, dperf.KindDaisy} {
+		pred, err := ts.Predict(dperf.WithPlatform(kind))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,236 +1,64 @@
-// Package core is dPerf — the paper's performance-prediction
-// environment for parallel and distributed applications. It chains
-// the stages of Fig. 6:
+// Package core is the original home of the dPerf pipeline. The
+// implementation moved to the public repro/dperf package; this
+// package remains as a thin compatibility layer so existing callers
+// keep compiling.
 //
-//	source code → automatic static analysis (internal/minic)
-//	            → decomposition by blocks + instrumentation
-//	            → execution of instrumented code (internal/interp,
-//	              virtual hardware counters = PAPI)
-//	            → per-block times, scaled up by the static loop model
-//	            → trace files (internal/trace)
-//	            → trace-based network simulation (internal/replay,
-//	              the SimGrid MSG stage)
-//	            → predicted time t_predicted
+// Deprecated: import repro/dperf instead.
 package core
 
 import (
-	"fmt"
-	"sort"
-
+	"repro/dperf"
 	"repro/internal/costmodel"
-	"repro/internal/interp"
-	"repro/internal/minic"
-	"repro/internal/platform"
 	"repro/internal/trace"
 )
 
 // Analyzed bundles a parsed program with its static analysis.
-type Analyzed struct {
-	Prog *minic.Program
-	An   *minic.Analysis
-	// Instrumented is the unparsed, probe-bracketed source — the
-	// artifact the original dPerf compiles with GCC at each level.
-	Instrumented string
-}
-
-// Analyze parses and statically analyzes a mini-C source. scaleParams
-// names the problem-size parameters block benchmarking scales over.
-func Analyze(source string, scaleParams []string) (*Analyzed, error) {
-	prog, err := minic.Parse(source)
-	if err != nil {
-		return nil, err
-	}
-	an, err := minic.Analyze(prog, scaleParams)
-	if err != nil {
-		return nil, err
-	}
-	return &Analyzed{
-		Prog:         prog,
-		An:           an,
-		Instrumented: minic.Unparse(prog, an),
-	}, nil
-}
+//
+// Deprecated: use dperf.Analysis.
+type Analyzed = dperf.Analysis
 
 // BlockCost is one row of a block-benchmarking report.
-type BlockCost struct {
-	ID       int
-	Func     string
-	Pos      minic.Pos
-	Depth    int
-	Count    int64
-	UnitNS   float64 // nanoseconds per execution at the bench size
-	TotalNS  float64
-	SharePct float64
-}
+//
+// Deprecated: use dperf.BlockCost.
+type BlockCost = dperf.BlockCost
 
 // BenchReport is the result of the block-benchmarking stage.
-type BenchReport struct {
-	Level  costmodel.Level
-	Params map[string]int64
-	Blocks []BlockCost
-	// TotalNS is the whole serial run's virtual time.
-	TotalNS float64
-	// InstrumentationOverheadPct estimates the probe overhead the
-	// paper keeps low ("an important feature of dPerf is the reduced
-	// slowdown due to the use of block benchmarking").
-	InstrumentationOverheadPct float64
+//
+// Deprecated: use dperf.BenchReport.
+type BenchReport = dperf.BenchReport
+
+// TraceSpec configures trace generation.
+//
+// Deprecated: use dperf.TraceSpec.
+type TraceSpec = dperf.TraceSpec
+
+// Analyze parses and statically analyzes a mini-C source.
+//
+// Deprecated: use dperf.AnalyzeSource.
+func Analyze(source string, scaleParams []string) (*Analyzed, error) {
+	return dperf.AnalyzeSource(source, scaleParams)
 }
 
 // Benchmark runs the instrumented program serially at the given
 // (small) parameter values and returns per-block unit costs.
+//
+// Deprecated: use dperf.Benchmark or (*dperf.Analysis).Bench.
 func Benchmark(a *Analyzed, level costmodel.Level, params map[string]int64) (*BenchReport, error) {
-	res, err := interp.Run(a.Prog, a.An, interp.Config{
-		Params:  params,
-		Level:   level,
-		Backend: interp.SerialBackend{},
-	})
-	if err != nil {
-		return nil, err
-	}
-	rep := &BenchReport{Level: level, Params: params, TotalNS: res.Seconds * 1e9}
-	ids := make([]int, 0, len(res.Blocks))
-	for id := range res.Blocks {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		st := res.Blocks[id]
-		info := a.An.Block(id)
-		bc := BlockCost{
-			ID:      id,
-			Count:   st.Count,
-			UnitNS:  st.UnitCost() / costmodel.CPUHz * 1e9,
-			TotalNS: st.Cycles / costmodel.CPUHz * 1e9,
-		}
-		if info != nil {
-			bc.Func = info.Func
-			bc.Pos = info.Pos
-			bc.Depth = info.Depth
-		}
-		if rep.TotalNS > 0 {
-			bc.SharePct = 100 * bc.TotalNS / rep.TotalNS
-		}
-		rep.Blocks = append(rep.Blocks, bc)
-	}
-	// The probe cost itself is one block-counter increment per block
-	// entry; model it as 2 cycles per recorded execution.
-	var probes int64
-	for _, b := range rep.Blocks {
-		probes += b.Count
-	}
-	probeNS := float64(probes) * 2 / costmodel.CPUHz * 1e9
-	if rep.TotalNS > 0 {
-		rep.InstrumentationOverheadPct = 100 * probeNS / (rep.TotalNS + probeNS)
-	}
-	return rep, nil
-}
-
-// traceBackend records communication events and cuts compute
-// segments at each event using the interpreter's cycle snapshots.
-type traceBackend struct {
-	rank, size int
-	lastCycles float64
-	recs       []trace.Record
-	// bytesPerDouble converts size arguments to wire bytes.
-	bytesPerDouble float64
-}
-
-func (tb *traceBackend) Rank() int { return tb.rank }
-func (tb *traceBackend) Size() int { return tb.size }
-
-func (tb *traceBackend) flush(cycles float64) {
-	d := cycles - tb.lastCycles
-	tb.lastCycles = cycles
-	if d > 0 {
-		tb.recs = append(tb.recs, trace.Record{Kind: trace.KindCompute, NS: d / costmodel.CPUHz * 1e9})
-	}
-}
-
-func (tb *traceBackend) Send(peer int, doubles, cycles float64) {
-	tb.flush(cycles)
-	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindSend, Peer: peer, Bytes: doubles * tb.bytesPerDouble})
-}
-
-func (tb *traceBackend) Recv(peer int, doubles, cycles float64) {
-	tb.flush(cycles)
-	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindRecv, Peer: peer, Bytes: doubles * tb.bytesPerDouble})
-}
-
-func (tb *traceBackend) AllreduceMax(x, cycles float64) float64 {
-	tb.flush(cycles)
-	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindConv})
-	return x
-}
-
-func (tb *traceBackend) Barrier(cycles float64) {
-	tb.flush(cycles)
-	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindBarrier})
-}
-
-// TraceSpec configures trace generation.
-type TraceSpec struct {
-	Level costmodel.Level
-	// FullParams are the production parameter values (e.g. N=1200).
-	FullParams map[string]int64
-	// BenchParams are the reduced values actually interpreted; scale
-	// parameters are scaled up by FullParams[k]/BenchParams[k].
-	BenchParams map[string]int64
-	// Ranks is the number of peer processes.
-	Ranks int
+	return dperf.Benchmark(a, level, params)
 }
 
 // GenerateTraces interprets the program once per rank at the bench
-// size, scaling block costs by ratio^depth and communication sizes
-// linearly — dPerf's scale-up of block-benchmarking results.
+// size, scaling block costs and communication sizes.
+//
+// Deprecated: use dperf.GenerateTraces or (*dperf.Analysis).Traces.
 func GenerateTraces(a *Analyzed, spec TraceSpec) ([]*trace.Trace, error) {
-	if spec.Ranks < 1 {
-		return nil, fmt.Errorf("core: need at least one rank")
-	}
-	// Determine the scale ratio from the designated scale parameters.
-	ratio := 1.0
-	for name := range a.An.ScaleParams {
-		full, ok1 := spec.FullParams[name]
-		bench, ok2 := spec.BenchParams[name]
-		if !ok1 || !ok2 {
-			return nil, fmt.Errorf("core: scale parameter %q missing from params", name)
-		}
-		if bench <= 0 || full <= 0 {
-			return nil, fmt.Errorf("core: scale parameter %q must be positive", name)
-		}
-		ratio *= float64(full) / float64(bench)
-	}
-	// Per-block scale = ratio^depth.
-	blockScale := make(map[int]float64, len(a.An.Blocks))
-	for _, b := range a.An.Blocks {
-		s := 1.0
-		for d := 0; d < b.Depth; d++ {
-			s *= ratio
-		}
-		blockScale[b.ID] = s
-	}
-	traces := make([]*trace.Trace, spec.Ranks)
-	for r := 0; r < spec.Ranks; r++ {
-		tb := &traceBackend{rank: r, size: spec.Ranks, bytesPerDouble: 8}
-		res, err := interp.Run(a.Prog, a.An, interp.Config{
-			Params:     spec.BenchParams,
-			Level:      spec.Level,
-			Backend:    tb,
-			BlockScale: blockScale,
-			SizeScale:  ratio,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: rank %d: %w", r, err)
-		}
-		tb.flush(res.Cycles) // trailing compute segment
-		traces[r] = &trace.Trace{Rank: r, Of: spec.Ranks, Records: tb.recs}
-	}
-	if err := trace.Validate(traces); err != nil {
-		return nil, err
-	}
-	return traces, nil
+	return dperf.GenerateTraces(a, spec)
 }
 
 // Prediction is a complete dPerf result for one configuration.
+//
+// Deprecated: use dperf.Prediction, which also records the workload,
+// engine and scheme.
 type Prediction struct {
 	Platform  string
 	Ranks     int
@@ -242,11 +70,16 @@ type Prediction struct {
 	Traces    []*trace.Trace
 }
 
-// hostsFor picks the first n compute hosts of a platform.
-func hostsFor(plat *platform.Platform, n int) ([]string, error) {
-	hosts := plat.Hosts()
-	if len(hosts) < n {
-		return nil, fmt.Errorf("core: platform %s has %d hosts, need %d", plat.Name, len(hosts), n)
+// fromFacade converts a façade prediction to the legacy shape.
+func fromFacade(p *dperf.Prediction) *Prediction {
+	return &Prediction{
+		Platform:  p.Platform,
+		Ranks:     p.Ranks,
+		Level:     p.Level,
+		Predicted: p.Predicted,
+		Scatter:   p.Scatter,
+		Compute:   p.Compute,
+		Gather:    p.Gather,
+		Traces:    p.TraceSet.Traces,
 	}
-	return hosts[:n], nil
 }

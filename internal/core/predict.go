@@ -1,17 +1,16 @@
 package core
 
 import (
-	"fmt"
-
+	"repro/dperf"
 	"repro/internal/costmodel"
-	"repro/internal/p2psap"
 	"repro/internal/platform"
-	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
 // ObstacleParams are the paper-scale workload values used by the
 // experiment harness; see EXPERIMENTS.md for the calibration.
+//
+// Deprecated: use dperf.ObstacleWorkload.
 type ObstacleParams struct {
 	N      int64
 	Rounds int64
@@ -23,101 +22,86 @@ type ObstacleParams struct {
 
 // DefaultObstacleParams returns the calibrated experiment workload,
 // matching obstacle.DefaultConfig.
+//
+// Deprecated: use dperf.DefaultObstacleWorkload.
 func DefaultObstacleParams() ObstacleParams {
 	return ObstacleParams{N: 1200, Rounds: 120, Sweeps: 15, BenchN: 32}
 }
 
-func (op ObstacleParams) full() map[string]int64 {
-	return map[string]int64{"N": op.N, "ROUNDS": op.Rounds, "SWEEPS": op.Sweeps}
-}
-
-func (op ObstacleParams) bench() map[string]int64 {
-	return map[string]int64{"N": op.BenchN, "ROUNDS": op.Rounds, "SWEEPS": op.Sweeps}
+// workload converts the legacy parameter struct to the façade's
+// workload implementation.
+func (op ObstacleParams) workload() dperf.ObstacleWorkload {
+	return dperf.ObstacleWorkload{N: op.N, Rounds: op.Rounds, Sweeps: op.Sweeps, BenchN: op.BenchN}
 }
 
 // ScatterBytesPerPeer mirrors obstacle.Config: initial strip + obstacle.
 func (op ObstacleParams) ScatterBytesPerPeer(p int) float64 {
-	return 2 * 8 * float64(op.N) * float64(op.N) / float64(p)
+	return op.workload().ScatterBytes(p)
 }
 
 // GatherBytesPerPeer mirrors obstacle.Config: solution strip.
 func (op ObstacleParams) GatherBytesPerPeer(p int) float64 {
-	return 8 * float64(op.N) * float64(op.N) / float64(p)
+	return op.workload().GatherBytes(p)
 }
 
 // PredictObstacle runs the full dPerf pipeline for the obstacle
-// problem on the named platform kind with the given peer count and
-// optimization level: analyze → benchmark (bench size) → traces
-// (scaled) → replay on the platform.
+// problem on the named platform kind.
+//
+// Deprecated: use dperf.New(dperf.ObstacleWorkload{...}).Predict().
 func PredictObstacle(kind platform.Kind, peers int, level costmodel.Level, params ObstacleParams) (*Prediction, error) {
-	a, err := Analyze(ObstacleSource, []string{"N"})
+	pred, err := dperf.New(params.workload(),
+		dperf.WithPlatform(kind), dperf.WithRanks(peers), dperf.WithLevel(level)).Predict()
 	if err != nil {
 		return nil, err
 	}
-	return PredictProgram(a, kind, peers, level, params)
+	return fromFacade(pred), nil
 }
 
 // TracesForObstacle runs analysis-driven trace generation for the
-// obstacle workload: one trace per rank, platform-independent. The
-// same traces can then be replayed on several platforms (that is
-// dPerf's whole point: benchmark once, predict anywhere).
+// obstacle workload: one trace per rank, platform-independent.
+//
+// Deprecated: use (*dperf.Analysis).Traces.
 func TracesForObstacle(a *Analyzed, peers int, level costmodel.Level, params ObstacleParams) ([]*trace.Trace, error) {
-	if peers < 1 {
-		return nil, fmt.Errorf("core: need at least one peer")
+	ts, err := a.WithWorkload(params.workload()).Traces(dperf.WithRanks(peers), dperf.WithLevel(level))
+	if err != nil {
+		return nil, err
 	}
-	if params.BenchN < int64(peers) {
-		// Every rank needs at least one row at bench size.
-		params.BenchN = int64(peers)
-	}
-	return GenerateTraces(a, TraceSpec{
-		Level:       level,
-		FullParams:  params.full(),
-		BenchParams: params.bench(),
-		Ranks:       peers,
-	})
+	return ts.Traces, nil
 }
 
 // ReplayObstacle replays previously generated traces on a platform
 // kind, completing the prediction.
+//
+// Deprecated: use (*dperf.TraceSet).Predict.
 func ReplayObstacle(traces []*trace.Trace, kind platform.Kind, level costmodel.Level, params ObstacleParams) (*Prediction, error) {
 	peers := len(traces)
-	plat, err := platform.ForKind(kind, peers)
-	if err != nil {
-		return nil, err
-	}
-	hosts, err := hostsFor(plat, peers)
-	if err != nil {
-		return nil, err
-	}
-	res, err := replay.Run(replay.Spec{
-		Platform:     plat,
-		Hosts:        hosts,
-		Submitter:    plat.Frontend,
-		Scheme:       p2psap.Synchronous,
+	ts := &dperf.TraceSet{
+		Workload:     "obstacle",
+		Ranks:        peers,
+		Level:        level,
 		ScatterBytes: params.ScatterBytesPerPeer(peers),
 		GatherBytes:  params.GatherBytesPerPeer(peers),
-	}, traces)
+		Traces:       traces,
+	}
+	pred, err := ts.Predict(dperf.WithPlatform(kind))
 	if err != nil {
 		return nil, err
 	}
-	return &Prediction{
-		Platform:  string(kind),
-		Ranks:     peers,
-		Level:     level,
-		Predicted: res.PredictedSeconds,
-		Scatter:   res.ScatterSeconds,
-		Compute:   res.ComputeSeconds,
-		Gather:    res.GatherSeconds,
-		Traces:    traces,
-	}, nil
+	return fromFacade(pred), nil
 }
 
 // PredictProgram predicts an already-analyzed program with the
 // obstacle deployment shape (scatter/gather sized by params).
+//
+// Deprecated: use the dperf pipeline with a custom Workload.
 func PredictProgram(a *Analyzed, kind platform.Kind, peers int, level costmodel.Level, params ObstacleParams) (*Prediction, error) {
-	traces, err := TracesForObstacle(a, peers, level, params)
+	ts, err := a.WithWorkload(params.workload()).Traces(dperf.WithRanks(peers), dperf.WithLevel(level))
 	if err != nil {
 		return nil, err
 	}
-	return ReplayObstacle(traces, kind, level, params)
+	pred, err := ts.Predict(dperf.WithPlatform(kind))
+	if err != nil {
+		return nil, err
+	}
+	return fromFacade(pred), nil
 }

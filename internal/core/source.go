@@ -1,74 +1,9 @@
 package core
 
+import "repro/dperf"
+
 // ObstacleSource is the mini-C source of the distributed obstacle
-// problem kernel — the dPerf input code of the paper's evaluation
-// ("the experiments are performed on a source code for the obstacle
-// problem ... adapted to the P2PDC environment; communications
-// between peers are made via the P2PSAP protocol", §IV-A.1).
+// problem kernel — the dPerf input code of the paper's evaluation.
 //
-// The program mirrors internal/obstacle's native solver: strip
-// decomposition by rank, SWEEPS projected-Jacobi relaxations per
-// round over a double-buffered grid, ghost-row exchange with line
-// neighbours, and a global convergence reduction every round.
-const ObstacleSource = `/* Distributed obstacle problem for P2PDC (P2PSAP communication). */
-param int N;      /* grid dimension (scale parameter)   */
-param int ROUNDS; /* communication rounds               */
-param int SWEEPS; /* relaxation sweeps between rounds   */
-
-double u[2][N + 2][N + 2];
-
-int main() {
-    int rank; int p; int base; int extra; int lo; int hi;
-    int r; int s; int i; int j; int cur; int nxt; int tmp;
-    int n3; int n23;
-    double v; double res; double gres; double lim;
-
-    rank = p2psap_rank();
-    p = p2psap_nprocs();
-
-    /* Strip decomposition: rows [lo+1, hi] of the padded grid. */
-    base = N / p;
-    extra = N % p;
-    lo = rank * base;
-    if (rank < extra) { lo = lo + rank; } else { lo = lo + extra; }
-    hi = lo + base;
-    if (rank < extra) { hi = hi + 1; }
-
-    n3 = N / 3;
-    n23 = 2 * N / 3;
-
-    cur = 0;
-    nxt = 1;
-    for (r = 0; r < ROUNDS; r++) {
-        res = 0.0;
-        for (s = 0; s < SWEEPS; s++) {
-            for (i = lo + 1; i <= hi; i++) {
-                for (j = 1; j <= N; j++) {
-                    v = 0.25 * (u[cur][i - 1][j] + u[cur][i + 1][j] + u[cur][i][j - 1] + u[cur][i][j + 1]) + 0.0001;
-                    lim = 0.0;
-                    if (i > n3 && i < n23 && j > n3 && j < n23) {
-                        lim = 0.05;
-                    }
-                    if (v < lim) {
-                        v = lim;
-                    }
-                    res = fmax(res, fabs(v - u[cur][i][j]));
-                    u[nxt][i][j] = v;
-                }
-            }
-            tmp = cur;
-            cur = nxt;
-            nxt = tmp;
-        }
-        /* Ghost-row exchange with line neighbours via P2PSAP. */
-        if (rank > 0) { p2psap_send(rank - 1, N); }
-        if (rank < p - 1) { p2psap_send(rank + 1, N); }
-        if (rank > 0) { p2psap_recv(rank - 1, N); }
-        if (rank < p - 1) { p2psap_recv(rank + 1, N); }
-        /* Global convergence test. */
-        gres = p2psap_allreduce_max(res);
-        if (gres < 0.0) { return 1; }
-    }
-    return 0;
-}
-`
+// Deprecated: use dperf.ObstacleSource.
+const ObstacleSource = dperf.ObstacleSource

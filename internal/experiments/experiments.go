@@ -12,7 +12,7 @@ import (
 	"io"
 	"sort"
 
-	"repro/internal/core"
+	"repro/dperf"
 	"repro/internal/costmodel"
 	"repro/internal/obstacle"
 	"repro/internal/p2pdc"
@@ -62,9 +62,11 @@ func Reference(kind platform.Kind, peers int, level costmodel.Level) (*p2pdc.Run
 	return res, nil
 }
 
-// Predict runs the dPerf pipeline for the obstacle workload.
-func Predict(kind platform.Kind, peers int, level costmodel.Level) (*core.Prediction, error) {
-	return core.PredictObstacle(kind, peers, level, core.DefaultObstacleParams())
+// Predict runs the dPerf pipeline for the obstacle workload through
+// the public façade.
+func Predict(kind platform.Kind, peers int, level costmodel.Level) (*dperf.Prediction, error) {
+	return dperf.New(dperf.DefaultObstacleWorkload(),
+		dperf.WithPlatform(kind), dperf.WithRanks(peers), dperf.WithLevel(level)).Predict()
 }
 
 // Series is one labelled curve of (peers, seconds) points.
@@ -189,20 +191,19 @@ func Fig11(w io.Writer, peerCounts []int) ([]*Series, error) {
 	g5k := NewSeries("pred-grid5000")
 	xdsl := NewSeries("pred-xdsl")
 	lan := NewSeries("pred-lan")
-	a, err := core.Analyze(core.ObstacleSource, []string{"N"})
+	a, err := dperf.New(dperf.DefaultObstacleWorkload(), dperf.WithLevel(costmodel.O0)).Analyze()
 	if err != nil {
 		return nil, err
 	}
-	params := core.DefaultObstacleParams()
 	for _, p := range peerCounts {
 		r, err := Reference(platform.KindCluster, p, costmodel.O0)
 		if err != nil {
 			return nil, fmt.Errorf("fig11 ref p=%d: %w", p, err)
 		}
 		ref.Points[p] = r.Total
-		// Traces are platform-independent: generate once, replay on all
-		// three platforms.
-		traces, err := core.TracesForObstacle(a, p, costmodel.O0, params)
+		// Trace sets are platform-independent: generate once, replay on
+		// all three platforms.
+		ts, err := a.Traces(dperf.WithRanks(p))
 		if err != nil {
 			return nil, fmt.Errorf("fig11 traces p=%d: %w", p, err)
 		}
@@ -210,7 +211,7 @@ func Fig11(w io.Writer, peerCounts []int) ([]*Series, error) {
 			kind platform.Kind
 			s    *Series
 		}{{platform.KindCluster, g5k}, {platform.KindDaisy, xdsl}, {platform.KindLAN, lan}} {
-			pr, err := core.ReplayObstacle(traces, kv.kind, costmodel.O0, params)
+			pr, err := ts.Predict(dperf.WithPlatform(kv.kind))
 			if err != nil {
 				return nil, fmt.Errorf("fig11 %s p=%d: %w", kv.kind, p, err)
 			}

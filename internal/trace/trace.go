@@ -17,6 +17,7 @@ package trace
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -51,22 +52,57 @@ func (k Kind) String() string {
 	return "?"
 }
 
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "compute":
+		return KindCompute, nil
+	case "send":
+		return KindSend, nil
+	case "recv":
+		return KindRecv, nil
+	case "conv":
+		return KindConv, nil
+	case "barrier":
+		return KindBarrier, nil
+	}
+	return 0, fmt.Errorf("trace: unknown record kind %q", s)
+}
+
+// MarshalJSON encodes the kind by name, keeping serialized traces
+// readable and independent of the constant ordering.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
 // Record is one trace event.
 type Record struct {
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// NS is computation time in nanoseconds (KindCompute).
-	NS float64
+	NS float64 `json:"ns,omitempty"`
 	// Peer is the partner rank (send/recv).
-	Peer int
+	Peer int `json:"peer,omitempty"`
 	// Bytes is the payload size on the wire (send/recv).
-	Bytes float64
+	Bytes float64 `json:"bytes,omitempty"`
 }
 
 // Trace is one rank's event sequence.
 type Trace struct {
-	Rank    int
-	Of      int // total ranks
-	Records []Record
+	Rank    int      `json:"rank"`
+	Of      int      `json:"of"` // total ranks
+	Records []Record `json:"records"`
 }
 
 // TotalComputeNS sums the compute records.
