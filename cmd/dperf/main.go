@@ -8,77 +8,154 @@
 //	dperf -platform grid5000|xdsl|lan -peers 4 -level O3 [-src file.c]
 //	      [-emit-instrumented] [-emit-traces dir]
 //	      [-save-traces set.json] [-load-traces set.json]
+//	dperf -sweep [-sweep-platforms grid5000,xdsl,lan] [-sweep-ranks 2,4,8]
+//	      [-sweep-schemes sync,async] [-sweep-workers N]
+//	      [-sweep-format table|json|csv] [-sweep-out file]
 //
 // -save-traces persists the platform-independent trace set; a later
 // run with -load-traces skips analysis and benchmarking entirely and
 // replays the stored traces on any platform — dPerf's "benchmark
 // once, predict anywhere".
+//
+// -sweep replays one trace source against the cross product of
+// platforms × rank counts × schemes concurrently and prints the
+// resulting prediction table. It composes with -load-traces (the
+// stored set fixes the rank count) or with the full pipeline.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/dperf"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dperf:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI: flag parsing, pipeline staging and output,
+// addressable from tests. args excludes the program name.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dperf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		platformName = flag.String("platform", "grid5000", "target platform: grid5000, xdsl or lan")
-		peers        = flag.Int("peers", 4, "number of working peers")
-		levelName    = flag.String("level", "O0", "GCC optimization level: 0,1,2,3,s")
-		srcPath      = flag.String("src", "", "mini-C source file (default: embedded obstacle problem)")
-		emitInstr    = flag.Bool("emit-instrumented", false, "print the instrumented source and exit")
-		emitTraces   = flag.String("emit-traces", "", "directory to write per-rank trace files")
-		saveTraces   = flag.String("save-traces", "", "file to write the trace set as JSON")
-		loadTraces   = flag.String("load-traces", "", "replay a previously saved trace set (skips analysis)")
-		n            = flag.Int64("n", 0, "override grid dimension N")
+		platformName = fs.String("platform", "grid5000", "target platform: grid5000, xdsl or lan")
+		peers        = fs.Int("peers", 4, "number of working peers")
+		levelName    = fs.String("level", "O0", "GCC optimization level: 0,1,2,3,s")
+		srcPath      = fs.String("src", "", "mini-C source file (default: embedded obstacle problem)")
+		emitInstr    = fs.Bool("emit-instrumented", false, "print the instrumented source and exit")
+		emitTraces   = fs.String("emit-traces", "", "directory to write per-rank trace files")
+		saveTraces   = fs.String("save-traces", "", "file to write the trace set as JSON")
+		loadTraces   = fs.String("load-traces", "", "replay a previously saved trace set (skips analysis)")
+		n            = fs.Int64("n", 0, "override grid dimension N")
+		rounds       = fs.Int64("rounds", 0, "override the iteration round count")
+
+		sweep       = fs.Bool("sweep", false, "sweep the design space instead of predicting one configuration")
+		sweepPlats  = fs.String("sweep-platforms", "", "comma-separated platforms to sweep (default: all three)")
+		sweepRanks  = fs.String("sweep-ranks", "", "comma-separated rank counts to sweep (default: -peers)")
+		sweepSchms  = fs.String("sweep-schemes", "sync", "comma-separated schemes to sweep: sync,async")
+		sweepWork   = fs.Int("sweep-workers", 0, "sweep worker pool size (default: GOMAXPROCS)")
+		sweepFormat = fs.String("sweep-format", "table", "sweep output format: table, json or csv")
+		sweepOut    = fs.String("sweep-out", "", "write sweep output to a file instead of stdout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+
+	// Reject flag combinations that would otherwise be silently
+	// ignored, before any pipeline stage runs.
+	if *sweep {
+		switch {
+		case *saveTraces != "":
+			return fmt.Errorf("-save-traces has no effect with -sweep: run the pipeline once to persist traces, then sweep with -load-traces")
+		case *emitTraces != "":
+			return fmt.Errorf("-emit-traces has no effect with -sweep: run the pipeline once to persist traces, then sweep with -load-traces")
+		case *emitInstr:
+			return fmt.Errorf("-emit-instrumented has no effect with -sweep")
+		}
+	} else {
+		// Mirror case: sweep flags without -sweep would silently run
+		// the single-configuration pipeline instead.
+		var badFlag error
+		fs.Visit(func(f *flag.Flag) {
+			if strings.HasPrefix(f.Name, "sweep-") {
+				badFlag = fmt.Errorf("-%s has no effect without -sweep", f.Name)
+			}
+		})
+		if badFlag != nil {
+			return badFlag
+		}
+	}
 
 	level, err := dperf.ParseLevel(*levelName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	kind := dperf.Kind(*platformName)
 
 	// Replay-only mode: a stored trace set is platform-independent, so
 	// prediction needs neither the source nor the benchmark stage.
-	// Everything except -platform is baked into the set; reject flags
-	// that would otherwise be silently ignored.
+	// Everything except the replay target is baked into the set;
+	// reject flags that would otherwise be silently ignored.
 	if *loadTraces != "" {
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "load-traces", "platform":
+		var badFlag error
+		fs.Visit(func(f *flag.Flag) {
+			switch {
+			case f.Name == "load-traces" || f.Name == "platform":
+			case *sweep && strings.HasPrefix(f.Name, "sweep"):
 			default:
-				fatal(fmt.Errorf("-%s has no effect with -load-traces: the trace set fixes the workload, peers and level", f.Name))
+				badFlag = fmt.Errorf("-%s has no effect with -load-traces: the trace set fixes the workload, peers and level", f.Name)
 			}
 		})
+		if badFlag != nil {
+			return badFlag
+		}
 		ts, err := dperf.LoadTraceSet(*loadTraces)
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		if *sweep {
+			return runSweep(fs, ts, stdout,
+				*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 		}
 		pred, err := ts.Predict(dperf.WithPlatform(kind))
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("replayed stored trace set %q (%d ranks, level %s) on %s:\n",
+		fmt.Fprintf(stdout, "replayed stored trace set %q (%d ranks, level %s) on %s:\n",
 			ts.Workload, ts.Ranks, ts.Level, kind)
-		printPrediction(pred)
-		return
+		printPrediction(stdout, pred)
+		return nil
 	}
 
 	w := dperf.DefaultObstacleWorkload()
 	if *n > 0 {
 		w.N = *n
 	}
+	if *rounds > 0 {
+		w.Rounds = *rounds
+	}
 	var workload dperf.Workload = w
 	if *srcPath != "" {
 		data, err := os.ReadFile(*srcPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		workload = dperf.ProgramWorkload{
 			Label:          filepath.Base(*srcPath),
@@ -98,84 +175,193 @@ func main() {
 	// Stage 1: static analysis.
 	a, err := pipe.Analyze()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *emitInstr {
-		fmt.Print(a.Instrumented)
-		return
+		fmt.Fprint(stdout, a.Instrumented)
+		return nil
 	}
-	fmt.Printf("dPerf analysis: %d basic blocks, %d communication sites\n",
+
+	if *sweep {
+		return runSweep(fs, a, stdout,
+			*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
+	}
+
+	fmt.Fprintf(stdout, "dPerf analysis: %d basic blocks, %d communication sites\n",
 		len(a.An.Blocks), len(a.An.Comm))
 	for comm, count := range a.An.CommSummary() {
-		fmt.Printf("  comm %-14s x%d\n", comm, count)
+		fmt.Fprintf(stdout, "  comm %-14s x%d\n", comm, count)
 	}
 
 	// Stage 2: block benchmarking at the reduced size.
 	rep, err := a.Bench()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("\nblock benchmarking (N=%d, level %s): total %.3f ms, instrumentation overhead %.2f%%\n",
+	fmt.Fprintf(stdout, "\nblock benchmarking (N=%d, level %s): total %.3f ms, instrumentation overhead %.2f%%\n",
 		rep.Params["N"], level, rep.TotalNS/1e6, rep.InstrumentationOverheadPct)
-	fmt.Printf("%-5s %-10s %-6s %-10s %-12s %-8s\n", "id", "pos", "depth", "count", "unit [ns]", "share")
+	fmt.Fprintf(stdout, "%-5s %-10s %-6s %-10s %-12s %-8s\n", "id", "pos", "depth", "count", "unit [ns]", "share")
 	for _, b := range rep.Blocks {
 		if b.SharePct < 1 {
 			continue
 		}
-		fmt.Printf("%-5d %-10s %-6d %-10d %-12.2f %6.2f%%\n",
+		fmt.Fprintf(stdout, "%-5d %-10s %-6d %-10d %-12.2f %6.2f%%\n",
 			b.ID, b.Pos, b.Depth, b.Count, b.UnitNS, b.SharePct)
 	}
 
 	// Stage 3: platform-independent traces.
 	ts, err := a.Traces()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *saveTraces != "" {
 		if err := ts.SaveJSON(*saveTraces); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("\nsaved trace set (%d ranks) to %s\n", ts.Ranks, *saveTraces)
+		fmt.Fprintf(stdout, "\nsaved trace set (%d ranks) to %s\n", ts.Ranks, *saveTraces)
 	}
 
 	// Stage 4: replay on the target platform.
 	pred, err := ts.Predict()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("\nprediction for %s, %d peers, level %s (N=%d, %d rounds x %d sweeps):\n",
+	fmt.Fprintf(stdout, "\nprediction for %s, %d peers, level %s (N=%d, %d rounds x %d sweeps):\n",
 		kind, *peers, level, w.N, w.Rounds, w.Sweeps)
-	printPrediction(pred)
+	printPrediction(stdout, pred)
 
 	if *emitTraces != "" {
 		if err := os.MkdirAll(*emitTraces, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 		for _, tr := range ts.Traces {
 			path := filepath.Join(*emitTraces, fmt.Sprintf("rank-%d.trace", tr.Rank))
 			f, err := os.Create(path)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := tr.Write(f); err != nil {
-				fatal(err)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
 		}
-		fmt.Printf("wrote %d trace files to %s\n", len(ts.Traces), *emitTraces)
+		fmt.Fprintf(stdout, "wrote %d trace files to %s\n", len(ts.Traces), *emitTraces)
 	}
+	return nil
 }
 
-func printPrediction(pred *dperf.Prediction) {
-	fmt.Printf("  scatter  %8.3f s\n", pred.Scatter)
-	fmt.Printf("  compute  %8.3f s\n", pred.Compute)
-	fmt.Printf("  gather   %8.3f s\n", pred.Gather)
-	fmt.Printf("  t_predicted = %.3f s\n", pred.Predicted)
+// runSweep expands the sweep flags into a dperf.Space, runs the sweep
+// and writes the requested output format.
+func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer,
+	plats, ranks, schemes string, workers int, format, outPath string) error {
+	// Validate the output side first: a typo in -sweep-format or an
+	// unwritable -sweep-out must not cost a full sweep.
+	switch format {
+	case "table", "json", "csv":
+	default:
+		return fmt.Errorf("unknown -sweep-format %q (want table, json or csv)", format)
+	}
+	out := stdout
+	var outFile *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+
+	space := dperf.Space{
+		Platforms: []dperf.Kind{dperf.KindCluster, dperf.KindDaisy, dperf.KindLAN},
+	}
+	if plats != "" {
+		space.Platforms = nil
+		for _, p := range strings.Split(plats, ",") {
+			space.Platforms = append(space.Platforms, dperf.Kind(strings.TrimSpace(p)))
+		}
+	} else {
+		// An explicit -platform narrows the default sweep to it.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "platform" {
+				space.Platforms = []dperf.Kind{dperf.Kind(f.Value.String())}
+			}
+		})
+	}
+	if ranks != "" {
+		for _, r := range strings.Split(ranks, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(r))
+			if err != nil {
+				return fmt.Errorf("bad -sweep-ranks entry %q: %w", r, err)
+			}
+			space.Ranks = append(space.Ranks, v)
+		}
+	}
+	if schemes != "" {
+		for _, s := range strings.Split(schemes, ",") {
+			switch strings.TrimSpace(s) {
+			case "sync", "synchronous":
+				space.Schemes = append(space.Schemes, dperf.Synchronous)
+			case "async", "asynchronous":
+				space.Schemes = append(space.Schemes, dperf.Asynchronous)
+			default:
+				return fmt.Errorf("bad -sweep-schemes entry %q (want sync or async)", s)
+			}
+		}
+	}
+
+	var opts []dperf.SweepOption
+	if workers > 0 {
+		opts = append(opts, dperf.SweepWorkers(workers))
+	}
+	res, err := dperf.Sweep(src, space, opts...)
+	if err == nil {
+		switch format {
+		case "table":
+			err = writeSweepTable(out, res)
+		case "json":
+			err = res.WriteJSON(out)
+		default: // "csv", validated above
+			err = res.WriteCSV(out)
+		}
+	}
+	// A failed close means a truncated output file; never swallow it.
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	// Partial failures are visible per row; a sweep with zero
+	// successes (a platform typo, a broken source) must not exit 0.
+	if res != nil && res.Failed() == len(res.Results) {
+		return fmt.Errorf("all %d sweep configurations failed; first error: %s",
+			len(res.Results), res.Results[0].Error)
+	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dperf:", err)
-	os.Exit(1)
+func writeSweepTable(out io.Writer, res *dperf.SweepResult) error {
+	fmt.Fprintf(out, "sweep: %d configurations, %d workers, %s (%d failed)\n",
+		len(res.Results), res.Workers, res.Elapsed.Round(1e6), res.Failed())
+	if err := res.WriteTable(out); err != nil {
+		return err
+	}
+	if best := res.Best(dperf.MetricPredicted); best != nil {
+		fmt.Fprintf(out, "best: %s at %d ranks (%s) — t_predicted %.3fs\n",
+			best.Platform, best.Ranks, best.Scheme, best.Prediction.Predicted)
+	}
+	return nil
+}
+
+func printPrediction(w io.Writer, pred *dperf.Prediction) {
+	fmt.Fprintf(w, "  scatter  %8.3f s\n", pred.Scatter)
+	fmt.Fprintf(w, "  compute  %8.3f s\n", pred.Compute)
+	fmt.Fprintf(w, "  gather   %8.3f s\n", pred.Gather)
+	fmt.Fprintf(w, "  t_predicted = %.3f s\n", pred.Predicted)
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the command with discardable stderr and returns
+// stdout plus the error.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+// fast keeps CLI-test pipelines cheap: a tiny grid and few rounds.
+var fast = []string{"-n", "64", "-rounds", "6"}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-level", "zz"},
+		{"-platform", "betelgeuse"},
+		{"-sweep", "-sweep-format", "yaml"},
+		{"-sweep", "-sweep-ranks", "two"},
+		{"-sweep", "-sweep-schemes", "mostly-sync"},
+		{"-sweep", "-save-traces", "set.json"},
+		{"-sweep", "-emit-instrumented"},
+		{"-sweep-ranks", "2,4"}, // sweep flag without -sweep
+		{"stray-arg"},
+	} {
+		if _, err := runCLI(t, append(args, fast...)...); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+func TestRunPipelineAndSaveLoadTraces(t *testing.T) {
+	set := filepath.Join(t.TempDir(), "set.json")
+	out, err := runCLI(t, append(fast, "-save-traces", set, "-peers", "2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t_predicted") || !strings.Contains(out, "saved trace set") {
+		t.Fatalf("pipeline output missing stages:\n%s", out)
+	}
+
+	// Benchmark once, predict anywhere: replay the stored set on
+	// another platform without re-analyzing.
+	out, err = runCLI(t, "-load-traces", set, "-platform", "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "replayed stored trace set") || !strings.Contains(out, "t_predicted") {
+		t.Fatalf("replay output unexpected:\n%s", out)
+	}
+
+	// Flags baked into the set are rejected rather than ignored.
+	if _, err := runCLI(t, "-load-traces", set, "-peers", "8"); err == nil {
+		t.Fatal("-peers with -load-traces accepted")
+	}
+	if _, err := runCLI(t, "-load-traces", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing trace set accepted")
+	}
+}
+
+func TestRunSweepTable(t *testing.T) {
+	out, err := runCLI(t, append(fast,
+		"-sweep", "-sweep-platforms", "grid5000,lan", "-sweep-ranks", "2,4")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sweep: 4 configurations") {
+		t.Fatalf("sweep header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "best: ") {
+		t.Fatalf("best line missing:\n%s", out)
+	}
+
+	// A sweep in which every configuration fails must not exit 0.
+	if _, err := runCLI(t, append(fast, "-sweep", "-sweep-platforms", "grd5000")...); err == nil {
+		t.Fatal("all-failed sweep reported success")
+	}
+}
+
+func TestRunSweepCSV(t *testing.T) {
+	out, err := runCLI(t, append(fast,
+		"-sweep", "-sweep-platforms", "grid5000", "-sweep-ranks", "2",
+		"-sweep-schemes", "sync,async", "-sweep-format", "csv")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 schemes
+		t.Fatalf("got %d CSV records, want 3:\n%s", len(recs), out)
+	}
+	if recs[1][4] != "synchronous" || recs[2][4] != "asynchronous" {
+		t.Fatalf("scheme columns wrong: %v / %v", recs[1], recs[2])
+	}
+	for _, rec := range recs[1:] {
+		if rec[11] != "" {
+			t.Fatalf("sweep row failed: %v", rec)
+		}
+	}
+}
+
+func TestRunSweepFromLoadedTraces(t *testing.T) {
+	set := filepath.Join(t.TempDir(), "set.json")
+	if _, err := runCLI(t, append(fast, "-save-traces", set, "-peers", "2")...); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-load-traces", set,
+		"-sweep", "-sweep-platforms", "grid5000,lan", "-sweep-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "\n"); got != 3 { // header + 2 platforms
+		t.Fatalf("got %d CSV lines, want 3:\n%s", got, out)
+	}
+	// A single -platform narrows the default sweep instead of erroring.
+	out, err = runCLI(t, "-load-traces", set, "-platform", "xdsl", "-sweep", "-sweep-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "xdsl") || strings.Contains(out, "grid5000") {
+		t.Fatalf("-platform did not narrow the sweep:\n%s", out)
+	}
+}

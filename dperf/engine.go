@@ -1,6 +1,8 @@
 package dperf
 
 import (
+	"time"
+
 	"repro/internal/p2psap"
 	"repro/internal/platform"
 	"repro/internal/replay"
@@ -31,16 +33,58 @@ type EngineResult struct {
 	GatherSeconds    float64
 }
 
+// ReplayOutcome is one entry of a batched replay: the result or the
+// error, plus the wall-clock cost of producing it.
+type ReplayOutcome struct {
+	Result *EngineResult
+	Err    error
+	// Cost is real (not virtual) time spent replaying this spec.
+	Cost time.Duration
+}
+
 // Engine is the replay stage seam. The default engine simulates
 // in-process over the replay/p2pdc/netsim stack; alternative engines
 // (batched DES, sharded or distributed replay) implement the same
-// contract and plug in via WithEngine.
+// contract and plug in via WithEngine. An Engine must be safe for
+// concurrent Replay calls from multiple goroutines: Sweep fans
+// configurations out over a worker pool.
 type Engine interface {
 	// Name labels predictions produced by this engine.
 	Name() string
 	// Replay simulates the traces on the platform and returns the
 	// predicted time.
 	Replay(spec EngineSpec) (*EngineResult, error)
+}
+
+// BatchEngine is the optional batching side of the Engine seam. An
+// engine that can amortize state across consecutive replays — the
+// default engine reuses one replay.Session per platform, keeping the
+// realized network and route caches alive — implements ReplayAll and
+// gets handed whole batches by Sweep and by the ReplayAll helper.
+// A ReplayAll call runs its specs sequentially; batches themselves
+// may run concurrently from different goroutines.
+type BatchEngine interface {
+	Engine
+	// ReplayAll replays the specs in order and returns one outcome per
+	// spec, in input order. Errors are reported per spec, never by
+	// aborting the batch.
+	ReplayAll(specs []EngineSpec) []ReplayOutcome
+}
+
+// ReplayAll replays the specs through the engine, batching natively
+// when the engine supports it and falling back to one Replay call per
+// spec otherwise. out[i] corresponds to specs[i].
+func ReplayAll(e Engine, specs []EngineSpec) []ReplayOutcome {
+	if be, ok := e.(BatchEngine); ok {
+		return be.ReplayAll(specs)
+	}
+	out := make([]ReplayOutcome, len(specs))
+	for i, spec := range specs {
+		start := time.Now()
+		res, err := e.Replay(spec)
+		out[i] = ReplayOutcome{Result: res, Err: err, Cost: time.Since(start)}
+	}
+	return out
 }
 
 // DefaultEngine returns the in-process trace-replay engine: the
@@ -51,22 +95,59 @@ type replayEngine struct{}
 
 func (replayEngine) Name() string { return "replay" }
 
-func (replayEngine) Replay(spec EngineSpec) (*EngineResult, error) {
-	res, err := replay.Run(replay.Spec{
+func replaySpec(spec EngineSpec) replay.Spec {
+	return replay.Spec{
 		Platform:     spec.Platform,
 		Hosts:        spec.Hosts,
 		Submitter:    spec.Submitter,
 		Scheme:       spec.Scheme,
 		ScatterBytes: spec.ScatterBytes,
 		GatherBytes:  spec.GatherBytes,
-	}, spec.Traces)
-	if err != nil {
-		return nil, err
 	}
+}
+
+func engineResult(res *replay.Result) *EngineResult {
 	return &EngineResult{
 		PredictedSeconds: res.PredictedSeconds,
 		ScatterSeconds:   res.ScatterSeconds,
 		ComputeSeconds:   res.ComputeSeconds,
 		GatherSeconds:    res.GatherSeconds,
-	}, nil
+	}
+}
+
+func (replayEngine) Replay(spec EngineSpec) (*EngineResult, error) {
+	res, err := replay.Run(replaySpec(spec), spec.Traces)
+	if err != nil {
+		return nil, err
+	}
+	return engineResult(res), nil
+}
+
+// ReplayAll implements BatchEngine: specs targeting the same platform
+// graph share one replay.Session, so the realized network, route
+// caches and mailboxes are built once per platform instead of once
+// per replay.
+func (replayEngine) ReplayAll(specs []EngineSpec) []ReplayOutcome {
+	sessions := make(map[*platform.Platform]*replay.Session)
+	out := make([]ReplayOutcome, len(specs))
+	for i, spec := range specs {
+		start := time.Now()
+		s, ok := sessions[spec.Platform]
+		if !ok {
+			var err error
+			s, err = replay.NewSession(spec.Platform)
+			if err != nil {
+				out[i] = ReplayOutcome{Err: err, Cost: time.Since(start)}
+				continue
+			}
+			sessions[spec.Platform] = s
+		}
+		res, err := s.Run(replaySpec(spec), spec.Traces)
+		if err != nil {
+			out[i] = ReplayOutcome{Err: err, Cost: time.Since(start)}
+			continue
+		}
+		out[i] = ReplayOutcome{Result: engineResult(res), Cost: time.Since(start)}
+	}
+	return out
 }

@@ -6,44 +6,49 @@ import (
 
 // Prediction is a complete dPerf result for one configuration.
 type Prediction struct {
-	Workload string
-	Platform string
-	Engine   string
-	Ranks    int
-	Level    Level
-	Scheme   Scheme
+	Workload string `json:"workload,omitempty"`
+	Platform string `json:"platform"`
+	Engine   string `json:"engine"`
+	Ranks    int    `json:"ranks"`
+	Level    Level  `json:"level"`
+	Scheme   Scheme `json:"scheme"`
 	// Predicted is t_predicted in seconds; Scatter/Compute/Gather are
 	// its phase breakdown.
-	Predicted float64
-	Scatter   float64
-	Compute   float64
-	Gather    float64
-	// TraceSet is the artifact this prediction was replayed from.
-	TraceSet *TraceSet
+	Predicted float64 `json:"predicted_s"`
+	Scatter   float64 `json:"scatter_s"`
+	Compute   float64 `json:"compute_s"`
+	Gather    float64 `json:"gather_s"`
+	// TraceSet is the artifact this prediction was replayed from. It is
+	// kept out of serialized predictions: the trace set is its own
+	// artifact with its own JSON format.
+	TraceSet *TraceSet `json:"-"`
 }
 
-// Predict replays the trace set on the configured platform and
-// returns the prediction. The same trace set can be predicted on many
-// platforms — pass WithPlatform/WithCustomPlatform per call. Trace
-// sets loaded from JSON use the package defaults for anything not
-// overridden here.
-func (ts *TraceSet) Predict(opts ...Option) (*Prediction, error) {
-	cfg := ts.cfg.apply(opts)
+// engineSpec resolves the configuration against the trace set into
+// the spec handed to the replay engine, plus the platform label used
+// in reports.
+func (cfg config) engineSpec(ts *TraceSet) (EngineSpec, string, error) {
 	if len(ts.Traces) == 0 {
-		return nil, fmt.Errorf("dperf: empty trace set")
+		return EngineSpec{}, "", fmt.Errorf("dperf: empty trace set")
 	}
 	plat, label, err := cfg.platformFor(ts.Ranks)
 	if err != nil {
-		return nil, err
+		return EngineSpec{}, "", err
 	}
+	return cfg.engineSpecOn(ts, plat, label)
+}
+
+// engineSpecOn is engineSpec with the platform already resolved —
+// sweeps resolve each distinct platform once and share it.
+func (cfg config) engineSpecOn(ts *TraceSet, plat *Platform, label string) (EngineSpec, string, error) {
 	if plat.Frontend == "" {
-		return nil, fmt.Errorf("dperf: platform %s has no frontend host to submit from", plat.Name)
+		return EngineSpec{}, "", fmt.Errorf("dperf: platform %s has no frontend host to submit from", plat.Name)
 	}
 	hosts, err := hostsFor(plat, ts.Ranks)
 	if err != nil {
-		return nil, err
+		return EngineSpec{}, "", err
 	}
-	res, err := cfg.engine.Replay(EngineSpec{
+	return EngineSpec{
 		Platform:     plat,
 		Hosts:        hosts,
 		Submitter:    plat.Frontend,
@@ -51,10 +56,11 @@ func (ts *TraceSet) Predict(opts ...Option) (*Prediction, error) {
 		ScatterBytes: ts.ScatterBytes,
 		GatherBytes:  ts.GatherBytes,
 		Traces:       ts.Traces,
-	})
-	if err != nil {
-		return nil, err
-	}
+	}, label, nil
+}
+
+// newPrediction assembles the public result from an engine outcome.
+func (cfg config) newPrediction(ts *TraceSet, label string, res *EngineResult) *Prediction {
 	return &Prediction{
 		Workload:  ts.Workload,
 		Platform:  label,
@@ -67,7 +73,25 @@ func (ts *TraceSet) Predict(opts ...Option) (*Prediction, error) {
 		Compute:   res.ComputeSeconds,
 		Gather:    res.GatherSeconds,
 		TraceSet:  ts,
-	}, nil
+	}
+}
+
+// Predict replays the trace set on the configured platform and
+// returns the prediction. The same trace set can be predicted on many
+// platforms — pass WithPlatform/WithCustomPlatform per call. Trace
+// sets loaded from JSON use the package defaults for anything not
+// overridden here.
+func (ts *TraceSet) Predict(opts ...Option) (*Prediction, error) {
+	cfg := ts.cfg.apply(opts)
+	spec, label, err := cfg.engineSpec(ts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cfg.engine.Replay(spec)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.newPrediction(ts, label, res), nil
 }
 
 // hostsFor picks the first n compute hosts of a platform.

@@ -51,4 +51,8 @@ func main() {
 		fmt.Printf("t_predicted on %-9s with 4 peers: %7.3f s  (scatter %.2f + compute %.2f + gather %.2f)\n",
 			kind, pred.Predicted, pred.Scatter, pred.Compute, pred.Gather)
 	}
+
+	// To explore many platforms × peer counts × schemes in one call —
+	// concurrently, with shared replay sessions — use dperf.Sweep;
+	// see examples/sweep.
 }

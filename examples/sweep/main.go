@@ -1,0 +1,61 @@
+// Sweep: explore the design space instead of predicting one point.
+// One benchmark run of the obstacle problem produces traces that are
+// replayed — concurrently, sharing platform graphs and replay
+// sessions — against every combination of platform, peer count and
+// P2PSAP scheme, answering "where should this application run?"
+// with a ranked table rather than a single t_predicted.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/dperf"
+)
+
+func main() {
+	// A reduced workload so the example finishes in a couple seconds.
+	w := dperf.ObstacleWorkload{N: 600, Rounds: 40, Sweeps: 8, BenchN: 24}
+	pipe := dperf.New(w, dperf.WithLevel(dperf.O3))
+
+	// Analyze once; the sweep generates traces per rank count from it.
+	a, err := pipe.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The space is the cross product of its dimensions: 3 platforms ×
+	// 3 peer counts × 2 schemes = 18 configurations.
+	space := dperf.Space{
+		Platforms: []dperf.Kind{dperf.KindCluster, dperf.KindLAN, dperf.KindDaisy},
+		Ranks:     []int{2, 4, 8},
+		Schemes:   []dperf.Scheme{dperf.Synchronous, dperf.Asynchronous},
+	}
+	res, err := dperf.Sweep(a, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swept %d configurations with %d workers in %s (%d failed)\n\n",
+		len(res.Results), res.Workers, res.Elapsed.Round(1e6), res.Failed())
+	if err := res.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The result table answers design questions directly.
+	fmt.Println()
+	ranked := res.RankBy(dperf.MetricPredicted) // successful configs only
+	for i, cr := range ranked {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("top pick: %-9s %d peers %-12s t_predicted %7.3f s\n",
+			cr.Platform, cr.Ranks, cr.Scheme, cr.Prediction.Predicted)
+	}
+	if worst := res.Worst(dperf.MetricPredicted); worst != nil {
+		fmt.Printf("avoid:    %-9s %d peers %-12s t_predicted %7.3f s\n",
+			worst.Platform, worst.Ranks, worst.Scheme, worst.Prediction.Predicted)
+	}
+}

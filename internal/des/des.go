@@ -131,6 +131,26 @@ func (s *Simulation) RunUntil(limit float64) float64 {
 	return s.now
 }
 
+// Reset rewinds the clock and event sequence to zero so the
+// simulation can host another run whose timings are bit-identical to
+// a fresh kernel's (replaying at a large clock offset changes float64
+// rounding). It refuses to reset a busy kernel: all events must have
+// drained and all processes finished.
+func (s *Simulation) Reset() error {
+	if s.running {
+		return fmt.Errorf("des: Reset during Run")
+	}
+	if len(s.queue) > 0 {
+		return fmt.Errorf("des: Reset with %d pending event(s)", len(s.queue))
+	}
+	if s.live > 0 {
+		return fmt.Errorf("des: Reset with %d live process(es)", s.live)
+	}
+	s.now = 0
+	s.seq = 0
+	return nil
+}
+
 // Step executes exactly one event, if any, and reports whether one ran.
 func (s *Simulation) Step() bool {
 	if len(s.queue) == 0 {

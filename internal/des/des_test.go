@@ -497,3 +497,42 @@ func BenchmarkProcessContextSwitch(b *testing.B) {
 	b.ResetTimer()
 	s.Run()
 }
+
+func TestReset(t *testing.T) {
+	s := New()
+	s.Spawn("p", 0, func(p *Process) { p.Sleep(3) })
+	if err := s.Reset(); err == nil {
+		t.Fatal("Reset accepted with pending events")
+	}
+	s.Run()
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("Now after Reset = %v, want 0", s.Now())
+	}
+	// A second run on the reset kernel behaves like a fresh one.
+	s.Spawn("q", 0, func(p *Process) { p.Sleep(2) })
+	if end := s.Run(); end != 2 {
+		t.Fatalf("second run ended at %v, want 2", end)
+	}
+}
+
+func TestResetRefusesLiveProcess(t *testing.T) {
+	s := New()
+	c := s.NewCond()
+	s.Spawn("waiter", 0, func(p *Process) { c.Wait(p) })
+	s.Schedule(1, func() {}) // keep the queue non-empty so Run returns
+	s.RunUntil(0.5)
+	if err := s.Reset(); err == nil {
+		t.Fatal("Reset accepted with a parked process")
+	}
+	c.Signal()
+	s.Run()
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,23 +24,30 @@ type mailbox struct {
 	q *des.Queue
 }
 
+// boxKey addresses a mailbox. A struct key keeps the per-message
+// lookup allocation-free (a concatenated string key would allocate on
+// every send and receive).
+type boxKey struct {
+	host, tag string
+}
+
 // Post is the message-passing layer over the flow simulator. A Post is
 // bound to one Network; mailboxes are created on demand.
 type Post struct {
 	net   *Network
-	boxes map[string]*mailbox
+	boxes map[boxKey]*mailbox
 }
 
 // NewPost creates the message layer for a network.
 func NewPost(n *Network) *Post {
-	return &Post{net: n, boxes: make(map[string]*mailbox)}
+	return &Post{net: n, boxes: make(map[boxKey]*mailbox)}
 }
 
 // Net returns the underlying network.
 func (po *Post) Net() *Network { return po.net }
 
 func (po *Post) box(host, tag string) *mailbox {
-	key := host + "\x00" + tag
+	key := boxKey{host: host, tag: tag}
 	b, ok := po.boxes[key]
 	if !ok {
 		b = &mailbox{q: po.net.sim.NewQueue()}

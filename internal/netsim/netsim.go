@@ -382,6 +382,18 @@ func (n *Network) assignRates() {
 // ActiveFlows reports the number of flows currently sharing bandwidth.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
 
+// Reset rewinds the network's internal clock bookkeeping so it can be
+// reused on a kernel whose clock was itself reset (see des.Reset).
+// Hosts, links and the route cache — the expensive structures — are
+// kept. It refuses to reset while transfers are in flight.
+func (n *Network) Reset() error {
+	if len(n.flows) > 0 {
+		return fmt.Errorf("netsim: Reset with %d active flow(s)", len(n.flows))
+	}
+	n.lastUpdate = 0
+	return nil
+}
+
 // TransferTime predicts, without starting a flow, how long a solo
 // transfer of the given size would take between two hosts (latency +
 // bytes divided by the path's narrowest link). Useful for tests and

@@ -50,6 +50,21 @@ func NewEnvironment(plat *platform.Platform) (*Environment, error) {
 	}, nil
 }
 
+// Reset rewinds the environment's virtual clock to zero so the next
+// Run produces timings bit-identical to a fresh environment's, while
+// keeping the expensive structures — realized hosts and links, route
+// caches, mailboxes, adapted P2PSAP channels — alive. It fails if the
+// previous run left the kernel busy (e.g. a stalled application).
+func (e *Environment) Reset() error {
+	if err := e.Sim.Reset(); err != nil {
+		return fmt.Errorf("p2pdc: %w", err)
+	}
+	if err := e.Net.Reset(); err != nil {
+		return fmt.Errorf("p2pdc: %w", err)
+	}
+	return nil
+}
+
 // App is the per-peer subtask body. It runs as one simulated process
 // per rank and may compute, exchange with other ranks, and reduce.
 type App func(w *Worker) error
@@ -211,6 +226,10 @@ type Worker struct {
 	rank  int
 	hosts []string
 	spec  *RunSpec
+	// dataCh/ctlCh cache the per-peer channel handles so the
+	// per-message path neither formats a tag nor hits the protocol's
+	// channel map (both allocate).
+	dataCh, ctlCh []*p2psap.Channel
 }
 
 // Rank returns this worker's 0-based rank.
@@ -240,17 +259,34 @@ func (w *Worker) Sleep(d float64) { w.proc.Sleep(d) }
 // channel returns the P2PSAP channel to a peer for a traffic class.
 // Data and control (convergence) traffic use distinct sessions so a
 // small control message can never overtake a large data message in
-// the same mailbox and be mistaken for it.
+// the same mailbox and be mistaken for it. Handles are cached per
+// worker: an iterative application crosses the same channels every
+// round.
 func (w *Worker) channel(peer int, class string) (*p2psap.Channel, error) {
 	if peer < 0 || peer >= len(w.hosts) {
 		return nil, fmt.Errorf("p2pdc: rank %d out of range [0,%d)", peer, len(w.hosts))
+	}
+	cache := &w.dataCh
+	if class == "ctl" {
+		cache = &w.ctlCh
+	}
+	if *cache == nil {
+		*cache = make([]*p2psap.Channel, len(w.hosts))
+	}
+	if ch := (*cache)[peer]; ch != nil {
+		return ch, nil
 	}
 	a, b := w.rank, peer
 	if a > b {
 		a, b = b, a
 	}
 	tag := fmt.Sprintf("r%d-r%d:%s", a, b, class)
-	return w.env.Proto.Channel(w.hosts[a], w.hosts[b], tag, w.spec.Scheme)
+	ch, err := w.env.Proto.Channel(w.hosts[a], w.hosts[b], tag, w.spec.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	(*cache)[peer] = ch
+	return ch, nil
 }
 
 // Send transmits bytes to another rank through the pair's P2PSAP

@@ -120,6 +120,10 @@ func (pr *Protocol) Channel(a, b, tag string, scheme Scheme) (*Channel, error) {
 		profile: AdaptProfile(lat),
 		scheme:  scheme,
 	}
+	// Mailbox tags are fixed per direction; building them once keeps
+	// the per-message path allocation-free.
+	ch.tagAtA = "p2psap:" + tag + ":" + a
+	ch.tagAtB = "p2psap:" + tag + ":" + b
 	pr.channels[key] = ch
 	pr.Adaptations++
 	return ch, nil
@@ -132,6 +136,9 @@ type Channel struct {
 	tag     string
 	profile Profile
 	scheme  Scheme
+	// tagAtA/tagAtB are the precomputed mailbox tags for messages
+	// arriving at endpoint a and b respectively.
+	tagAtA, tagAtB string
 
 	// Traffic counters.
 	Sent, Received int
@@ -157,7 +164,12 @@ func (c *Channel) other(host string) (string, error) {
 	return "", fmt.Errorf("p2psap: host %q not an endpoint of channel %s<->%s", host, c.a, c.b)
 }
 
-func (c *Channel) mailTag(dir string) string { return "p2psap:" + c.tag + ":" + dir }
+func (c *Channel) mailTag(at string) string {
+	if at == c.a {
+		return c.tagAtA
+	}
+	return c.tagAtB
+}
 
 // Send transmits payload from the given endpoint. Sends are eager
 // under both schemes: the caller pays the local protocol processing

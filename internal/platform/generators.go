@@ -279,3 +279,20 @@ func ForKind(kind Kind, n int) (*Platform, error) {
 		return nil, fmt.Errorf("platform: unknown kind %q", kind)
 	}
 }
+
+// SizeKey reports which peer counts share a ForKind graph: two calls
+// ForKind(kind, a) and ForKind(kind, b) build identical platforms iff
+// SizeKey(kind, a) == SizeKey(kind, b). Callers caching platforms
+// (e.g. sweeps) key on it; it lives here so the sharing policy cannot
+// drift from the construction policy above.
+func SizeKey(kind Kind, n int) int {
+	switch kind {
+	case KindDaisy:
+		return 0 // always full Fig. 8 scale
+	case KindLAN:
+		if n <= 1024 {
+			return 0
+		}
+	}
+	return n
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/des"
 	"repro/internal/netsim"
@@ -45,7 +46,10 @@ type Platform struct {
 	edges    []Edge
 	adj      map[string][]int // node -> edge indices
 
-	// routing cache: per source, predecessor tree.
+	// routing cache: per source, predecessor tree. Guarded by mu so a
+	// single platform graph can serve concurrent replays (sweeps share
+	// one Platform across worker goroutines).
+	mu        sync.Mutex
 	predCache map[string]map[string]int // src -> node -> incoming edge index
 }
 
@@ -100,7 +104,9 @@ func (p *Platform) Connect(a, b, linkName string, bandwidth, latency float64) er
 	p.edges = append(p.edges, Edge{A: a, B: b, LinkName: linkName, Bandwidth: bandwidth, Latency: latency})
 	p.adj[a] = append(p.adj[a], idx)
 	p.adj[b] = append(p.adj[b], idx)
+	p.mu.Lock()
 	p.predCache = make(map[string]map[string]int) // invalidate
+	p.mu.Unlock()
 	return nil
 }
 
@@ -145,11 +151,13 @@ func (p *Platform) Path(src, dst string) ([]int, error) {
 	if src == dst {
 		return nil, nil
 	}
+	p.mu.Lock()
 	pred, ok := p.predCache[src]
 	if !ok {
 		pred = p.shortestPathTree(src)
 		p.predCache[src] = pred
 	}
+	p.mu.Unlock()
 	if _, reached := pred[dst]; !reached {
 		return nil, fmt.Errorf("platform: %q unreachable from %q", dst, src)
 	}

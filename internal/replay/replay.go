@@ -44,8 +44,68 @@ type Result struct {
 	GatherSeconds  float64
 }
 
-// Run replays the traces and returns the predicted time.
+// Run replays the traces once and returns the predicted time. It is
+// a convenience wrapper over a single-use Session; callers replaying
+// many trace sets or configurations against the same platform should
+// create one Session and reuse it.
 func Run(spec Spec, traces []*trace.Trace) (*Result, error) {
+	if spec.Platform == nil {
+		return nil, fmt.Errorf("replay: spec has no platform")
+	}
+	s, err := NewSession(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(spec, traces)
+}
+
+// Session is a reusable replay context bound to one platform. It
+// keeps the expensive simulation state — the event kernel, the
+// realized network (hosts, links, route caches), mailboxes and
+// adapted P2PSAP channels — alive across Run calls instead of
+// rebuilding them per replay, which dominates replay cost on large
+// platforms (the Daisy topology realizes 1024 hosts).
+//
+// Between runs the virtual clock is rewound to zero, so a reused
+// session produces results bit-identical to a fresh one regardless of
+// how many replays preceded it. Hosts, submitter, scheme and
+// deployment bytes may differ per Run; only the platform is fixed.
+//
+// A Session is not safe for concurrent use; use one session per
+// goroutine (they may share the platform, whose route computation is
+// internally synchronized).
+type Session struct {
+	plat *platform.Platform
+	env  *p2pdc.Environment
+	// dirty marks the environment as unusable after a failed run (a
+	// stalled application leaves processes parked forever); the next
+	// Run rebuilds it.
+	dirty bool
+}
+
+// NewSession creates a replay session for the platform, realizing the
+// simulation environment once.
+func NewSession(plat *platform.Platform) (*Session, error) {
+	if plat == nil {
+		return nil, fmt.Errorf("replay: nil platform")
+	}
+	env, err := p2pdc.NewEnvironment(plat)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{plat: plat, env: env}, nil
+}
+
+// Platform returns the platform the session is bound to.
+func (s *Session) Platform() *platform.Platform { return s.plat }
+
+// Run replays the traces under spec, reusing the session's simulation
+// environment. spec.Platform must be nil or the session's platform.
+func (s *Session) Run(spec Spec, traces []*trace.Trace) (*Result, error) {
+	if spec.Platform != nil && spec.Platform != s.plat {
+		return nil, fmt.Errorf("replay: spec platform %q is not the session's platform %q",
+			spec.Platform.Name, s.plat.Name)
+	}
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("replay: no traces")
 	}
@@ -55,10 +115,26 @@ func Run(spec Spec, traces []*trace.Trace) (*Result, error) {
 	if err := trace.Validate(traces); err != nil {
 		return nil, err
 	}
-	env, err := p2pdc.NewEnvironment(spec.Platform)
-	if err != nil {
+	if s.dirty {
+		env, err := p2pdc.NewEnvironment(s.plat)
+		if err != nil {
+			return nil, err
+		}
+		s.env = env
+		s.dirty = false
+	} else if err := s.env.Reset(); err != nil {
 		return nil, err
 	}
+	res, err := s.run(spec, traces)
+	if err != nil {
+		s.dirty = true
+		return nil, err
+	}
+	return res, nil
+}
+
+// run executes one replay on the (reset) environment.
+func (s *Session) run(spec Spec, traces []*trace.Trace) (*Result, error) {
 	app := func(w *p2pdc.Worker) error {
 		t := traces[w.Rank()]
 		for _, r := range t.Records {
@@ -92,7 +168,7 @@ func Run(spec Spec, traces []*trace.Trace) (*Result, error) {
 		ScatterBytes: spec.ScatterBytes,
 		GatherBytes:  spec.GatherBytes,
 	}
-	res, err := env.Run(runSpec, app)
+	res, err := s.env.Run(runSpec, app)
 	if err != nil {
 		return nil, err
 	}

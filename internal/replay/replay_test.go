@@ -164,3 +164,115 @@ func TestReplayDeterministic(t *testing.T) {
 		t.Fatalf("nondeterministic replay: %v vs %v", r1.PredictedSeconds, r2.PredictedSeconds)
 	}
 }
+
+func sessionTraces() []*trace.Trace {
+	return []*trace.Trace{
+		{Rank: 0, Of: 2, Records: []trace.Record{
+			{Kind: trace.KindCompute, NS: 1e8},
+			{Kind: trace.KindSend, Peer: 1, Bytes: 1e6},
+			{Kind: trace.KindConv},
+		}},
+		{Rank: 1, Of: 2, Records: []trace.Record{
+			{Kind: trace.KindRecv, Peer: 0, Bytes: 1e6},
+			{Kind: trace.KindConv},
+		}},
+	}
+}
+
+func TestSessionReuseBitIdentical(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	fresh, err := Run(spec, sessionTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(spec.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := s.Run(spec, sessionTraces())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if *got != *fresh {
+			t.Fatalf("run %d: session result %+v differs from fresh %+v", i, got, fresh)
+		}
+	}
+}
+
+func TestSessionVariesSpecPerRun(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	s, err := NewSession(spec.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same session, different scheme and deployment bytes per run.
+	async := spec
+	async.Scheme = p2psap.Asynchronous
+	async.ScatterBytes = 125e6
+	r1, err := s.Run(spec, sessionTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(async, sessionTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ScatterSeconds <= r1.ScatterSeconds {
+		t.Fatalf("scatter bytes ignored on reuse: %v vs %v", r2.ScatterSeconds, r1.ScatterSeconds)
+	}
+	// And back: the first configuration still predicts the same time.
+	r3, err := s.Run(spec, sessionTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r3 != *r1 {
+		t.Fatalf("reused session drifted: %+v vs %+v", r3, r1)
+	}
+}
+
+func TestSessionRejectsForeignPlatform(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	other := clusterSpec(t, 2)
+	s, err := NewSession(spec.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(other, sessionTraces()); err == nil {
+		t.Fatal("session accepted a different platform")
+	}
+}
+
+func TestSessionRecoversAfterError(t *testing.T) {
+	spec := clusterSpec(t, 2)
+	s, err := NewSession(spec.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cyclic wait: counts are pairwise consistent (so validation
+	// passes) but both ranks Recv before either Send — a stall.
+	bad := []*trace.Trace{
+		{Rank: 0, Of: 2, Records: []trace.Record{
+			{Kind: trace.KindRecv, Peer: 1, Bytes: 8},
+			{Kind: trace.KindSend, Peer: 1, Bytes: 8},
+		}},
+		{Rank: 1, Of: 2, Records: []trace.Record{
+			{Kind: trace.KindRecv, Peer: 0, Bytes: 8},
+			{Kind: trace.KindSend, Peer: 0, Bytes: 8},
+		}},
+	}
+	if _, err := s.Run(spec, bad); err == nil {
+		t.Fatal("stalled replay reported no error")
+	}
+	fresh, err := Run(spec, sessionTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run(spec, sessionTraces())
+	if err != nil {
+		t.Fatalf("session unusable after failed run: %v", err)
+	}
+	if *got != *fresh {
+		t.Fatalf("post-error session result %+v differs from fresh %+v", got, fresh)
+	}
+}
