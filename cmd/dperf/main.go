@@ -8,6 +8,7 @@
 //	dperf -platform grid5000|xdsl|lan -peers 4 -level O3 [-src file.c]
 //	      [-emit-instrumented] [-emit-traces dir]
 //	      [-save-traces set.json] [-load-traces set.json]
+//	      [-trace-format text|json|bin] [-trace-stats]
 //	dperf -sweep [-sweep-platforms grid5000,xdsl,lan] [-sweep-ranks 2,4,8]
 //	      [-sweep-schemes sync,async] [-sweep-workers N]
 //	      [-sweep-format table|json|csv] [-sweep-out file]
@@ -15,7 +16,14 @@
 // -save-traces persists the platform-independent trace set; a later
 // run with -load-traces skips analysis and benchmarking entirely and
 // replays the stored traces on any platform — dPerf's "benchmark
-// once, predict anywhere".
+// once, predict anywhere". -trace-format selects the on-disk format:
+// json (default) or the compact loop-folded binary (bin) for
+// -save-traces, text (default) or bin for the per-rank -emit-traces
+// files. -load-traces auto-detects all of them, including a
+// directory of per-rank files.
+//
+// -trace-stats inspects a trace set instead of predicting from it:
+// raw vs folded record counts and the serialized size of each format.
 //
 // -sweep replays one trace source against the cross product of
 // platforms × rank counts × schemes concurrently and prints the
@@ -34,6 +42,7 @@ import (
 	"strings"
 
 	"repro/dperf"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -55,8 +64,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		srcPath      = fs.String("src", "", "mini-C source file (default: embedded obstacle problem)")
 		emitInstr    = fs.Bool("emit-instrumented", false, "print the instrumented source and exit")
 		emitTraces   = fs.String("emit-traces", "", "directory to write per-rank trace files")
-		saveTraces   = fs.String("save-traces", "", "file to write the trace set as JSON")
-		loadTraces   = fs.String("load-traces", "", "replay a previously saved trace set (skips analysis)")
+		saveTraces   = fs.String("save-traces", "", "file to write the trace set (JSON or binary, see -trace-format)")
+		loadTraces   = fs.String("load-traces", "", "replay a previously saved trace set or trace directory (skips analysis; format auto-detected)")
+		traceFormat  = fs.String("trace-format", "", "trace output format: json or bin for -save-traces, text or bin for -emit-traces")
+		traceStats   = fs.Bool("trace-stats", false, "print trace-set statistics (records vs folded ops, per-format sizes) instead of predicting")
 		n            = fs.Int64("n", 0, "override grid dimension N")
 		rounds       = fs.Int64("rounds", 0, "override the iteration round count")
 
@@ -78,6 +89,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 
+	// Validate the trace-format flags up front: a typo must not cost a
+	// full pipeline run.
+	switch *traceFormat {
+	case "", "text", "json", "bin":
+	default:
+		return fmt.Errorf("unknown -trace-format %q (want text, json or bin)", *traceFormat)
+	}
+	if *traceFormat != "" && *saveTraces == "" && *emitTraces == "" {
+		return fmt.Errorf("-trace-format has no effect without -save-traces or -emit-traces")
+	}
+	if *saveTraces != "" && *traceFormat == "text" {
+		return fmt.Errorf("-trace-format text applies to -emit-traces; -save-traces supports json or bin")
+	}
+	if *emitTraces != "" && *traceFormat == "json" {
+		return fmt.Errorf("-trace-format json applies to -save-traces; -emit-traces supports text or bin")
+	}
+
 	// Reject flag combinations that would otherwise be silently
 	// ignored, before any pipeline stage runs.
 	if *sweep {
@@ -88,6 +116,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("-emit-traces has no effect with -sweep: run the pipeline once to persist traces, then sweep with -load-traces")
 		case *emitInstr:
 			return fmt.Errorf("-emit-instrumented has no effect with -sweep")
+		case *traceStats:
+			return fmt.Errorf("-trace-stats has no effect with -sweep")
 		}
 	} else {
 		// Mirror case: sweep flags without -sweep would silently run
@@ -117,7 +147,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var badFlag error
 		fs.Visit(func(f *flag.Flag) {
 			switch {
-			case f.Name == "load-traces" || f.Name == "platform":
+			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats":
 			case *sweep && strings.HasPrefix(f.Name, "sweep"):
 			default:
 				badFlag = fmt.Errorf("-%s has no effect with -load-traces: the trace set fixes the workload, peers and level", f.Name)
@@ -129,6 +159,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ts, err := dperf.LoadTraceSet(*loadTraces)
 		if err != nil {
 			return err
+		}
+		if *traceStats {
+			return printTraceStats(stdout, ts)
 		}
 		if *sweep {
 			return runSweep(fs, ts, stdout,
@@ -215,10 +248,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *saveTraces != "" {
-		if err := ts.SaveJSON(*saveTraces); err != nil {
+		save := ts.SaveJSON
+		if *traceFormat == "bin" {
+			save = ts.SaveBinary
+		}
+		if err := save(*saveTraces); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "\nsaved trace set (%d ranks) to %s\n", ts.Ranks, *saveTraces)
+	}
+
+	// Inspection mode: report the set's size instead of predicting.
+	if *traceStats {
+		if *emitTraces != "" {
+			if err := emitTraceFiles(stdout, ts, *emitTraces, *traceFormat); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(stdout)
+		return printTraceStats(stdout, ts)
 	}
 
 	// Stage 4: replay on the target platform.
@@ -231,24 +279,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 	printPrediction(stdout, pred)
 
 	if *emitTraces != "" {
-		if err := os.MkdirAll(*emitTraces, 0o755); err != nil {
+		if err := emitTraceFiles(stdout, ts, *emitTraces, *traceFormat); err != nil {
 			return err
 		}
-		for _, tr := range ts.Traces {
-			path := filepath.Join(*emitTraces, fmt.Sprintf("rank-%d.trace", tr.Rank))
-			f, err := os.Create(path)
-			if err != nil {
-				return err
-			}
-			if err := tr.Write(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-		}
-		fmt.Fprintf(stdout, "wrote %d trace files to %s\n", len(ts.Traces), *emitTraces)
+	}
+	return nil
+}
+
+// emitTraceFiles writes the per-rank trace files in the requested
+// format: text (default, streamed from the folded IR) or binary.
+func emitTraceFiles(stdout io.Writer, ts *dperf.TraceSet, dir, format string) error {
+	folded := ts.Folded()
+	if err := trace.WriteAllFolded(dir, folded, format == "bin"); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d trace files to %s\n", len(folded), dir)
+	return nil
+}
+
+// printTraceStats renders the -trace-stats inspection report.
+func printTraceStats(w io.Writer, ts *dperf.TraceSet) error {
+	st, err := ts.Stats()
+	if err != nil {
+		return err
+	}
+	name := st.Workload
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(w, "trace set %s: %d ranks\n", name, st.Ranks)
+	fmt.Fprintf(w, "  records (flat)  %12d\n", st.Records)
+	fmt.Fprintf(w, "  ops (folded)    %12d  (fold ratio %.1fx)\n", st.Ops, st.FoldRatio)
+	fmt.Fprintf(w, "  text bytes      %12d\n", st.TextBytes)
+	if st.JSONBytes > 0 {
+		fmt.Fprintf(w, "  json bytes      %12d\n", st.JSONBytes)
+	} else {
+		fmt.Fprintf(w, "  json bytes      %12s\n", "(set too large to materialize)")
+	}
+	if st.JSONBytes > 0 && st.BinaryBytes > 0 {
+		fmt.Fprintf(w, "  binary bytes    %12d  (%.1fx smaller than json)\n",
+			st.BinaryBytes, float64(st.JSONBytes)/float64(st.BinaryBytes))
+	} else {
+		fmt.Fprintf(w, "  binary bytes    %12d\n", st.BinaryBytes)
 	}
 	return nil
 }

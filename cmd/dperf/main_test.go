@@ -32,6 +32,11 @@ func TestRunBadFlags(t *testing.T) {
 		{"-sweep", "-emit-instrumented"},
 		{"-sweep-ranks", "2,4"}, // sweep flag without -sweep
 		{"stray-arg"},
+		{"-trace-format", "xml", "-save-traces", "set.bin"},
+		{"-trace-format", "bin"}, // no -save-traces / -emit-traces
+		{"-trace-format", "text", "-save-traces", "set.json"},
+		{"-trace-format", "json", "-emit-traces", "dir"},
+		{"-sweep", "-trace-stats"},
 	} {
 		if _, err := runCLI(t, append(args, fast...)...); err == nil {
 			t.Errorf("args %v: expected an error", args)
@@ -65,6 +70,81 @@ func TestRunPipelineAndSaveLoadTraces(t *testing.T) {
 	}
 	if _, err := runCLI(t, "-load-traces", filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing trace set accepted")
+	}
+}
+
+// TestRunBinaryTraceFormat: -trace-format bin saves the compact set,
+// -load-traces auto-detects it, and both formats predict identically.
+func TestRunBinaryTraceFormat(t *testing.T) {
+	dir := t.TempDir()
+	jsonSet := filepath.Join(dir, "set.json")
+	binSet := filepath.Join(dir, "set.bin")
+	if _, err := runCLI(t, append(fast, "-save-traces", jsonSet, "-peers", "2")...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, append(fast, "-save-traces", binSet, "-trace-format", "bin", "-peers", "2")...); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := runCLI(t, "-load-traces", jsonSet, "-platform", "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := runCLI(t, "-load-traces", binSet, "-platform", "lan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON != fromBin {
+		t.Fatalf("predictions differ across formats:\n%s\nvs\n%s", fromJSON, fromBin)
+	}
+}
+
+// TestRunEmitTracesFormats: per-rank trace files in text and binary,
+// both loadable as a trace directory.
+func TestRunEmitTracesFormats(t *testing.T) {
+	for _, format := range []string{"", "bin"} {
+		dir := filepath.Join(t.TempDir(), "traces")
+		args := append(fast, "-emit-traces", dir, "-peers", "2")
+		if format != "" {
+			args = append(args, "-trace-format", format)
+		}
+		if _, err := runCLI(t, args...); err != nil {
+			t.Fatal(err)
+		}
+		out, err := runCLI(t, "-load-traces", dir, "-platform", "lan")
+		if err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if !strings.Contains(out, "t_predicted") {
+			t.Fatalf("format %q: replay output unexpected:\n%s", format, out)
+		}
+	}
+}
+
+// TestRunTraceStats: the inspection mode reports fold and size
+// numbers for both pipeline-generated and loaded sets.
+func TestRunTraceStats(t *testing.T) {
+	out, err := runCLI(t, append(fast, "-trace-stats", "-peers", "2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"records (flat)", "ops (folded)", "binary bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "t_predicted") {
+		t.Fatalf("-trace-stats still predicted:\n%s", out)
+	}
+	set := filepath.Join(t.TempDir(), "set.bin")
+	if _, err := runCLI(t, append(fast, "-save-traces", set, "-trace-format", "bin", "-peers", "2")...); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCLI(t, "-load-traces", set, "-trace-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fold ratio") {
+		t.Fatalf("loaded stats output unexpected:\n%s", out)
 	}
 }
 

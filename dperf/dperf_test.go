@@ -261,7 +261,11 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ts.Workload != "vector-add" || len(ts.Traces) != 2 {
+	flat, err := ts.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Workload != "vector-add" || len(flat) != 2 {
 		t.Fatalf("trace set: %+v", ts)
 	}
 	if ts.GatherBytes != 0 {
@@ -274,7 +278,7 @@ int main() {
 	if pred.Predicted <= 0 {
 		t.Fatal("non-positive prediction")
 	}
-	if ts.Traces[0].TotalComputeNS() <= 0 {
+	if flat[0].TotalComputeNS() <= 0 {
 		t.Fatal("no compute recorded")
 	}
 }

@@ -21,7 +21,10 @@ type EngineSpec struct {
 	// ScatterBytes/GatherBytes are the per-peer deployment payloads.
 	ScatterBytes float64
 	GatherBytes  float64
-	Traces       []*trace.Trace
+	// Source streams the per-rank traces. Folded sources replay in
+	// O(compressed) memory and may be shared across concurrent
+	// replays (cursors are independent).
+	Source trace.Source
 }
 
 // EngineResult is a replay outcome: t_predicted plus its phase
@@ -116,7 +119,7 @@ func engineResult(res *replay.Result) *EngineResult {
 }
 
 func (replayEngine) Replay(spec EngineSpec) (*EngineResult, error) {
-	res, err := replay.Run(replaySpec(spec), spec.Traces)
+	res, err := replay.RunSource(replaySpec(spec), spec.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +145,7 @@ func (replayEngine) ReplayAll(specs []EngineSpec) []ReplayOutcome {
 			}
 			sessions[spec.Platform] = s
 		}
-		res, err := s.Run(replaySpec(spec), spec.Traces)
+		res, err := s.RunSource(replaySpec(spec), spec.Source)
 		if err != nil {
 			out[i] = ReplayOutcome{Err: err, Cost: time.Since(start)}
 			continue

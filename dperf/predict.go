@@ -28,7 +28,7 @@ type Prediction struct {
 // the spec handed to the replay engine, plus the platform label used
 // in reports.
 func (cfg config) engineSpec(ts *TraceSet) (EngineSpec, string, error) {
-	if len(ts.Traces) == 0 {
+	if ts.Source().Ranks() == 0 {
 		return EngineSpec{}, "", fmt.Errorf("dperf: empty trace set")
 	}
 	plat, label, err := cfg.platformFor(ts.Ranks)
@@ -55,7 +55,7 @@ func (cfg config) engineSpecOn(ts *TraceSet, plat *Platform, label string) (Engi
 		Scheme:       cfg.scheme,
 		ScatterBytes: ts.ScatterBytes,
 		GatherBytes:  ts.GatherBytes,
-		Traces:       ts.Traces,
+		Source:       ts.Source(),
 	}, label, nil
 }
 

@@ -480,7 +480,7 @@ func Sweep(src TraceSource, space Space, opts ...SweepOption) (*SweepResult, err
 			fail(err)
 			continue
 		}
-		if len(ts.Traces) == 0 {
+		if ts.Source().Ranks() == 0 {
 			fail(fmt.Errorf("dperf: empty trace set"))
 			continue
 		}

@@ -1,0 +1,264 @@
+package dperf_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/dperf"
+	"repro/internal/trace"
+)
+
+// levelsUnderTest covers the paper's optimization sweep O0–O3.
+var levelsUnderTest = []dperf.Level{dperf.O0, dperf.O1, dperf.O2, dperf.O3}
+
+func predictFingerprint(t *testing.T, ts *dperf.TraceSet) [4]float64 {
+	t.Helper()
+	pred, err := ts.Predict(dperf.WithPlatform(dperf.KindCluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [4]float64{pred.Predicted, pred.Scatter, pred.Compute, pred.Gather}
+}
+
+// TestGoldenFormatsRoundTrip is the cross-format golden: for the
+// obstacle workload at every level O0–O3, the JSON, binary and text
+// codecs must round-trip byte-stably, folded and flat views must hold
+// identical records, and predictions must be bit-identical no matter
+// which representation replay consumes.
+func TestGoldenFormatsRoundTrip(t *testing.T) {
+	for _, level := range levelsUnderTest {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			a, err := dperf.New(smallObstacle(), dperf.WithRanks(3), dperf.WithLevel(level)).Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts, err := a.Traces()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := predictFingerprint(t, ts)
+
+			// JSON: byte-stable and prediction-identical.
+			var j1, j2 bytes.Buffer
+			if err := ts.WriteJSON(&j1); err != nil {
+				t.Fatal(err)
+			}
+			fromJSON, err := dperf.ReadTraceSetJSON(bytes.NewReader(j1.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fromJSON.WriteJSON(&j2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+				t.Fatal("JSON round trip changed bytes")
+			}
+			if got := predictFingerprint(t, fromJSON); got != want {
+				t.Fatalf("JSON-loaded prediction %v != %v", got, want)
+			}
+
+			// Binary: byte-stable and prediction-identical, preserving
+			// folds.
+			var b1, b2 bytes.Buffer
+			if err := ts.WriteBinary(&b1); err != nil {
+				t.Fatal(err)
+			}
+			fromBin, err := dperf.ReadTraceSetBinary(bytes.NewReader(b1.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fromBin.WriteBinary(&b2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatal("binary round trip changed bytes")
+			}
+			if got := predictFingerprint(t, fromBin); got != want {
+				t.Fatalf("binary-loaded prediction %v != %v", got, want)
+			}
+
+			// Folding is exact: the JSON-loaded flat set re-folded and
+			// the binary-loaded folded set unfold to identical records.
+			flat, err := ts.Flat()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r, f := range fromBin.Folded() {
+				back, err := f.Unfold()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(back.Records) != len(flat[r].Records) {
+					t.Fatalf("rank %d: %d records, want %d", r, len(back.Records), len(flat[r].Records))
+				}
+				for i := range back.Records {
+					if back.Records[i] != flat[r].Records[i] {
+						t.Fatalf("rank %d record %d: %+v != %+v", r, i, back.Records[i], flat[r].Records[i])
+					}
+				}
+			}
+
+			// Text: byte-stable per rank, records preserved exactly.
+			for _, tr := range flat {
+				var t1, t2 bytes.Buffer
+				if err := tr.Write(&t1); err != nil {
+					t.Fatal(err)
+				}
+				parsed, err := trace.Parse(bytes.NewReader(t1.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := parsed.Write(&t2); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+					t.Fatalf("rank %d: text round trip changed bytes", tr.Rank)
+				}
+			}
+
+			// A text trace directory replays to the same prediction once
+			// the deployment metadata is restored.
+			dir := t.TempDir()
+			if err := trace.WriteAllFolded(dir, ts.Folded(), false); err != nil {
+				t.Fatal(err)
+			}
+			fromDir, err := dperf.LoadTraceSet(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromDir.Workload = ts.Workload
+			fromDir.Level = ts.Level
+			fromDir.ScatterBytes = ts.ScatterBytes
+			fromDir.GatherBytes = ts.GatherBytes
+			if got := predictFingerprint(t, fromDir); got != want {
+				t.Fatalf("directory-loaded prediction %v != %v", got, want)
+			}
+		})
+	}
+}
+
+// TestBinaryCompressionAcceptance is the PR's acceptance criterion:
+// folded binary traces for the obstacle workload at 8 ranks are at
+// least 5x smaller on disk than the JSON trace set.
+func TestBinaryCompressionAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale obstacle generation in -short mode")
+	}
+	a, err := dperf.New(dperf.DefaultObstacleWorkload(), dperf.WithRanks(8)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "set.json")
+	binPath := filepath.Join(dir, "set.bin")
+	if err := ts.SaveJSON(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SaveBinary(binPath); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ts.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JSONBytes == 0 || st.BinaryBytes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	ratio := float64(st.JSONBytes) / float64(st.BinaryBytes)
+	if ratio < 5 {
+		t.Fatalf("binary only %.2fx smaller than JSON (want >= 5x); stats %+v", ratio, st)
+	}
+	t.Logf("obstacle@8: %d records -> %d ops (%.1fx fold); json %d B, binary %d B (%.1fx)",
+		st.Records, st.Ops, st.FoldRatio, st.JSONBytes, st.BinaryBytes, ratio)
+
+	// And the two files must replay to bit-identical predictions.
+	fromJSON, err := dperf.LoadTraceSet(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := dperf.LoadTraceSet(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := predictFingerprint(t, fromJSON), predictFingerprint(t, fromBin); a != b {
+		t.Fatalf("JSON vs binary predictions diverged: %v != %v", a, b)
+	}
+}
+
+// TestSweepIdenticalAcrossFoldStates: sweeping a folded source and a
+// flat (JSON round-tripped) source produces byte-identical sweep
+// output.
+func TestSweepIdenticalAcrossFoldStates(t *testing.T) {
+	a, err := dperf.New(smallObstacle(), dperf.WithRanks(2)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := folded.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := dperf.ReadTraceSetJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := dperf.Space{
+		Platforms: []dperf.Kind{dperf.KindCluster, dperf.KindLAN},
+		Schemes:   []dperf.Scheme{dperf.Synchronous, dperf.Asynchronous},
+	}
+	r1, err := dperf.Sweep(folded, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := dperf.Sweep(flat, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o1, o2 bytes.Buffer
+	if err := r1.WriteJSON(&o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&o2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(o1.Bytes(), o2.Bytes()) {
+		t.Fatalf("sweep output diverged between fold states:\n%s\nvs\n%s", o1.String(), o2.String())
+	}
+}
+
+// TestLoadTraceSetRejectsCorrupt exercises the descriptive-error path
+// for damaged sets.
+func TestLoadTraceSetRejectsCorrupt(t *testing.T) {
+	a, err := dperf.New(smallObstacle(), dperf.WithRanks(2)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncation anywhere must fail, never replay garbage.
+	for _, cut := range []int{5, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := dperf.ReadTraceSetBinary(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncated at %d bytes: no error", cut)
+		}
+	}
+	// Trailing garbage must fail too.
+	data := append(append([]byte{}, buf.Bytes()...), 0x00)
+	if _, err := dperf.ReadTraceSetBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("trailing garbage: no error")
+	}
+}

@@ -1,9 +1,13 @@
 package dperf
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/costmodel"
@@ -15,14 +19,27 @@ func errNoWorkload(stage string) error {
 	return fmt.Errorf("dperf: %s needs a workload; use Pipeline.Analyze or Analysis.WithWorkload", stage)
 }
 
-// traceBackend records communication events and cuts compute
-// segments at each event using the interpreter's cycle snapshots.
+// traceBackend records communication events into a folding trace
+// builder, cutting compute segments at each event using the
+// interpreter's cycle snapshots. The interpreter's loop callbacks
+// mark iteration boundaries, so the builder folds each loop's
+// repeating record pattern as it completes — the flat per-iteration
+// record slice is never materialized.
 type traceBackend struct {
 	rank, size int
 	lastCycles float64
-	recs       []trace.Record
+	b          *trace.Builder
 	// bytesPerDouble converts size arguments to wire bytes.
 	bytesPerDouble float64
+}
+
+func newTraceBackend(rank, size int, bytesPerDouble float64) *traceBackend {
+	return &traceBackend{
+		rank:           rank,
+		size:           size,
+		b:              trace.NewBuilder(rank, size),
+		bytesPerDouble: bytesPerDouble,
+	}
 }
 
 func (tb *traceBackend) Rank() int { return tb.rank }
@@ -32,30 +49,39 @@ func (tb *traceBackend) flush(cycles float64) {
 	d := cycles - tb.lastCycles
 	tb.lastCycles = cycles
 	if d > 0 {
-		tb.recs = append(tb.recs, trace.Record{Kind: trace.KindCompute, NS: d / costmodel.CPUHz * 1e9})
+		tb.b.Append(trace.Record{Kind: trace.KindCompute, NS: d / costmodel.CPUHz * 1e9})
 	}
 }
 
 func (tb *traceBackend) Send(peer int, doubles, cycles float64) {
 	tb.flush(cycles)
-	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindSend, Peer: peer, Bytes: doubles * tb.bytesPerDouble})
+	tb.b.Append(trace.Record{Kind: trace.KindSend, Peer: peer, Bytes: doubles * tb.bytesPerDouble})
 }
 
 func (tb *traceBackend) Recv(peer int, doubles, cycles float64) {
 	tb.flush(cycles)
-	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindRecv, Peer: peer, Bytes: doubles * tb.bytesPerDouble})
+	tb.b.Append(trace.Record{Kind: trace.KindRecv, Peer: peer, Bytes: doubles * tb.bytesPerDouble})
 }
 
 func (tb *traceBackend) AllreduceMax(x, cycles float64) float64 {
 	tb.flush(cycles)
-	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindConv})
+	tb.b.Append(trace.Record{Kind: trace.KindConv})
 	return x
 }
 
 func (tb *traceBackend) Barrier(cycles float64) {
 	tb.flush(cycles)
-	tb.recs = append(tb.recs, trace.Record{Kind: trace.KindBarrier})
+	tb.b.Append(trace.Record{Kind: trace.KindBarrier})
 }
+
+// LoopEnter implements interp.LoopObserver.
+func (tb *traceBackend) LoopEnter(int) { tb.b.LoopEnter() }
+
+// LoopIter implements interp.LoopObserver.
+func (tb *traceBackend) LoopIter(int) { tb.b.LoopIter() }
+
+// LoopExit implements interp.LoopObserver.
+func (tb *traceBackend) LoopExit(int) { tb.b.LoopExit() }
 
 // TraceSpec configures low-level trace generation.
 type TraceSpec struct {
@@ -69,10 +95,12 @@ type TraceSpec struct {
 	Ranks int
 }
 
-// GenerateTraces interprets the program once per rank at the bench
-// size, scaling block costs by ratio^depth and communication sizes
-// linearly — dPerf's scale-up of block-benchmarking results.
-func GenerateTraces(a *Analysis, spec TraceSpec) ([]*trace.Trace, error) {
+// GenerateFoldedTraces interprets the program once per rank at the
+// bench size, scaling block costs by ratio^depth and communication
+// sizes linearly — dPerf's scale-up of block-benchmarking results.
+// Traces are emitted directly in the loop-folded IR: memory is
+// O(distinct iteration patterns), not O(iterations).
+func GenerateFoldedTraces(a *Analysis, spec TraceSpec) ([]*trace.Folded, error) {
 	if spec.Ranks < 1 {
 		return nil, fmt.Errorf("dperf: need at least one rank")
 	}
@@ -98,9 +126,9 @@ func GenerateTraces(a *Analysis, spec TraceSpec) ([]*trace.Trace, error) {
 		}
 		blockScale[b.ID] = s
 	}
-	traces := make([]*trace.Trace, spec.Ranks)
+	folded := make([]*trace.Folded, spec.Ranks)
 	for r := 0; r < spec.Ranks; r++ {
-		tb := &traceBackend{rank: r, size: spec.Ranks, bytesPerDouble: 8}
+		tb := newTraceBackend(r, spec.Ranks, 8)
 		res, err := interp.Run(a.Prog, a.An, interp.Config{
 			Params:     spec.BenchParams,
 			Level:      spec.Level,
@@ -112,10 +140,32 @@ func GenerateTraces(a *Analysis, spec TraceSpec) ([]*trace.Trace, error) {
 			return nil, fmt.Errorf("dperf: rank %d: %w", r, err)
 		}
 		tb.flush(res.Cycles) // trailing compute segment
-		traces[r] = &trace.Trace{Rank: r, Of: spec.Ranks, Records: tb.recs}
+		folded[r] = tb.b.Finish()
 	}
-	if err := trace.Validate(traces); err != nil {
+	if err := trace.ValidateFolded(folded); err != nil {
 		return nil, err
+	}
+	return folded, nil
+}
+
+// GenerateTraces is GenerateFoldedTraces materialized flat, for
+// callers that want the plain record sequences.
+func GenerateTraces(a *Analysis, spec TraceSpec) ([]*trace.Trace, error) {
+	folded, err := GenerateFoldedTraces(a, spec)
+	if err != nil {
+		return nil, err
+	}
+	return unfoldAll(folded)
+}
+
+func unfoldAll(folded []*trace.Folded) ([]*trace.Trace, error) {
+	traces := make([]*trace.Trace, len(folded))
+	for i, f := range folded {
+		t, err := f.Unfold()
+		if err != nil {
+			return nil, fmt.Errorf("dperf: rank %d: %w", i, err)
+		}
+		traces[i] = t
 	}
 	return traces, nil
 }
@@ -123,18 +173,33 @@ func GenerateTraces(a *Analysis, spec TraceSpec) ([]*trace.Trace, error) {
 // TraceSet is the platform-independent pipeline artifact: one trace
 // per rank plus the deployment byte shape, everything replay needs.
 // Generate it once, then Predict on as many platforms as desired —
-// in this process or, via WriteJSON/ReadTraceSetJSON, in another one.
+// in this process or, via SaveJSON/SaveBinary and LoadTraceSet, in
+// another one.
+//
+// The set holds each rank's trace in the loop-folded IR, the flat
+// record slice, or both: generation emits folded traces, JSON files
+// load flat, binary files load folded. Source picks the best
+// available form for replay; Flat and Folded convert (and cache) on
+// demand. The conversions are exact, so predictions are bit-identical
+// regardless of representation.
+//
+// A TraceSet's lazy conversions are not synchronized: share a set
+// across goroutines only after the representation you need exists
+// (Sweep resolves sources serially before fanning out).
 type TraceSet struct {
 	Workload string `json:"workload,omitempty"`
 	Ranks    int    `json:"ranks"`
 	Level    Level  `json:"level"`
 	// ScatterBytes/GatherBytes are the per-peer deployment payloads
 	// captured from the workload at generation time.
-	ScatterBytes float64        `json:"scatter_bytes"`
-	GatherBytes  float64        `json:"gather_bytes"`
-	Traces       []*trace.Trace `json:"traces"`
+	ScatterBytes float64 `json:"scatter_bytes"`
+	GatherBytes  float64 `json:"gather_bytes"`
+	// Traces is the flat per-rank view. It is nil for sets generated
+	// or loaded in folded form until Flat materializes it.
+	Traces []*trace.Trace `json:"traces"`
 
-	cfg config
+	folded []*trace.Folded
+	cfg    config
 }
 
 // Traces generates the platform-independent trace set for the bound
@@ -144,7 +209,7 @@ func (a *Analysis) Traces(opts ...Option) (*TraceSet, error) {
 	if a.workload == nil {
 		return nil, errNoWorkload("Traces")
 	}
-	traces, err := GenerateTraces(a, TraceSpec{
+	folded, err := GenerateFoldedTraces(a, TraceSpec{
 		Level:       cfg.level,
 		FullParams:  a.workload.Params(),
 		BenchParams: a.workload.BenchParams(cfg.ranks),
@@ -159,9 +224,44 @@ func (a *Analysis) Traces(opts ...Option) (*TraceSet, error) {
 		Level:        cfg.level,
 		ScatterBytes: a.workload.ScatterBytes(cfg.ranks),
 		GatherBytes:  a.workload.GatherBytes(cfg.ranks),
-		Traces:       traces,
+		folded:       folded,
 		cfg:          cfg,
 	}, nil
+}
+
+// Source returns the replay view of the set: the folded traces when
+// present (shared, O(compressed) memory), the flat slice otherwise.
+func (ts *TraceSet) Source() trace.Source {
+	if ts.folded != nil {
+		return trace.FoldedSource(ts.folded)
+	}
+	return trace.SliceSource(ts.Traces)
+}
+
+// Flat returns the per-rank flat record traces, materializing (and
+// caching) them from the folded IR if needed.
+func (ts *TraceSet) Flat() ([]*trace.Trace, error) {
+	if ts.Traces == nil && ts.folded != nil {
+		traces, err := unfoldAll(ts.folded)
+		if err != nil {
+			return nil, err
+		}
+		ts.Traces = traces
+	}
+	return ts.Traces, nil
+}
+
+// Folded returns the per-rank folded traces, folding (and caching)
+// the flat records if needed.
+func (ts *TraceSet) Folded() []*trace.Folded {
+	if ts.folded == nil && ts.Traces != nil {
+		folded := make([]*trace.Folded, len(ts.Traces))
+		for i, t := range ts.Traces {
+			folded[i] = trace.Fold(t)
+		}
+		ts.folded = folded
+	}
+	return ts.folded
 }
 
 // traceSetVersion guards the on-disk JSON format.
@@ -172,9 +272,14 @@ type traceSetJSON struct {
 	TraceSet
 }
 
-// WriteJSON serializes the trace set, indented, with a format
-// version header.
+// WriteJSON serializes the trace set as indented JSON with a format
+// version header. The JSON form is flat — one object per record — so
+// folded sets are materialized first; use WriteBinary for the compact
+// format.
 func (ts *TraceSet) WriteJSON(w io.Writer) error {
+	if _, err := ts.Flat(); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(traceSetJSON{Version: traceSetVersion, TraceSet: *ts})
@@ -193,8 +298,8 @@ func ReadTraceSetJSON(r io.Reader) (*TraceSet, error) {
 		return nil, fmt.Errorf("dperf: trace set version %d, want %d", tj.Version, traceSetVersion)
 	}
 	ts := tj.TraceSet
-	if len(ts.Traces) != ts.Ranks {
-		return nil, fmt.Errorf("dperf: trace set claims %d ranks but has %d traces", ts.Ranks, len(ts.Traces))
+	if err := validateSetShape(ts.Ranks, len(ts.Traces)); err != nil {
+		return nil, err
 	}
 	for i, t := range ts.Traces {
 		if t == nil {
@@ -207,25 +312,311 @@ func ReadTraceSetJSON(r io.Reader) (*TraceSet, error) {
 	return &ts, nil
 }
 
-// SaveJSON writes the trace set to a file.
+// validateSetShape checks the header rank count against the actual
+// trace count.
+func validateSetShape(ranks, traces int) error {
+	if ranks < 1 {
+		return fmt.Errorf("dperf: trace set claims %d ranks", ranks)
+	}
+	if traces != ranks {
+		return fmt.Errorf("dperf: trace set claims %d ranks but has %d traces", ranks, traces)
+	}
+	return nil
+}
+
+// SaveJSON writes the trace set to a file in the JSON format.
 func (ts *TraceSet) SaveJSON(path string) error {
+	return ts.saveTo(path, ts.WriteJSON)
+}
+
+// SaveBinary writes the trace set to a file in the compact binary
+// format, preserving folds.
+func (ts *TraceSet) SaveBinary(path string) error {
+	return ts.saveTo(path, ts.WriteBinary)
+}
+
+func (ts *TraceSet) saveTo(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := ts.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// LoadTraceSet reads a trace set from a file written by SaveJSON.
+// Binary trace-set container format:
+//
+//	file  := magic version workload uvarint(ranks) uvarint(level)
+//	         f64(scatter) f64(gather) blob^ranks
+//	magic := "dpts" (4 bytes)
+//	workload := uvarint(len) bytes
+//	blob  := uvarint(len) <one rank's binary trace (trace.Magic format)>
+//	f64   := 8 bytes IEEE-754 little endian
+const traceSetMagic = "dpts"
+
+const traceSetBinaryVersion = 1
+
+// maxTraceSetBlob bounds one rank's compressed trace blob (64 MiB);
+// a hostile length prefix must not drive allocation.
+const maxTraceSetBlob = 64 << 20
+
+// WriteBinary serializes the trace set in the compact binary format.
+// Folded sets are written as-is; flat sets are folded first.
+func (ts *TraceSet) WriteBinary(w io.Writer) error {
+	folded := ts.Folded()
+	if err := validateSetShape(ts.Ranks, len(folded)); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	var hdr []byte
+	hdr = append(hdr, traceSetMagic...)
+	hdr = binary.AppendUvarint(hdr, traceSetBinaryVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(len(ts.Workload)))
+	hdr = append(hdr, ts.Workload...)
+	hdr = binary.AppendUvarint(hdr, uint64(ts.Ranks))
+	hdr = binary.AppendUvarint(hdr, uint64(ts.Level))
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(ts.ScatterBytes))
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(ts.GatherBytes))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	var blob bytes.Buffer
+	for _, f := range folded {
+		blob.Reset()
+		if err := f.WriteBinary(&blob); err != nil {
+			return err
+		}
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(blob.Len()))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceSetBinary loads a trace set written by WriteBinary and
+// validates it like ReadTraceSetJSON. The traces stay folded.
+func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dperf: reading trace set magic: %w", err)
+	}
+	if string(magic[:]) != traceSetMagic {
+		return nil, fmt.Errorf("dperf: bad trace set magic %q (want %q)", magic[:], traceSetMagic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dperf: reading trace set version: %w", err)
+	}
+	if version != traceSetBinaryVersion {
+		return nil, fmt.Errorf("dperf: trace set binary version %d, want %d", version, traceSetBinaryVersion)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dperf: reading workload name: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("dperf: workload name length %d out of range", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("dperf: reading workload name: %w", err)
+	}
+	ranks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dperf: reading rank count: %w", err)
+	}
+	if ranks < 1 || ranks > 1<<20 {
+		return nil, fmt.Errorf("dperf: trace set claims %d ranks", ranks)
+	}
+	levelRaw, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dperf: reading level: %w", err)
+	}
+	level, err := levelFromOrdinal(levelRaw)
+	if err != nil {
+		return nil, err
+	}
+	var f64 [8]byte
+	if _, err := io.ReadFull(br, f64[:]); err != nil {
+		return nil, fmt.Errorf("dperf: reading scatter bytes: %w", err)
+	}
+	scatter := math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+	if _, err := io.ReadFull(br, f64[:]); err != nil {
+		return nil, fmt.Errorf("dperf: reading gather bytes: %w", err)
+	}
+	gather := math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+	if !(scatter >= 0) || !(gather >= 0) || math.IsInf(scatter, 1) || math.IsInf(gather, 1) {
+		return nil, fmt.Errorf("dperf: invalid deployment bytes (scatter %v, gather %v)", scatter, gather)
+	}
+	folded := make([]*trace.Folded, ranks)
+	for i := range folded {
+		blobLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("dperf: reading rank %d trace length: %w", i, err)
+		}
+		if blobLen > maxTraceSetBlob {
+			return nil, fmt.Errorf("dperf: rank %d trace blob of %d bytes exceeds %d", i, blobLen, maxTraceSetBlob)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, fmt.Errorf("dperf: reading rank %d trace: %w", i, err)
+		}
+		f, err := trace.ReadBinary(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("dperf: rank %d: %w", i, err)
+		}
+		folded[i] = f
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("dperf: trailing data after trace set")
+	}
+	if err := trace.ValidateFolded(folded); err != nil {
+		return nil, err
+	}
+	return &TraceSet{
+		Workload:     string(name),
+		Ranks:        int(ranks),
+		Level:        level,
+		ScatterBytes: scatter,
+		GatherBytes:  gather,
+		folded:       folded,
+	}, nil
+}
+
+// LoadTraceSet reads a trace set from disk, auto-detecting the
+// format: a JSON file (SaveJSON), a compact binary file (SaveBinary),
+// or a directory of per-rank rank-<i>.trace files (text or binary,
+// as written by -emit-traces). Directory sets carry no workload or
+// deployment metadata: workload name empty, level O0, zero
+// scatter/gather bytes.
 func LoadTraceSet(path string) (*TraceSet, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		folded, err := trace.LoadAllFolded(path)
+		if err != nil {
+			return nil, err
+		}
+		return &TraceSet{Ranks: len(folded), folded: folded}, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadTraceSetJSON(f)
+	var magic [4]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("dperf: reading %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	switch {
+	case n == 4 && string(magic[:]) == traceSetMagic:
+		ts, err := ReadTraceSetBinary(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return ts, nil
+	case n > 0 && (magic[0] == '{' || magic[0] == ' ' || magic[0] == '\n' || magic[0] == '\t' || magic[0] == '\r'):
+		ts, err := ReadTraceSetJSON(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return ts, nil
+	}
+	return nil, fmt.Errorf("dperf: %s is neither a JSON trace set, a binary trace set, nor a trace directory", path)
+}
+
+// TraceStats describes a trace set's size in every representation:
+// the raw record count against the folded op count, and the on-disk
+// byte sizes of the three formats. It is the -trace-stats inspection
+// payload.
+type TraceStats struct {
+	Workload string `json:"workload,omitempty"`
+	Ranks    int    `json:"ranks"`
+	// Records is the unfolded record count across ranks; Ops is the
+	// folded IR's op count (FoldRatio = Records/Ops).
+	Records   int64   `json:"records"`
+	Ops       int     `json:"ops"`
+	FoldRatio float64 `json:"fold_ratio"`
+	// Byte sizes of the set serialized in each format (text is the
+	// sum of the per-rank files). JSONBytes is 0 when the set is too
+	// large to materialize flat — the JSON format itself cannot hold
+	// it.
+	TextBytes   int64 `json:"text_bytes"`
+	JSONBytes   int64 `json:"json_bytes,omitempty"`
+	BinaryBytes int64 `json:"binary_bytes"`
+}
+
+// maxStatsJSONRecords bounds the flat materialization Stats is
+// willing to do just to measure the JSON size.
+const maxStatsJSONRecords = 1 << 24
+
+// levelFromOrdinal decodes a serialized optimization level, rejecting
+// values outside the known set.
+func levelFromOrdinal(v uint64) (Level, error) {
+	l := Level(v)
+	for _, known := range costmodel.Levels {
+		if l == known {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("dperf: unknown optimization level ordinal %d", v)
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// Stats measures the set: raw vs folded record counts and the
+// serialized byte size of each format. It folds (and, for the JSON
+// size, materializes) the set as needed.
+func (ts *TraceSet) Stats() (*TraceStats, error) {
+	st := &TraceStats{Workload: ts.Workload, Ranks: ts.Ranks}
+	folded := ts.Folded()
+	for _, f := range folded {
+		st.Records += f.NumRecords()
+		st.Ops += f.NumOps()
+	}
+	if st.Ops > 0 {
+		st.FoldRatio = float64(st.Records) / float64(st.Ops)
+	}
+	var cw countingWriter
+	for _, f := range folded {
+		if err := trace.WriteText(&cw, f.Rank, f.Of, f.Cursor()); err != nil {
+			return nil, err
+		}
+	}
+	st.TextBytes = cw.n
+	cw.n = 0
+	// JSON is the only format that needs the flat view; skip it for
+	// sets too large to materialize rather than fail the inspection.
+	if ts.Traces != nil || st.Records <= maxStatsJSONRecords {
+		if err := ts.WriteJSON(&cw); err != nil {
+			return nil, err
+		}
+		st.JSONBytes = cw.n
+	}
+	cw.n = 0
+	if err := ts.WriteBinary(&cw); err != nil {
+		return nil, err
+	}
+	st.BinaryBytes = cw.n
+	return st, nil
 }

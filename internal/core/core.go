@@ -70,8 +70,15 @@ type Prediction struct {
 	Traces    []*trace.Trace
 }
 
-// fromFacade converts a façade prediction to the legacy shape.
-func fromFacade(p *dperf.Prediction) *Prediction {
+// fromFacade converts a façade prediction to the legacy shape. The
+// legacy shape carries flat traces, so the folded set is materialized;
+// a set too large to unfold surfaces as an error rather than nil
+// traces.
+func fromFacade(p *dperf.Prediction) (*Prediction, error) {
+	traces, err := p.TraceSet.Flat()
+	if err != nil {
+		return nil, err
+	}
 	return &Prediction{
 		Platform:  p.Platform,
 		Ranks:     p.Ranks,
@@ -80,6 +87,6 @@ func fromFacade(p *dperf.Prediction) *Prediction {
 		Scatter:   p.Scatter,
 		Compute:   p.Compute,
 		Gather:    p.Gather,
-		Traces:    p.TraceSet.Traces,
-	}
+		Traces:    traces,
+	}, nil
 }

@@ -54,7 +54,7 @@ func PredictObstacle(kind platform.Kind, peers int, level costmodel.Level, param
 	if err != nil {
 		return nil, err
 	}
-	return fromFacade(pred), nil
+	return fromFacade(pred)
 }
 
 // TracesForObstacle runs analysis-driven trace generation for the
@@ -66,7 +66,7 @@ func TracesForObstacle(a *Analyzed, peers int, level costmodel.Level, params Obs
 	if err != nil {
 		return nil, err
 	}
-	return ts.Traces, nil
+	return ts.Flat()
 }
 
 // ReplayObstacle replays previously generated traces on a platform
@@ -87,7 +87,7 @@ func ReplayObstacle(traces []*trace.Trace, kind platform.Kind, level costmodel.L
 	if err != nil {
 		return nil, err
 	}
-	return fromFacade(pred), nil
+	return fromFacade(pred)
 }
 
 // PredictProgram predicts an already-analyzed program with the
@@ -103,5 +103,5 @@ func PredictProgram(a *Analyzed, kind platform.Kind, peers int, level costmodel.
 	if err != nil {
 		return nil, err
 	}
-	return fromFacade(pred), nil
+	return fromFacade(pred)
 }

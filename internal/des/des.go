@@ -81,12 +81,16 @@ func (s *Simulation) Schedule(delay float64, fn func()) {
 	heap.Push(&s.queue, &event{time: s.now + delay, seq: s.seq, fn: fn})
 }
 
-// ScheduleAt registers fn to run at absolute time t (>= Now()).
+// ScheduleAt registers fn to run at the absolute time t (>= Now()).
+// The event fires at exactly t: it is enqueued directly rather than
+// via Schedule(t-Now()), whose now+(t-now) round trip can land one
+// ulp off t and would break SleepUntil's bit-identical guarantee.
 func (s *Simulation) ScheduleAt(t float64, fn func()) {
-	if t < s.now {
+	if t < s.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("des: ScheduleAt %v before now %v", t, s.now))
 	}
-	s.Schedule(t-s.now, fn)
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
 }
 
 // Pending reports the number of queued events.
@@ -234,6 +238,20 @@ func (p *Process) Sleep(d float64) {
 	}
 	s := p.sim
 	s.Schedule(d, func() { s.activate(p) })
+	p.park()
+}
+
+// SleepUntil suspends the process until the absolute virtual time t
+// (>= Now()). It is the single-event form of a sleep whose end time
+// was computed elsewhere: replay uses it to aggregate a long run of
+// identical compute records into one wakeup at the exact instant the
+// individual sleeps would have reached.
+func (p *Process) SleepUntil(t float64) {
+	if t < p.sim.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: SleepUntil %v before now %v", t, p.sim.now))
+	}
+	s := p.sim
+	s.ScheduleAt(t, func() { s.activate(p) })
 	p.park()
 }
 

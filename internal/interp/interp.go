@@ -39,6 +39,22 @@ type CommBackend interface {
 	Barrier(cycles float64)
 }
 
+// LoopObserver is an optional CommBackend extension. When the
+// backend implements it, the interpreter reports the boundaries of
+// every source-level loop: LoopEnter when a loop statement starts,
+// LoopIter after each completed iteration, LoopExit when the loop
+// finishes (including an early exit via return). Trace generators
+// use the callbacks to fold per-iteration record patterns online —
+// the loop structure the analyzer already knows is exactly the
+// repeating structure of the trace. block is the basic-block ID of
+// the loop statement (-1 if untracked); it identifies the loop for
+// diagnostics only.
+type LoopObserver interface {
+	LoopEnter(block int)
+	LoopIter(block int)
+	LoopExit(block int)
+}
+
 // SerialBackend is the single-process backend used for block
 // benchmarking: rank 0 of 1, communication calls are inert.
 type SerialBackend struct{}
@@ -127,6 +143,9 @@ func Run(prog *minic.Program, an *minic.Analysis, cfg Config) (*Result, error) {
 		scaledArg: make(map[*minic.Call]bool),
 		sizeScale: cfg.SizeScale,
 	}
+	if lo, ok := cfg.Backend.(LoopObserver); ok {
+		in.loop = lo
+	}
 	if in.sizeScale == 0 {
 		in.sizeScale = 1
 	}
@@ -196,6 +215,9 @@ type interp struct {
 	// scaledArg marks comm calls whose size argument must be scaled.
 	scaledArg map[*minic.Call]bool
 	sizeScale float64
+
+	// loop, when non-nil, receives loop-iteration boundaries.
+	loop LoopObserver
 }
 
 func (in *interp) sizeScaled(c *minic.Call) bool { return in.scaledArg[c] }
@@ -209,6 +231,15 @@ type value struct {
 func intval(i float64) value { return value{f: i, isInt: true} }
 func fltval(f float64) value { return value{f: f, isInt: false} }
 func (v value) truthy() bool { return v.f != 0 }
+
+// blockOrUntracked maps an untracked statement to the -1 sentinel
+// loop ID.
+func blockOrUntracked(id int, tracked bool) int {
+	if !tracked {
+		return -1
+	}
+	return id
+}
 
 func (in *interp) curBlock() int {
 	if len(in.blockStack) == 0 {
@@ -377,6 +408,10 @@ func (in *interp) exec(s minic.Stmt, scope map[string]*cell) (*value, error) {
 				return ret, err
 			}
 		}
+		loopID := blockOrUntracked(id, tracked)
+		if in.loop != nil {
+			in.loop.LoopEnter(loopID)
+		}
 		for {
 			if err := in.step(); err != nil {
 				return nil, err
@@ -387,21 +422,38 @@ func (in *interp) exec(s minic.Stmt, scope map[string]*cell) (*value, error) {
 					return nil, err
 				}
 				if !c.truthy() {
+					if in.loop != nil {
+						in.loop.LoopExit(loopID)
+					}
 					return nil, nil
 				}
 			}
 			in.charge(costmodel.OpLoop)
 			ret, err := in.execBlock(st.Body, scope)
+			if ret != nil && in.loop != nil {
+				in.loop.LoopExit(loopID)
+			}
 			if err != nil || ret != nil {
 				return ret, err
 			}
 			if st.Post != nil {
-				if ret, err := in.exec(st.Post, scope); err != nil || ret != nil {
+				ret, err := in.exec(st.Post, scope)
+				if ret != nil && in.loop != nil {
+					in.loop.LoopExit(loopID)
+				}
+				if err != nil || ret != nil {
 					return ret, err
 				}
 			}
+			if in.loop != nil {
+				in.loop.LoopIter(loopID)
+			}
 		}
 	case *minic.WhileStmt:
+		loopID := blockOrUntracked(id, tracked)
+		if in.loop != nil {
+			in.loop.LoopEnter(loopID)
+		}
 		for {
 			if err := in.step(); err != nil {
 				return nil, err
@@ -411,12 +463,21 @@ func (in *interp) exec(s minic.Stmt, scope map[string]*cell) (*value, error) {
 				return nil, err
 			}
 			if !c.truthy() {
+				if in.loop != nil {
+					in.loop.LoopExit(loopID)
+				}
 				return nil, nil
 			}
 			in.charge(costmodel.OpLoop)
 			ret, err := in.execBlock(st.Body, scope)
+			if ret != nil && in.loop != nil {
+				in.loop.LoopExit(loopID)
+			}
 			if err != nil || ret != nil {
 				return ret, err
+			}
+			if in.loop != nil {
+				in.loop.LoopIter(loopID)
 			}
 		}
 	case *minic.ReturnStmt:

@@ -1,0 +1,96 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// loopRecorder implements CommBackend + LoopObserver, recording the
+// loop-boundary callback stream.
+type loopRecorder struct {
+	SerialBackend
+	enters, iters, exits int
+	depth, maxDepth      int
+}
+
+func (lr *loopRecorder) LoopEnter(int) {
+	lr.enters++
+	lr.depth++
+	if lr.depth > lr.maxDepth {
+		lr.maxDepth = lr.depth
+	}
+}
+
+func (lr *loopRecorder) LoopIter(int) { lr.iters++ }
+
+func (lr *loopRecorder) LoopExit(int) {
+	lr.exits++
+	lr.depth--
+}
+
+func runWithRecorder(t *testing.T, src string) *loopRecorder {
+	t.Helper()
+	prog, an := analyze(t, src, nil)
+	lr := &loopRecorder{}
+	if _, err := Run(prog, an, Config{Level: costmodel.O0, Backend: lr}); err != nil {
+		t.Fatal(err)
+	}
+	return lr
+}
+
+// TestLoopObserverBalanced: every loop reports Enter/Exit in balance
+// and one Iter per completed iteration.
+func TestLoopObserverBalanced(t *testing.T) {
+	lr := runWithRecorder(t, `
+int main() {
+    int i; int j; int s;
+    s = 0;
+    for (i = 0; i < 4; i++) {
+        for (j = 0; j < 3; j++) { s = s + 1; }
+    }
+    while (s > 0) { s = s - 2; }
+    return 0;
+}`)
+	// 1 outer for + 4 inner fors + 1 while = 6 enters/exits.
+	if lr.enters != 6 || lr.exits != 6 {
+		t.Fatalf("enters=%d exits=%d, want 6/6", lr.enters, lr.exits)
+	}
+	// 4 outer + 4*3 inner + 6 while iterations.
+	if lr.iters != 4+12+6 {
+		t.Fatalf("iters=%d, want 22", lr.iters)
+	}
+	if lr.maxDepth != 2 {
+		t.Fatalf("maxDepth=%d, want 2", lr.maxDepth)
+	}
+}
+
+// TestLoopObserverEarlyReturn: a return from inside nested loops
+// fires LoopExit for every enclosing loop.
+func TestLoopObserverEarlyReturn(t *testing.T) {
+	lr := runWithRecorder(t, `
+int main() {
+    int i; int j;
+    for (i = 0; i < 10; i++) {
+        for (j = 0; j < 10; j++) {
+            if (i == 2 && j == 1) { return 1; }
+        }
+    }
+    return 0;
+}`)
+	if lr.enters != lr.exits {
+		t.Fatalf("unbalanced: %d enters, %d exits", lr.enters, lr.exits)
+	}
+	if lr.depth != 0 {
+		t.Fatalf("depth=%d after return", lr.depth)
+	}
+}
+
+// TestLoopObserverAbsentIsFree: a plain CommBackend (no observer)
+// still works.
+func TestLoopObserverAbsentIsFree(t *testing.T) {
+	res := run(t, `int main() { int i; int s; s = 0; for (i = 0; i < 5; i++) { s = s + i; } return s; }`, nil)
+	if res.MainReturn != 10 {
+		t.Fatalf("main = %v", res.MainReturn)
+	}
+}

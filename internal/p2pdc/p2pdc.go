@@ -256,6 +256,11 @@ func (w *Worker) Compute(cycles float64) {
 // Sleep blocks for d virtual seconds (protocol modelling).
 func (w *Worker) Sleep(d float64) { w.proc.Sleep(d) }
 
+// SleepUntil blocks until the absolute virtual time t (>= Now()) as a
+// single kernel event — the fast path for replaying long homogeneous
+// compute runs.
+func (w *Worker) SleepUntil(t float64) { w.proc.SleepUntil(t) }
+
 // channel returns the P2PSAP channel to a peer for a traffic class.
 // Data and control (convergence) traffic use distinct sessions so a
 // small control message can never overtake a large data message in

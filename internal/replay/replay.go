@@ -59,6 +59,19 @@ func Run(spec Spec, traces []*trace.Trace) (*Result, error) {
 	return s.Run(spec, traces)
 }
 
+// RunSource is Run over a trace.Source — folded traces replay in
+// O(compressed) memory, flat slices via trace.SliceSource.
+func RunSource(spec Spec, src trace.Source) (*Result, error) {
+	if spec.Platform == nil {
+		return nil, fmt.Errorf("replay: spec has no platform")
+	}
+	s, err := NewSession(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunSource(spec, src)
+}
+
 // Session is a reusable replay context bound to one platform. It
 // keeps the expensive simulation state — the event kernel, the
 // realized network (hosts, links, route caches), mailboxes and
@@ -102,17 +115,34 @@ func (s *Session) Platform() *platform.Platform { return s.plat }
 // Run replays the traces under spec, reusing the session's simulation
 // environment. spec.Platform must be nil or the session's platform.
 func (s *Session) Run(spec Spec, traces []*trace.Trace) (*Result, error) {
+	for i, t := range traces {
+		if t == nil {
+			return nil, fmt.Errorf("replay: trace slot %d is nil", i)
+		}
+		if err := trace.ValidateLabel(i, len(traces), t.Rank, t.Of); err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+	}
+	return s.RunSource(spec, trace.SliceSource(traces))
+}
+
+// RunSource replays a trace source under spec, reusing the session's
+// simulation environment. Folded sources replay in O(compressed)
+// memory, and a run of identical compute records becomes a single
+// simulation event; both produce timings bit-identical to replaying
+// the flat record sequence.
+func (s *Session) RunSource(spec Spec, src trace.Source) (*Result, error) {
 	if spec.Platform != nil && spec.Platform != s.plat {
 		return nil, fmt.Errorf("replay: spec platform %q is not the session's platform %q",
 			spec.Platform.Name, s.plat.Name)
 	}
-	if len(traces) == 0 {
+	if src == nil || src.Ranks() == 0 {
 		return nil, fmt.Errorf("replay: no traces")
 	}
-	if len(spec.Hosts) != len(traces) {
-		return nil, fmt.Errorf("replay: %d hosts for %d traces", len(spec.Hosts), len(traces))
+	if len(spec.Hosts) != src.Ranks() {
+		return nil, fmt.Errorf("replay: %d hosts for %d traces", len(spec.Hosts), src.Ranks())
 	}
-	if err := trace.Validate(traces); err != nil {
+	if err := trace.ValidateSource(src); err != nil {
 		return nil, err
 	}
 	if s.dirty {
@@ -125,7 +155,7 @@ func (s *Session) Run(spec Spec, traces []*trace.Trace) (*Result, error) {
 	} else if err := s.env.Reset(); err != nil {
 		return nil, err
 	}
-	res, err := s.run(spec, traces)
+	res, err := s.run(spec, src)
 	if err != nil {
 		s.dirty = true
 		return nil, err
@@ -134,28 +164,50 @@ func (s *Session) Run(spec Spec, traces []*trace.Trace) (*Result, error) {
 }
 
 // run executes one replay on the (reset) environment.
-func (s *Session) run(spec Spec, traces []*trace.Trace) (*Result, error) {
+func (s *Session) run(spec Spec, src trace.Source) (*Result, error) {
 	app := func(w *p2pdc.Worker) error {
-		t := traces[w.Rank()]
-		for _, r := range t.Records {
+		cur := src.Cursor(w.Rank())
+		for cur.Next() {
+			r, n := cur.Run()
 			switch r.Kind {
 			case trace.KindCompute:
-				w.Sleep(r.NS / 1e9)
+				if n == 1 {
+					w.Sleep(r.NS / 1e9)
+					continue
+				}
+				// Fast path: one kernel event for the whole run. The
+				// deadline is accumulated exactly as n individual
+				// sleeps would move the clock, so the wakeup lands on
+				// the bit-identical instant.
+				t := w.Now()
+				d := r.NS / 1e9
+				for i := 0; i < n; i++ {
+					t += d
+				}
+				w.SleepUntil(t)
 			case trace.KindSend:
-				if err := w.Send(r.Peer, r.Bytes, nil); err != nil {
-					return err
+				for i := 0; i < n; i++ {
+					if err := w.Send(r.Peer, r.Bytes, nil); err != nil {
+						return err
+					}
 				}
 			case trace.KindRecv:
-				if _, err := w.Recv(r.Peer); err != nil {
-					return err
+				for i := 0; i < n; i++ {
+					if _, err := w.Recv(r.Peer); err != nil {
+						return err
+					}
 				}
 			case trace.KindConv:
-				if _, err := w.ConvergeMax(0); err != nil {
-					return err
+				for i := 0; i < n; i++ {
+					if _, err := w.ConvergeMax(0); err != nil {
+						return err
+					}
 				}
 			case trace.KindBarrier:
-				if err := w.Barrier(); err != nil {
-					return err
+				for i := 0; i < n; i++ {
+					if err := w.Barrier(); err != nil {
+						return err
+					}
 				}
 			}
 		}

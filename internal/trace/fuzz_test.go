@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText asserts the text parser never panics and that every
+// accepted trace survives a write/re-parse round trip.
+func FuzzParseText(f *testing.F) {
+	f.Add("# dperf trace rank=0 of=4\ncompute 1250000\nsend 1 9600\nrecv 1 9600\nconv\nbarrier\n")
+	f.Add("compute 1e300\ncompute 0.5\n")
+	f.Add("# comment only\n")
+	f.Add("send 0 0\n")
+	f.Add("recv 999999 1e-300\n")
+	f.Add("compute -1\n")
+	f.Add("compute nan\n")
+	f.Add("send 1\n")
+	f.Add("bogus 1 2 3\n")
+	f.Add(strings.Repeat("conv\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to re-parse: %v", err)
+		}
+		if len(back.Records) != len(tr.Records) {
+			t.Fatalf("round trip changed record count: %d != %d", len(back.Records), len(tr.Records))
+		}
+		for i := range back.Records {
+			if back.Records[i] != tr.Records[i] {
+				t.Fatalf("round trip changed record %d: %+v != %+v", i, back.Records[i], tr.Records[i])
+			}
+		}
+	})
+}
+
+// FuzzReadBinary asserts the binary decoder never panics, never
+// over-allocates on hostile counts, and that every accepted trace
+// re-encodes byte-identically.
+func FuzzReadBinary(f *testing.F) {
+	seed := func(fd *Folded) []byte {
+		var buf bytes.Buffer
+		if err := fd.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(&Folded{Rank: 0, Of: 1}))
+	f.Add(seed(&Folded{Rank: 1, Of: 4, Ops: []Op{
+		{Count: 1, Rec: Record{Kind: KindCompute, NS: 7.65e7}},
+		{Count: 119, Body: []Op{
+			{Count: 1, Rec: Record{Kind: KindSend, Peer: 0, Bytes: 9600}},
+			{Count: 1, Rec: Record{Kind: KindRecv, Peer: 0, Bytes: 9600}},
+			{Count: 1, Rec: Record{Kind: KindConv}},
+		}},
+	}}))
+	f.Add(seed(Fold(&Trace{Rank: 0, Of: 2, Records: []Record{
+		{Kind: KindCompute, NS: 0.5}, {Kind: KindBarrier},
+	}})))
+	f.Add([]byte(Magic))
+	f.Add([]byte(Magic + "\x01\x00\x00\x06\xff\xff\xff\xff\x0f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fd, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := fd.WriteBinary(&buf); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		back, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if back.Rank != fd.Rank || back.Of != fd.Of || !opsEqual(back.Ops, fd.Ops) {
+			t.Fatal("re-encode round trip diverged")
+		}
+	})
+}

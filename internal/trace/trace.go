@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -127,24 +128,37 @@ func (t *Trace) CountKind(k Kind) int {
 	return n
 }
 
-// Write serializes the trace.
+// Write serializes the trace in the text format.
 func (t *Trace) Write(w io.Writer) error {
+	return WriteText(w, t.Rank, t.Of, t.Cursor())
+}
+
+// WriteText streams records from a cursor to w in the text format —
+// the way to render a folded trace as text without materializing it.
+func WriteText(w io.Writer, rank, of int, cur Cursor) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# dperf trace rank=%d of=%d\n", t.Rank, t.Of)
-	for _, r := range t.Records {
+	fmt.Fprintf(bw, "# dperf trace rank=%d of=%d\n", rank, of)
+	for cur.Next() {
+		r, n := cur.Run()
+		var line string
 		switch r.Kind {
 		case KindCompute:
-			fmt.Fprintf(bw, "compute %g\n", r.NS)
+			line = fmt.Sprintf("compute %g\n", r.NS)
 		case KindSend:
-			fmt.Fprintf(bw, "send %d %g\n", r.Peer, r.Bytes)
+			line = fmt.Sprintf("send %d %g\n", r.Peer, r.Bytes)
 		case KindRecv:
-			fmt.Fprintf(bw, "recv %d %g\n", r.Peer, r.Bytes)
+			line = fmt.Sprintf("recv %d %g\n", r.Peer, r.Bytes)
 		case KindConv:
-			fmt.Fprintf(bw, "conv\n")
+			line = "conv\n"
 		case KindBarrier:
-			fmt.Fprintf(bw, "barrier\n")
+			line = "barrier\n"
 		default:
 			return fmt.Errorf("trace: unknown record kind %d", r.Kind)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := bw.WriteString(line); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
@@ -187,7 +201,7 @@ func Parse(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: line %d: want 'compute <ns>'", lineNo)
 			}
 			ns, err := strconv.ParseFloat(fields[1], 64)
-			if err != nil || ns < 0 {
+			if err != nil || !(ns >= 0) || math.IsInf(ns, 1) {
 				return nil, fmt.Errorf("trace: line %d: bad duration %q", lineNo, fields[1])
 			}
 			t.Records = append(t.Records, Record{Kind: KindCompute, NS: ns})
@@ -200,7 +214,7 @@ func Parse(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace: line %d: bad peer %q", lineNo, fields[1])
 			}
 			bytes, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil || bytes < 0 {
+			if err != nil || !(bytes >= 0) || math.IsInf(bytes, 1) {
 				return nil, fmt.Errorf("trace: line %d: bad size %q", lineNo, fields[2])
 			}
 			k := KindSend
@@ -222,56 +236,34 @@ func Parse(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-// Validate checks cross-rank consistency: every send has a matching
-// recv on the peer (counts per direction) and all conv/barrier counts
-// agree. Replay deadlocks otherwise; better to fail fast.
-func Validate(traces []*Trace) error {
-	n := len(traces)
-	type pair struct{ from, to int }
-	sends := make(map[pair]int)
-	recvs := make(map[pair]int)
-	convs := make([]int, n)
-	bars := make([]int, n)
-	for i, t := range traces {
-		if t.Rank != i {
-			return fmt.Errorf("trace: rank %d file claims rank %d", i, t.Rank)
-		}
-		for _, r := range t.Records {
-			switch r.Kind {
-			case KindSend:
-				if r.Peer >= n || r.Peer == i {
-					return fmt.Errorf("trace: rank %d sends to invalid peer %d", i, r.Peer)
-				}
-				sends[pair{i, r.Peer}]++
-			case KindRecv:
-				if r.Peer >= n || r.Peer == i {
-					return fmt.Errorf("trace: rank %d receives from invalid peer %d", i, r.Peer)
-				}
-				recvs[pair{r.Peer, i}]++
-			case KindConv:
-				convs[i]++
-			case KindBarrier:
-				bars[i]++
-			}
-		}
+// ValidateLabel checks that slot i of an n-rank set carries its own
+// rank label and agrees on the set's total (Of == 0, a headerless
+// file, is tolerated). It is the single labeling rule shared by the
+// set loaders and replay.
+func ValidateLabel(i, n, rank, of int) error {
+	if rank != i {
+		return fmt.Errorf("trace: rank %d file claims rank %d", i, rank)
 	}
-	for p, c := range sends {
-		if recvs[p] != c {
-			return fmt.Errorf("trace: %d sends %d->%d but %d recvs", c, p.from, p.to, recvs[p])
-		}
-	}
-	for p, c := range recvs {
-		if sends[p] != c {
-			return fmt.Errorf("trace: %d recvs %d->%d but %d sends", c, p.from, p.to, sends[p])
-		}
-	}
-	for i := 1; i < n; i++ {
-		if convs[i] != convs[0] {
-			return fmt.Errorf("trace: rank %d has %d conv records, rank 0 has %d", i, convs[i], convs[0])
-		}
-		if bars[i] != bars[0] {
-			return fmt.Errorf("trace: rank %d has %d barriers, rank 0 has %d", i, bars[i], bars[0])
-		}
+	if of != 0 && of != n {
+		return fmt.Errorf("trace: rank %d claims %d total ranks, set has %d", i, of, n)
 	}
 	return nil
+}
+
+// Validate checks rank labeling and cross-rank consistency: every
+// slot holds its own rank, rank headers agree on the total, every
+// send has a matching recv on the peer (counts per direction) and all
+// conv/barrier counts agree. Replay deadlocks otherwise; better to
+// fail fast.
+func Validate(traces []*Trace) error {
+	n := len(traces)
+	for i, t := range traces {
+		if t == nil {
+			return fmt.Errorf("trace: slot %d is nil", i)
+		}
+		if err := ValidateLabel(i, n, t.Rank, t.Of); err != nil {
+			return err
+		}
+	}
+	return ValidateSource(SliceSource(traces))
 }

@@ -1,0 +1,194 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/dperf"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// traceBenchSet generates the obstacle trace set once (folded) at a
+// realistic round count.
+func traceBenchSet(b *testing.B, ranks int) *dperf.TraceSet {
+	b.Helper()
+	w := dperf.ObstacleWorkload{N: 600, Rounds: 120, Sweeps: 4, BenchN: 24}
+	a, err := dperf.New(w, dperf.WithRanks(ranks)).Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts
+}
+
+func traceBenchSpec(b *testing.B, ranks int) replay.Spec {
+	b.Helper()
+	plat, err := platform.ForKind(platform.KindCluster, ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return replay.Spec{
+		Platform:  plat,
+		Hosts:     plat.Hosts()[:ranks],
+		Submitter: plat.Frontend,
+		Scheme:    p2psap.Synchronous,
+	}
+}
+
+// BenchmarkTraceReplay compares replaying the obstacle trace set from
+// its flat record slices against the shared folded source: same
+// simulation, same results, O(compressed) trace memory. ns/record
+// and allocs/record are the headline metrics of BENCH_trace.json.
+func BenchmarkTraceReplay(b *testing.B) {
+	const ranks = 4
+	ts := traceBenchSet(b, ranks)
+	spec := traceBenchSpec(b, ranks)
+	flat, err := ts.Flat()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var records int64
+	for _, tr := range flat {
+		records += int64(len(tr.Records))
+	}
+	run := func(b *testing.B, src trace.Source) {
+		s, err := replay.NewSession(spec.Platform)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.RunSource(spec, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(records), "ns/record")
+	}
+	b.Run("flat", func(b *testing.B) { run(b, trace.SliceSource(flat)) })
+	b.Run("folded", func(b *testing.B) { run(b, trace.FoldedSource(ts.Folded())) })
+}
+
+// BenchmarkTraceReplayComputeRuns isolates the compute-run fast path:
+// a trace dominated by a long homogeneous compute run replays as one
+// kernel event instead of one per record.
+func BenchmarkTraceReplayComputeRuns(b *testing.B) {
+	const runLen = 50000
+	mk := func(rank, peer int) *trace.Folded {
+		return &trace.Folded{Rank: rank, Of: 2, Ops: []trace.Op{
+			{Count: runLen, Rec: trace.Record{Kind: trace.KindCompute, NS: 1000}},
+			{Count: 1, Rec: trace.Record{Kind: trace.KindSend, Peer: peer, Bytes: 64}},
+			{Count: 1, Rec: trace.Record{Kind: trace.KindRecv, Peer: peer, Bytes: 64}},
+		}}
+	}
+	folded := trace.FoldedSource{mk(0, 1), mk(1, 0)}
+	spec := traceBenchSpec(b, 2)
+	run := func(b *testing.B, src trace.Source) {
+		s, err := replay.NewSession(spec.Platform)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.RunSource(spec, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(2*runLen), "ns/record")
+	}
+	b.Run("aggregated", func(b *testing.B) { run(b, folded) })
+	b.Run("per-record", func(b *testing.B) { run(b, perRecordSource{folded}) })
+}
+
+// perRecordSource forces the per-record slow path (the pre-refactor
+// replay shape) for comparison.
+type perRecordSource struct{ src trace.Source }
+
+func (s perRecordSource) Ranks() int { return s.src.Ranks() }
+
+func (s perRecordSource) Cursor(rank int) trace.Cursor {
+	return &perRecordCursor{cur: s.src.Cursor(rank)}
+}
+
+type perRecordCursor struct {
+	cur  trace.Cursor
+	rec  trace.Record
+	left int
+}
+
+func (c *perRecordCursor) Next() bool {
+	if c.left > 0 {
+		c.left--
+		return true
+	}
+	if !c.cur.Next() {
+		return false
+	}
+	r, n := c.cur.Run()
+	c.rec, c.left = r, n-1
+	return true
+}
+
+func (c *perRecordCursor) Run() (trace.Record, int) { return c.rec, 1 }
+
+// BenchmarkTraceSetEncode measures whole-set serialization cost and
+// size for the JSON and binary formats.
+func BenchmarkTraceSetEncode(b *testing.B) {
+	ts := traceBenchSet(b, 4)
+	if _, err := ts.Flat(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int64
+		for i := 0; i < b.N; i++ {
+			var cw countWriter
+			if err := ts.WriteJSON(&cw); err != nil {
+				b.Fatal(err)
+			}
+			n = cw.n
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int64
+		for i := 0; i < b.N; i++ {
+			var cw countWriter
+			if err := ts.WriteBinary(&cw); err != nil {
+				b.Fatal(err)
+			}
+			n = cw.n
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkTraceGeneration measures the generation stage itself —
+// folded emission keeps memory O(patterns) instead of O(iterations).
+func BenchmarkTraceGeneration(b *testing.B) {
+	w := dperf.ObstacleWorkload{N: 600, Rounds: 120, Sweeps: 4, BenchN: 24}
+	a, err := dperf.New(w, dperf.WithRanks(4)).Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Traces(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
