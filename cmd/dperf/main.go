@@ -8,7 +8,7 @@
 //	dperf -platform grid5000|xdsl|lan -peers 4 -level O3 [-src file.c]
 //	      [-emit-instrumented] [-emit-traces dir]
 //	      [-save-traces set.json] [-load-traces set.json]
-//	      [-trace-format text|json|bin] [-trace-stats]
+//	      [-trace-format text|json|bin] [-trace-stats] [-no-fastforward]
 //	dperf -sweep [-sweep-platforms grid5000,xdsl,lan] [-sweep-ranks 2,4,8]
 //	      [-sweep-schemes sync,async] [-sweep-workers N]
 //	      [-sweep-format table|json|csv] [-sweep-out file]
@@ -29,6 +29,12 @@
 // platforms × rank counts × schemes concurrently and prints the
 // resulting prediction table. It composes with -load-traces (the
 // stored set fixes the rank count) or with the full pipeline.
+//
+// Replay uses steady-state fast-forward by default: once the folded
+// iteration rounds of a trace settle into an exactly periodic steady
+// state, the remaining rounds are costed in closed form instead of
+// simulated. -no-fastforward is the verification escape hatch that
+// simulates every round.
 package main
 
 import (
@@ -68,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		loadTraces   = fs.String("load-traces", "", "replay a previously saved trace set or trace directory (skips analysis; format auto-detected)")
 		traceFormat  = fs.String("trace-format", "", "trace output format: json or bin for -save-traces, text or bin for -emit-traces")
 		traceStats   = fs.Bool("trace-stats", false, "print trace-set statistics (records vs folded ops, per-format sizes) instead of predicting")
+		noFF         = fs.Bool("no-fastforward", false, "simulate every folded iteration round instead of fast-forwarding steady-state rounds")
 		n            = fs.Int64("n", 0, "override grid dimension N")
 		rounds       = fs.Int64("rounds", 0, "override the iteration round count")
 
@@ -147,7 +154,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var badFlag error
 		fs.Visit(func(f *flag.Flag) {
 			switch {
-			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats":
+			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats" || f.Name == "no-fastforward":
 			case *sweep && strings.HasPrefix(f.Name, "sweep"):
 			default:
 				badFlag = fmt.Errorf("-%s has no effect with -load-traces: the trace set fixes the workload, peers and level", f.Name)
@@ -164,10 +171,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return printTraceStats(stdout, ts)
 		}
 		if *sweep {
-			return runSweep(fs, ts, stdout,
+			return runSweep(fs, ts, stdout, !*noFF,
 				*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 		}
-		pred, err := ts.Predict(dperf.WithPlatform(kind))
+		pred, err := ts.Predict(dperf.WithPlatform(kind), dperf.WithFastForward(!*noFF))
 		if err != nil {
 			return err
 		}
@@ -216,7 +223,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *sweep {
-		return runSweep(fs, a, stdout,
+		return runSweep(fs, a, stdout, !*noFF,
 			*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 	}
 
@@ -270,7 +277,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	// Stage 4: replay on the target platform.
-	pred, err := ts.Predict()
+	pred, err := ts.Predict(dperf.WithFastForward(!*noFF))
 	if err != nil {
 		return err
 	}
@@ -327,7 +334,7 @@ func printTraceStats(w io.Writer, ts *dperf.TraceSet) error {
 
 // runSweep expands the sweep flags into a dperf.Space, runs the sweep
 // and writes the requested output format.
-func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer,
+func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer, fastForward bool,
 	plats, ranks, schemes string, workers int, format, outPath string) error {
 	// Validate the output side first: a typo in -sweep-format or an
 	// unwritable -sweep-out must not cost a full sweep.
@@ -385,7 +392,7 @@ func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer,
 		}
 	}
 
-	var opts []dperf.SweepOption
+	opts := []dperf.SweepOption{dperf.SweepOptions(dperf.WithFastForward(fastForward))}
 	if workers > 0 {
 		opts = append(opts, dperf.SweepWorkers(workers))
 	}
@@ -436,4 +443,8 @@ func printPrediction(w io.Writer, pred *dperf.Prediction) {
 	fmt.Fprintf(w, "  compute  %8.3f s\n", pred.Compute)
 	fmt.Fprintf(w, "  gather   %8.3f s\n", pred.Gather)
 	fmt.Fprintf(w, "  t_predicted = %.3f s\n", pred.Predicted)
+	if pred.RoundsFastForwarded > 0 {
+		fmt.Fprintf(w, "  fast-forward: %d rounds simulated, %d fast-forwarded\n",
+			pred.RoundsSimulated, pred.RoundsFastForwarded)
+	}
 }

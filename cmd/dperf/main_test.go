@@ -213,3 +213,35 @@ func TestRunSweepFromLoadedTraces(t *testing.T) {
 		t.Fatalf("-platform did not narrow the sweep:\n%s", out)
 	}
 }
+
+// TestRunFastForwardFlag: replay fast-forwards by default at paper
+// scale (the stats line appears), and -no-fastforward is the escape
+// hatch that simulates every round — with the same printed prediction.
+func TestRunFastForwardFlag(t *testing.T) {
+	ff, err := runCLI(t, "-peers", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ff, "fast-forward:") {
+		t.Fatalf("default run did not report fast-forward stats:\n%s", ff)
+	}
+	plain, err := runCLI(t, "-peers", "8", "-no-fastforward")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "fast-forward:") {
+		t.Fatalf("-no-fastforward still fast-forwarded:\n%s", plain)
+	}
+	pick := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "t_predicted") {
+				return line
+			}
+		}
+		t.Fatalf("no t_predicted line:\n%s", out)
+		return ""
+	}
+	if pick(ff) != pick(plain) {
+		t.Fatalf("fast-forward changed the printed prediction: %q vs %q", pick(ff), pick(plain))
+	}
+}

@@ -25,6 +25,14 @@ type EngineSpec struct {
 	// O(compressed) memory and may be shared across concurrent
 	// replays (cursors are independent).
 	Source trace.Source
+	// FastForward enables steady-state fast-forward replay: once the
+	// rounds of a folded Repeat loop settle into an exactly periodic
+	// steady state, the remaining iterations are costed in closed
+	// form instead of simulated. Results are bit-identical to the
+	// engine's rebased per-iteration path (replay.FFVerify); relative
+	// to a replay without fast-forward (the default) predictions can
+	// differ by float64 rounding in the last ulps.
+	FastForward bool
 }
 
 // EngineResult is a replay outcome: t_predicted plus its phase
@@ -34,6 +42,11 @@ type EngineResult struct {
 	ScatterSeconds   float64
 	ComputeSeconds   float64
 	GatherSeconds    float64
+	// RoundsSimulated / RoundsFastForwarded report the fast-forward
+	// engine's work split over managed Repeat loops (both zero when
+	// fast-forward was off or never engaged).
+	RoundsSimulated     int64
+	RoundsFastForwarded int64
 }
 
 // ReplayOutcome is one entry of a batched replay: the result or the
@@ -99,6 +112,10 @@ type replayEngine struct{}
 func (replayEngine) Name() string { return "replay" }
 
 func replaySpec(spec EngineSpec) replay.Spec {
+	mode := replay.FFOff
+	if spec.FastForward {
+		mode = replay.FFOn
+	}
 	return replay.Spec{
 		Platform:     spec.Platform,
 		Hosts:        spec.Hosts,
@@ -106,15 +123,18 @@ func replaySpec(spec EngineSpec) replay.Spec {
 		Scheme:       spec.Scheme,
 		ScatterBytes: spec.ScatterBytes,
 		GatherBytes:  spec.GatherBytes,
+		FastForward:  mode,
 	}
 }
 
 func engineResult(res *replay.Result) *EngineResult {
 	return &EngineResult{
-		PredictedSeconds: res.PredictedSeconds,
-		ScatterSeconds:   res.ScatterSeconds,
-		ComputeSeconds:   res.ComputeSeconds,
-		GatherSeconds:    res.GatherSeconds,
+		PredictedSeconds:    res.PredictedSeconds,
+		ScatterSeconds:      res.ScatterSeconds,
+		ComputeSeconds:      res.ComputeSeconds,
+		GatherSeconds:       res.GatherSeconds,
+		RoundsSimulated:     res.FF.RoundsSimulated,
+		RoundsFastForwarded: res.FF.RoundsFastForwarded,
 	}
 }
 

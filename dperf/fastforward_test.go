@@ -1,0 +1,167 @@
+package dperf_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/dperf"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// paperTraces runs the pipeline's analysis+trace stages for the
+// paper-scale obstacle workload (N=1200, 120 rounds × 15 sweeps) at 8
+// ranks and returns the folded source plus the replay spec pieces.
+func paperTraces(t *testing.T) (trace.FoldedSource, *platform.Platform, replay.Spec) {
+	t.Helper()
+	w := dperf.DefaultObstacleWorkload()
+	pipe := dperf.New(w, dperf.WithPlatform(dperf.KindCluster), dperf.WithRanks(8))
+	a, err := pipe.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := platform.ForKind(platform.Kind(dperf.KindCluster), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := replay.Spec{
+		Hosts:        plat.Hosts()[:8],
+		Submitter:    plat.Frontend,
+		Scheme:       p2psap.Synchronous,
+		ScatterBytes: ts.ScatterBytes,
+		GatherBytes:  ts.GatherBytes,
+	}
+	return trace.FoldedSource(ts.Folded()), plat, spec
+}
+
+// TestFastForwardPaperScale is the acceptance gate of the steady-state
+// fast-forward engine: on the paper-scale obstacle replay (8 ranks,
+// sync scheme) the fast-forwarded prediction must be bit-identical to
+// the per-iteration path, skip the bulk of the 120 rounds, and beat
+// the non-fast-forwarded folded replay by at least 5× wall clock.
+func TestFastForwardPaperScale(t *testing.T) {
+	src, plat, spec := paperTraces(t)
+	session, err := replay.NewSession(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(mode replay.FFMode) *replay.Result {
+		t.Helper()
+		s := spec
+		s.FastForward = mode
+		res, err := session.RunSource(s, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Wall-clock cost of a mode: best of three, on a warmed session.
+	cost := func(mode replay.FFMode) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			run(mode)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	verify := run(replay.FFVerify)
+	on := run(replay.FFOn)
+	if verify.PredictedSeconds != on.PredictedSeconds ||
+		verify.ScatterSeconds != on.ScatterSeconds ||
+		verify.ComputeSeconds != on.ComputeSeconds ||
+		verify.GatherSeconds != on.GatherSeconds {
+		t.Fatalf("fast-forward is not bit-identical to the per-iteration path:\nverify %+v\non     %+v",
+			verify, on)
+	}
+	if on.FF.RoundsFastForwarded < 100 {
+		t.Fatalf("expected the bulk of the 120 rounds fast-forwarded, got %+v", on.FF)
+	}
+	if verify.FF.RoundsFastForwarded != 0 {
+		t.Fatalf("verify mode skipped rounds: %+v", verify.FF)
+	}
+
+	// Sanity against the legacy path: same prediction up to float64
+	// rounding (the epoch-rebased clock rounds differently by ulps).
+	off := run(replay.FFOff)
+	if rel := math.Abs(on.PredictedSeconds-off.PredictedSeconds) / off.PredictedSeconds; rel > 1e-9 {
+		t.Fatalf("fast-forward drifted from legacy replay: rel %g", rel)
+	}
+
+	run(replay.FFOn) // warm both paths before timing
+	slow := cost(replay.FFOff)
+	fast := cost(replay.FFOn)
+	if fast*5 > slow {
+		t.Fatalf("fast-forward speedup %.1fx, want >= 5x (off %v, on %v)",
+			float64(slow)/float64(fast), slow, fast)
+	}
+	t.Logf("paper-scale folded replay: off %v, on %v (%.1fx), %+v",
+		slow, fast, float64(slow)/float64(fast), on.FF)
+}
+
+// TestPredictWithFastForward: the public pipeline option engages the
+// engine, reports the round split on the Prediction, and agrees with
+// the default path to float64 rounding.
+func TestPredictWithFastForward(t *testing.T) {
+	// Paper-scale grid (compute-dominated rounds — fast-forward only
+	// engages when the leading compute outlasts the conv stagger)
+	// with a reduced round count to keep the test quick.
+	w := dperf.ObstacleWorkload{N: 1200, Rounds: 40, Sweeps: 15, BenchN: 32}
+	pipe := dperf.New(w, dperf.WithPlatform(dperf.KindCluster), dperf.WithRanks(4))
+	a, err := pipe.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ts.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RoundsFastForwarded != 0 || plain.RoundsSimulated != 0 {
+		t.Fatalf("default predict reported fast-forward work: %+v", plain)
+	}
+	ff, err := ts.Predict(dperf.WithFastForward(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.RoundsFastForwarded == 0 {
+		t.Fatalf("fast-forward never engaged: %+v", ff)
+	}
+	if rel := math.Abs(ff.Predicted-plain.Predicted) / plain.Predicted; rel > 1e-9 {
+		t.Fatalf("fast-forwarded prediction drifted: %v vs %v (rel %g)",
+			ff.Predicted, plain.Predicted, rel)
+	}
+
+	// Sweeps plumb the option through SweepOptions.
+	res, err := dperf.Sweep(ts, dperf.Space{
+		Platforms: []dperf.Kind{dperf.KindCluster},
+		Ranks:     []int{4},
+	}, dperf.SweepOptions(dperf.WithFastForward(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 || res.Results[0].Error != "" {
+		t.Fatalf("sweep failed: %+v", res.Results)
+	}
+	sp := res.Results[0].Prediction
+	if sp.RoundsFastForwarded == 0 {
+		t.Fatalf("sweep prediction did not fast-forward: %+v", sp)
+	}
+	if sp.Predicted != ff.Predicted {
+		t.Fatalf("sweep prediction %v != predict %v", sp.Predicted, ff.Predicted)
+	}
+}

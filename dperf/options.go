@@ -13,11 +13,12 @@ type config struct {
 	// ranksSet distinguishes an explicit WithRanks value from the
 	// default, so an explicit nonpositive count fails downstream
 	// instead of being silently replaced.
-	ranksSet bool
-	kind     Kind
-	custom   *Platform
-	scheme   Scheme
-	engine   Engine
+	ranksSet    bool
+	kind        Kind
+	custom      *Platform
+	scheme      Scheme
+	engine      Engine
+	fastForward bool
 }
 
 // normalized fills unset fields with the documented defaults: level
@@ -99,3 +100,14 @@ func WithScheme(s Scheme) Option { return func(c *config) { c.scheme = s } }
 // WithEngine replaces the replay engine (default: the in-process
 // replay/p2pdc/netsim stack).
 func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithFastForward toggles steady-state fast-forward replay (default
+// off): once the rounds of a folded Repeat loop reach an exactly
+// periodic steady state, the remaining iterations are costed in
+// closed form instead of simulated — typically an order of magnitude
+// faster on iteration-dominated traces. The fast-forwarded prediction
+// is bit-identical to the engine's per-iteration verification path;
+// relative to the default (no fast-forward) it can differ by float64
+// rounding in the last ulps. The resulting Prediction reports rounds
+// simulated vs fast-forwarded.
+func WithFastForward(on bool) Option { return func(c *config) { c.fastForward = on } }

@@ -18,6 +18,11 @@ type Prediction struct {
 	Scatter   float64 `json:"scatter_s"`
 	Compute   float64 `json:"compute_s"`
 	Gather    float64 `json:"gather_s"`
+	// RoundsSimulated / RoundsFastForwarded report the steady-state
+	// fast-forward split over the trace's folded iteration loops
+	// (both zero unless WithFastForward(true) engaged).
+	RoundsSimulated     int64 `json:"rounds_simulated,omitempty"`
+	RoundsFastForwarded int64 `json:"rounds_fast_forwarded,omitempty"`
 	// TraceSet is the artifact this prediction was replayed from. It is
 	// kept out of serialized predictions: the trace set is its own
 	// artifact with its own JSON format.
@@ -56,23 +61,26 @@ func (cfg config) engineSpecOn(ts *TraceSet, plat *Platform, label string) (Engi
 		ScatterBytes: ts.ScatterBytes,
 		GatherBytes:  ts.GatherBytes,
 		Source:       ts.Source(),
+		FastForward:  cfg.fastForward,
 	}, label, nil
 }
 
 // newPrediction assembles the public result from an engine outcome.
 func (cfg config) newPrediction(ts *TraceSet, label string, res *EngineResult) *Prediction {
 	return &Prediction{
-		Workload:  ts.Workload,
-		Platform:  label,
-		Engine:    cfg.engine.Name(),
-		Ranks:     ts.Ranks,
-		Level:     ts.Level,
-		Scheme:    cfg.scheme,
-		Predicted: res.PredictedSeconds,
-		Scatter:   res.ScatterSeconds,
-		Compute:   res.ComputeSeconds,
-		Gather:    res.GatherSeconds,
-		TraceSet:  ts,
+		Workload:            ts.Workload,
+		Platform:            label,
+		Engine:              cfg.engine.Name(),
+		Ranks:               ts.Ranks,
+		Level:               ts.Level,
+		Scheme:              cfg.scheme,
+		Predicted:           res.PredictedSeconds,
+		Scatter:             res.ScatterSeconds,
+		Compute:             res.ComputeSeconds,
+		Gather:              res.GatherSeconds,
+		RoundsSimulated:     res.RoundsSimulated,
+		RoundsFastForwarded: res.RoundsFastForwarded,
+		TraceSet:            ts,
 	}
 }
 

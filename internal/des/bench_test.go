@@ -1,0 +1,111 @@
+package des
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// boxedEvent / boxedHeap reproduce the previous event queue — a
+// container/heap of *event boxes — as the baseline the slice-backed
+// 4-ary queue is measured against. Every push allocates a box and
+// every operation goes through the interface-typed heap.Interface
+// methods.
+type boxedEvent struct {
+	time float64
+	seq  uint64
+}
+
+type boxedHeap []*boxedEvent
+
+func (h boxedHeap) Len() int { return len(h) }
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(*boxedEvent)) }
+func (h *boxedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// The queue benchmarks run the canonical DES hold workload: a warm
+// queue of size N, then pop-one/push-one per operation with
+// near-future times — the steady-state pattern of a replay.
+
+const benchQueueSize = 1024
+
+func lcg(state *uint64) uint64 {
+	*state = *state*6364136223846793005 + 1442695040888963407
+	return *state
+}
+
+func BenchmarkEventQueue4ary(b *testing.B) {
+	var q eventQueue
+	state := uint64(1)
+	var seq uint64
+	for i := 0; i < benchQueueSize; i++ {
+		seq++
+		q.push(event{time: float64(lcg(&state) % 4096), seq: seq})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.pop()
+		seq++
+		q.push(event{time: e.time + float64(lcg(&state)%128), seq: seq})
+	}
+}
+
+func BenchmarkEventQueueBoxedHeap(b *testing.B) {
+	var h boxedHeap
+	state := uint64(1)
+	var seq uint64
+	for i := 0; i < benchQueueSize; i++ {
+		seq++
+		heap.Push(&h, &boxedEvent{time: float64(lcg(&state) % 4096), seq: seq})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := heap.Pop(&h).(*boxedEvent)
+		seq++
+		heap.Push(&h, &boxedEvent{time: e.time + float64(lcg(&state)%128), seq: seq})
+	}
+}
+
+// BenchmarkKernelScheduleRun measures the whole Schedule+dispatch
+// path: allocs/op is the per-event kernel overhead a replay pays.
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(float64(i%7), fn)
+		if s.Pending() >= 512 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkKernelSleepChain measures the process wakeup path (the
+// closure-free activation events): one process sleeping b.N times.
+func BenchmarkKernelSleepChain(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Spawn("sleeper", 0, func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	s.Run()
+}

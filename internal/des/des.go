@@ -6,52 +6,168 @@
 // process runs in its own goroutine but only ever executes while it
 // holds the kernel's execution token, so simulations are fully
 // deterministic and race-free regardless of GOMAXPROCS.
+//
+// # Virtual time and epochs
+//
+// The clock is split into an epoch base and an in-epoch offset:
+// AbsNow() = Base() + Now(). All scheduling arithmetic happens on the
+// offset, and unless Rebase is ever called the base stays zero and
+// Now() behaves exactly like an absolute clock. Rebase folds the
+// current offset into the base and shifts every pending event, which
+// keeps in-epoch magnitudes small: two simulation stretches that are
+// identical up to a time translation then compute bit-identical
+// offsets regardless of how much virtual time precedes them. The
+// replay fast-forward engine leans on this — a steady-state round
+// re-simulated from a rebased boundary reproduces the exact float64s
+// of the previous round, so skipped rounds can be costed in closed
+// form (AdvanceBase) without losing bit equality.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 )
 
-// Event is a scheduled callback.
+// Event kinds. Activation events carry the process to hand the token
+// to directly instead of a closure, which keeps the hot Sleep/wakeup
+// path allocation-free. Auxiliary events are callbacks whose creator
+// guarantees they are no-ops once its own state has moved on (e.g.
+// superseded flow-completion estimates guarded by an epoch counter);
+// they are excluded from PendingReal so quiescence checks can ignore
+// them.
+const (
+	evFn byte = iota
+	evActivate
+	evAux
+)
+
+// event is a scheduled occurrence. Events are stored by value in the
+// queue slice: pushing never allocates once the slice has warmed up,
+// unlike the previous container/heap queue which boxed a *event per
+// Schedule call.
 type event struct {
 	time float64
 	seq  uint64
-	fn   func()
+	kind byte
+	proc *Process // evActivate
+	fn   func()   // evFn, evAux
 }
 
-type eventHeap []*event
+// eventQueue is a slice-backed 4-ary min-heap ordered by (time, seq).
+// The wider fan-out halves the tree depth of the binary heap, trading
+// slightly more comparisons per sift-down for far fewer cache-missing
+// levels — a consistent win for the DES pop-push workload where most
+// inserted events are near-future.
+type eventQueue struct {
+	a []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func (q *eventQueue) len() int { return len(q.a) }
+
+// eventLess is the queue's total order: (time, seq). Equal-time
+// events fire in schedule order — the determinism guarantee the
+// fast-forward bit-identity rests on. Small enough to inline.
+func eventLess(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	q.a = append(q.a, e)
+	a := q.a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if eventLess(a[p], a[i]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	a := q.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{} // release the closure/process reference; the slot stays pooled in cap
+	a = a[:n]
+	q.a = a
+	// Sift the relocated tail element down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		m := first
+		for c := first + 1; c < last; c++ {
+			if eventLess(a[c], a[m]) {
+				m = c
+			}
+		}
+		if eventLess(a[i], a[m]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
+}
+
+// reheap re-establishes the heap invariant over the whole slice
+// (Floyd's bottom-up heapify) after an operation that may have
+// perturbed relative order, such as a uniform time shift whose
+// rounding collapses distinct times into ties.
+func (q *eventQueue) reheap() {
+	a := q.a
+	n := len(a)
+	for i := (n - 2) / 4; i >= 0; i-- {
+		for j := i; ; {
+			first := 4*j + 1
+			if first >= n {
+				break
+			}
+			last := first + 4
+			if last > n {
+				last = n
+			}
+			m := first
+			for c := first + 1; c < last; c++ {
+				if eventLess(a[c], a[m]) {
+					m = c
+				}
+			}
+			if eventLess(a[j], a[m]) {
+				break
+			}
+			a[j], a[m] = a[m], a[j]
+			j = m
+		}
+	}
 }
 
 // Simulation is a discrete-event simulator. The zero value is not
 // usable; create one with New.
 type Simulation struct {
-	now     float64
+	now     float64 // offset within the current epoch
+	base    float64 // accumulated epoch base; AbsNow = base + now
 	seq     uint64
-	queue   eventHeap
+	queue   eventQueue
+	aux     int            // pending evAux events
 	yielded chan yieldKind // processes signal the driver here
 	running bool
 	// live counts processes that have been started and not yet finished.
-	live int
+	live  int
+	procs []*Process // every spawned process, for Shutdown teardown
+	hooks []func(shift float64)
 	// Trace, when non-nil, receives a line per executed event (debug aid).
 	Trace func(t float64, what string)
 }
@@ -68,8 +184,17 @@ func New() *Simulation {
 	return &Simulation{yielded: make(chan yieldKind)}
 }
 
-// Now returns the current virtual time in seconds.
+// Now returns the current virtual time within the epoch, in seconds.
+// Without Rebase calls the base is zero and this is the absolute
+// virtual time.
 func (s *Simulation) Now() float64 { return s.now }
+
+// Base returns the accumulated epoch base (zero unless Rebase or
+// AdvanceBase was used).
+func (s *Simulation) Base() float64 { return s.base }
+
+// AbsNow returns the absolute virtual time: Base() + Now().
+func (s *Simulation) AbsNow() float64 { return s.base + s.now }
 
 // Schedule registers fn to run at Now()+delay. A negative delay is an
 // error and panics: events cannot run in the past.
@@ -78,26 +203,76 @@ func (s *Simulation) Schedule(delay float64, fn func()) {
 		panic(fmt.Sprintf("des: Schedule with invalid delay %v at t=%v", delay, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{time: s.now + delay, seq: s.seq, fn: fn})
+	s.queue.push(event{time: s.now + delay, seq: s.seq, kind: evFn, fn: fn})
 }
 
-// ScheduleAt registers fn to run at the absolute time t (>= Now()).
-// The event fires at exactly t: it is enqueued directly rather than
-// via Schedule(t-Now()), whose now+(t-now) round trip can land one
-// ulp off t and would break SleepUntil's bit-identical guarantee.
+// ScheduleAt registers fn to run at the absolute in-epoch time t
+// (>= Now()). The event fires at exactly t: it is enqueued directly
+// rather than via Schedule(t-Now()), whose now+(t-now) round trip can
+// land one ulp off t and would break SleepUntil's bit-identical
+// guarantee.
 func (s *Simulation) ScheduleAt(t float64, fn func()) {
 	if t < s.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("des: ScheduleAt %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+	s.queue.push(event{time: t, seq: s.seq, kind: evFn, fn: fn})
 }
 
-// Pending reports the number of queued events.
-func (s *Simulation) Pending() int { return len(s.queue) }
+// ScheduleAux registers an auxiliary callback at Now()+delay: one the
+// caller guarantees is a no-op whenever its creator's state has been
+// superseded by the time it fires (flow-completion estimates guarded
+// by an epoch counter are the canonical case). Aux events execute
+// normally but are excluded from PendingReal, so quiescence checks
+// can ignore stale ones still queued.
+func (s *Simulation) ScheduleAux(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: ScheduleAux with invalid delay %v at t=%v", delay, s.now))
+	}
+	s.seq++
+	s.queue.push(event{time: s.now + delay, seq: s.seq, kind: evAux, fn: fn})
+	s.aux++
+}
+
+// scheduleActivate registers a token handoff to p at Now()+delay
+// without allocating a closure.
+func (s *Simulation) scheduleActivate(delay float64, p *Process) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("des: activation with invalid delay %v at t=%v", delay, s.now))
+	}
+	s.seq++
+	s.queue.push(event{time: s.now + delay, seq: s.seq, kind: evActivate, proc: p})
+}
+
+// scheduleActivateAt is scheduleActivate at an exact in-epoch time.
+func (s *Simulation) scheduleActivateAt(t float64, p *Process) {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: activation at %v before now %v", t, s.now))
+	}
+	s.seq++
+	s.queue.push(event{time: t, seq: s.seq, kind: evActivate, proc: p})
+}
+
+// Pending reports the number of queued events, auxiliary ones
+// included.
+func (s *Simulation) Pending() int { return s.queue.len() }
+
+// PendingReal reports the number of queued non-auxiliary events —
+// the ones that can still change simulation state.
+func (s *Simulation) PendingReal() int { return s.queue.len() - s.aux }
 
 // Live reports the number of started-but-unfinished processes.
 func (s *Simulation) Live() int { return s.live }
+
+// dispatch executes one popped event.
+func (s *Simulation) dispatch(e event) {
+	switch e.kind {
+	case evActivate:
+		s.activate(e.proc)
+	default:
+		e.fn()
+	}
+}
 
 // Run executes events until the queue is empty, then returns the final
 // virtual time. Processes that are still parked when the queue drains
@@ -107,19 +282,23 @@ func (s *Simulation) Run() float64 {
 }
 
 // RunUntil executes events with time <= limit and returns the clock.
-// Events scheduled beyond the limit remain queued.
+// Events scheduled beyond the limit remain queued. The limit is an
+// in-epoch offset.
 func (s *Simulation) RunUntil(limit float64) float64 {
 	if s.running {
 		panic("des: nested Run")
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for len(s.queue) > 0 {
-		if s.queue[0].time > limit {
+	for s.queue.len() > 0 {
+		if s.queue.a[0].time > limit {
 			s.now = limit
 			return s.now
 		}
-		e := heap.Pop(&s.queue).(*event)
+		e := s.queue.pop()
+		if e.kind == evAux {
+			s.aux--
+		}
 		if e.time < s.now {
 			panic("des: time went backwards")
 		}
@@ -127,7 +306,7 @@ func (s *Simulation) RunUntil(limit float64) float64 {
 		if s.Trace != nil {
 			s.Trace(s.now, "event")
 		}
-		e.fn()
+		s.dispatch(e)
 	}
 	if s.live > 0 {
 		panic(fmt.Sprintf("des: deadlock: %d process(es) parked with empty event queue at t=%v", s.live, s.now))
@@ -135,35 +314,112 @@ func (s *Simulation) RunUntil(limit float64) float64 {
 	return s.now
 }
 
-// Reset rewinds the clock and event sequence to zero so the
-// simulation can host another run whose timings are bit-identical to
-// a fresh kernel's (replaying at a large clock offset changes float64
-// rounding). It refuses to reset a busy kernel: all events must have
-// drained and all processes finished.
+// Reset rewinds the clock, epoch base and event sequence to zero so
+// the simulation can host another run whose timings are bit-identical
+// to a fresh kernel's (replaying at a large clock offset changes
+// float64 rounding). It refuses to reset a busy kernel: all events
+// must have drained and all processes finished. Rebase hooks survive
+// a reset; finished process handles are released.
 func (s *Simulation) Reset() error {
 	if s.running {
 		return fmt.Errorf("des: Reset during Run")
 	}
-	if len(s.queue) > 0 {
-		return fmt.Errorf("des: Reset with %d pending event(s)", len(s.queue))
+	if s.queue.len() > 0 {
+		return fmt.Errorf("des: Reset with %d pending event(s)", s.queue.len())
 	}
 	if s.live > 0 {
 		return fmt.Errorf("des: Reset with %d live process(es)", s.live)
 	}
 	s.now = 0
+	s.base = 0
 	s.seq = 0
+	s.procs = s.procs[:0]
 	return nil
 }
 
 // Step executes exactly one event, if any, and reports whether one ran.
 func (s *Simulation) Step() bool {
-	if len(s.queue) == 0 {
+	if s.queue.len() == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
+	e := s.queue.pop()
+	if e.kind == evAux {
+		s.aux--
+	}
 	s.now = e.time
-	e.fn()
+	s.dispatch(e)
 	return true
+}
+
+// ---------------------------------------------------------------------------
+// Epoch control: Rebase / AdvanceTo / AdvanceBase
+
+// Rebase folds the current in-epoch offset into the epoch base:
+// Base() grows by the returned shift, Now() becomes zero, and every
+// pending event's time drops by the same shift. AbsNow() is
+// unchanged, but all subsequent in-epoch arithmetic happens near
+// zero — which is what makes translated re-runs of identical activity
+// bit-reproducible. The uniform subtraction is monotone but not
+// strictly order-preserving: rounding can collapse two distinct times
+// into a tie whose (time, seq) order disagrees with the old heap
+// layout, so the queue is re-heapified to keep the schedule-order
+// guarantee for equal-time events. Registered OnRebase hooks observe
+// the shift so layers holding in-epoch timestamps (e.g. the network's
+// last-update mark) can adjust.
+func (s *Simulation) Rebase() float64 {
+	shift := s.now
+	if shift == 0 {
+		return 0
+	}
+	s.base += shift
+	s.now = 0
+	a := s.queue.a
+	for i := range a {
+		a[i].time -= shift
+	}
+	s.queue.reheap()
+	for _, h := range s.hooks {
+		h(shift)
+	}
+	return shift
+}
+
+// OnRebase registers a hook invoked by Rebase with the applied shift.
+// Layers that cache in-epoch timestamps register one at construction.
+func (s *Simulation) OnRebase(h func(shift float64)) {
+	s.hooks = append(s.hooks, h)
+}
+
+// AdvanceTo moves the in-epoch clock forward to t without executing
+// anything — the bulk alternative to draining timer events one at a
+// time when the caller knows nothing happens before t (the netsim
+// idle-skip follow-on in ROADMAP.md; the fast-forward engine itself
+// jumps across whole rounds via Rebase + AdvanceBase instead, since
+// its pending wakeups must stay put). It panics if an event is
+// pending before t (skipping it would corrupt causality).
+func (s *Simulation) AdvanceTo(t float64) {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("des: AdvanceTo %v before now %v", t, s.now))
+	}
+	if s.queue.len() > 0 && s.queue.a[0].time < t {
+		panic(fmt.Sprintf("des: AdvanceTo %v past pending event at %v", t, s.queue.a[0].time))
+	}
+	s.now = t
+}
+
+// AdvanceBase adds delta to the epoch base `rounds` times by iterated
+// addition. This is the closed-form jump of the fast-forward engine:
+// simulating one steady-state round ends in a Rebase that grows the
+// base by exactly delta, so skipping m rounds must perform the same
+// m float64 additions — iterated, not multiplied — to land on the
+// bit-identical base a full simulation would reach.
+func (s *Simulation) AdvanceBase(delta float64, rounds int) {
+	if delta < 0 || math.IsNaN(delta) {
+		panic(fmt.Sprintf("des: AdvanceBase with invalid delta %v", delta))
+	}
+	for i := 0; i < rounds; i++ {
+		s.base += delta
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -178,17 +434,33 @@ type Process struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	killed bool
 }
+
+// errKilled is the sentinel panic value that unwinds a process
+// goroutine torn down by Shutdown.
+type killedSentinel struct{}
 
 // Spawn creates a process executing body and schedules its start after
 // delay seconds. body receives the process handle for blocking calls.
 func (s *Simulation) Spawn(name string, delay float64, body func(p *Process)) *Process {
 	p := &Process{sim: s, name: name, resume: make(chan struct{})}
 	s.live++
+	s.procs = append(s.procs, p)
 	go func() {
 		<-p.resume // wait for first activation
+		if p.killed {
+			p.done = true
+			s.yielded <- yieldFinished
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
+				if _, ok := r.(killedSentinel); ok {
+					p.done = true
+					s.yielded <- yieldFinished
+					return
+				}
 				// Re-panic on the driver's side would be nicer, but the
 				// driver is blocked on s.yielded; report and crash loudly.
 				p.done = true
@@ -200,7 +472,7 @@ func (s *Simulation) Spawn(name string, delay float64, body func(p *Process)) *P
 		p.done = true
 		s.yielded <- yieldFinished
 	}()
-	s.Schedule(delay, func() { s.activate(p) })
+	s.scheduleActivate(delay, p)
 	return p
 }
 
@@ -220,6 +492,34 @@ func (s *Simulation) activate(p *Process) {
 func (p *Process) park() {
 	p.sim.yielded <- yieldParked
 	<-p.resume
+	if p.killed {
+		panic(killedSentinel{})
+	}
+}
+
+// Shutdown tears down every live process goroutine: each one is
+// resumed with the killed flag set and unwinds instead of continuing
+// its body. Pending events are dropped and the kernel is left
+// resettable. It is the cleanup path for a simulation abandoned
+// mid-run (a stalled replay), where parked process goroutines would
+// otherwise leak for the lifetime of the program.
+func (s *Simulation) Shutdown() {
+	if s.running {
+		panic("des: Shutdown during Run")
+	}
+	for _, p := range s.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-s.yielded // the goroutine reports yieldFinished and exits
+		s.live--
+	}
+	s.procs = s.procs[:0]
+	s.queue.a = s.queue.a[:0]
+	s.aux = 0
+	s.live = 0
 }
 
 // Name returns the process name given at Spawn.
@@ -237,7 +537,7 @@ func (p *Process) Sleep(d float64) {
 		panic(fmt.Sprintf("des: Sleep with invalid duration %v", d))
 	}
 	s := p.sim
-	s.Schedule(d, func() { s.activate(p) })
+	s.scheduleActivate(d, p)
 	p.park()
 }
 
@@ -251,7 +551,7 @@ func (p *Process) SleepUntil(t float64) {
 		panic(fmt.Sprintf("des: SleepUntil %v before now %v", t, p.sim.now))
 	}
 	s := p.sim
-	s.ScheduleAt(t, func() { s.activate(p) })
+	s.scheduleActivateAt(t, p)
 	p.park()
 }
 
@@ -291,7 +591,7 @@ func (c *Cond) Signal() {
 	}
 	w := c.waiter
 	c.waiter = nil
-	c.sim.Schedule(0, func() { c.sim.activate(w) })
+	c.sim.scheduleActivate(0, w)
 }
 
 // Waiting reports whether a process is parked on the cond.
@@ -318,7 +618,7 @@ func (q *Queue) Put(v interface{}) {
 	if len(q.readers) > 0 {
 		r := q.readers[0]
 		q.readers = q.readers[1:]
-		q.sim.Schedule(0, func() { q.sim.activate(r) })
+		q.sim.scheduleActivate(0, r)
 	}
 }
 
@@ -368,22 +668,20 @@ func (s *Simulation) NewBarrier(n int) *Barrier {
 	return &Barrier{sim: s, n: n}
 }
 
-// Arrive blocks until n processes have arrived, then releases them all.
+// Arrive blocks until n processes have arrived, then releases them all
+// in arrival order.
 func (b *Barrier) Arrive(p *Process) {
 	if b.n == 1 {
 		b.generation++
 		return
 	}
 	if len(b.waiting)+1 == b.n {
-		// Last arrival: release everyone.
+		// Last arrival: release everyone, in arrival order.
 		waiters := b.waiting
 		b.waiting = nil
 		b.generation++
-		// Deterministic release order: by arrival.
-		sort.SliceStable(waiters, func(i, j int) bool { return false })
 		for _, w := range waiters {
-			w := w
-			b.sim.Schedule(0, func() { b.sim.activate(w) })
+			b.sim.scheduleActivate(0, w)
 		}
 		return
 	}

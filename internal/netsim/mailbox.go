@@ -57,10 +57,11 @@ func (po *Post) box(host, tag string) *mailbox {
 }
 
 // SendAsync starts the transfer and returns immediately; the message
-// appears in the destination mailbox when the flow completes.
+// appears in the destination mailbox when the flow completes. The
+// flow record is transient: it is recycled once delivery completes.
 func (po *Post) SendAsync(src, dst, tag string, bytes float64, payload interface{}) error {
 	msg := &Message{From: src, To: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: po.net.sim.Now()}
-	_, err := po.net.StartFlow(src, dst, bytes, func() {
+	_, err := po.net.StartFlowTransient(src, dst, bytes, func() {
 		msg.DeliveredAt = po.net.sim.Now()
 		po.box(dst, tag).q.Put(msg)
 	})
@@ -72,7 +73,7 @@ func (po *Post) SendAsync(src, dst, tag string, bytes float64, payload interface
 func (po *Post) Send(p *des.Process, src, dst, tag string, bytes float64, payload interface{}) error {
 	c := po.net.sim.NewCond()
 	msg := &Message{From: src, To: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: po.net.sim.Now()}
-	_, err := po.net.StartFlow(src, dst, bytes, func() {
+	_, err := po.net.StartFlowTransient(src, dst, bytes, func() {
 		msg.DeliveredAt = po.net.sim.Now()
 		po.box(dst, tag).q.Put(msg)
 		c.Signal()
@@ -105,6 +106,18 @@ func (po *Post) TryRecv(host, tag string) (*Message, bool) {
 // Pending reports queued (already delivered) messages for a mailbox.
 func (po *Post) Pending(host, tag string) int {
 	return po.box(host, tag).q.Len()
+}
+
+// PendingMessages reports the total number of delivered-but-unconsumed
+// messages across all mailboxes. The replay fast-forward engine uses
+// it as part of its quiescence check: a round boundary with a message
+// still parked in a mailbox is not a clean steady-state snapshot.
+func (po *Post) PendingMessages() int {
+	total := 0
+	for _, b := range po.boxes {
+		total += b.q.Len()
+	}
+	return total
 }
 
 // Compute blocks the process for the time the host needs to execute the

@@ -7,8 +7,10 @@
 package netsim
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/des"
@@ -31,7 +33,9 @@ type Link struct {
 	Bandwidth float64
 	Latency   float64
 
-	active map[*Flow]struct{}
+	// idx addresses this link's slot in the network's rate-assignment
+	// scratch, so the bandwidth-sharing epoch needs no map lookups.
+	idx int
 }
 
 // Route is an ordered list of links between two hosts plus the total
@@ -56,6 +60,8 @@ type Flow struct {
 	route     *Route
 	started   bool // latency phase done, participating in sharing
 	done      bool
+	pooled    bool // recycle into the network's free list at completion
+	assigned  bool // scratch flag of assignRates
 	onDone    func()
 }
 
@@ -64,6 +70,14 @@ func (f *Flow) Remaining() float64 { return f.remaining }
 
 // Rate returns the currently allocated rate in bytes/s.
 func (f *Flow) Rate() float64 { return f.rate }
+
+// linkState is the per-link scratch of one progressive-filling epoch.
+type linkState struct {
+	link     *Link
+	residual float64
+	nflows   int
+	mark     uint64 // lazily resets the state when != Network.rateMark
+}
 
 // Network is the top-level simulator object.
 type Network struct {
@@ -77,11 +91,22 @@ type Network struct {
 	flowOrder  []*Flow // deterministic iteration order
 	lastUpdate float64
 	epoch      uint64 // invalidates stale completion events
+
+	// Reused per-epoch scratch: bandwidth sharing runs once per flow
+	// arrival/departure, and on large platforms the per-call map and
+	// slice churn used to dominate the sharing epoch's cost.
+	linkStates  []linkState // indexed by Link.idx
+	activeLinks []*linkState
+	finished    []*Flow
+	rateMark    uint64
+	flowPool    []*Flow
 }
 
-// New creates a network bound to sim using provider for routing.
+// New creates a network bound to sim using provider for routing. The
+// network registers a rebase hook: its in-epoch last-update mark
+// follows the kernel's epoch shifts (see des.Rebase).
 func New(sim *des.Simulation, provider RouteProvider) *Network {
-	return &Network{
+	n := &Network{
 		sim:        sim,
 		hosts:      make(map[string]*Host),
 		links:      make(map[string]*Link),
@@ -89,6 +114,16 @@ func New(sim *des.Simulation, provider RouteProvider) *Network {
 		routeCache: make(map[[2]string]*Route),
 		flows:      make(map[*Flow]struct{}),
 	}
+	sim.OnRebase(func(shift float64) {
+		if len(n.flows) == 0 {
+			// Quiescent: the mark only matters as the origin of the
+			// next advance() delta, which resets it anyway.
+			n.lastUpdate = 0
+			return
+		}
+		n.lastUpdate -= shift
+	})
+	return n
 }
 
 // Sim returns the underlying event kernel.
@@ -128,8 +163,9 @@ func (n *Network) AddLink(name string, bandwidth, latency float64) (*Link, error
 	if bandwidth <= 0 || latency < 0 {
 		return nil, fmt.Errorf("netsim: link %q invalid bandwidth %v / latency %v", name, bandwidth, latency)
 	}
-	l := &Link{Name: name, Bandwidth: bandwidth, Latency: latency, active: make(map[*Flow]struct{})}
+	l := &Link{Name: name, Bandwidth: bandwidth, Latency: latency, idx: len(n.linkStates)}
 	n.links[name] = l
+	n.linkStates = append(n.linkStates, linkState{link: l})
 	return l, nil
 }
 
@@ -150,9 +186,41 @@ func (n *Network) routeBetween(src, dst *Host) (*Route, error) {
 	return r, nil
 }
 
+// newFlow takes a flow record from the free list, or allocates one.
+func (n *Network) newFlow() *Flow {
+	if k := len(n.flowPool); k > 0 {
+		f := n.flowPool[k-1]
+		n.flowPool[k-1] = nil
+		n.flowPool = n.flowPool[:k-1]
+		return f
+	}
+	return &Flow{}
+}
+
+// releaseFlow zeroes a pooled flow and returns it to the free list.
+func (n *Network) releaseFlow(f *Flow) {
+	*f = Flow{}
+	n.flowPool = append(n.flowPool, f)
+}
+
 // StartFlow begins transferring bytes from src to dst. onDone (may be
-// nil) runs at completion time. The call itself is non-blocking.
+// nil) runs at completion time. The call itself is non-blocking. The
+// returned handle stays valid indefinitely (it is never recycled);
+// hot paths that do not retain the handle should use StartFlowTransient.
 func (n *Network) StartFlow(src, dst string, bytes float64, onDone func()) (*Flow, error) {
+	return n.startFlow(src, dst, bytes, onDone, false)
+}
+
+// StartFlowTransient is StartFlow for callers that do not retain the
+// returned handle: the flow record is recycled into an internal free
+// list as soon as the transfer completes and its onDone callback has
+// run. The message layer sends every payload through this path, which
+// removes the per-message Flow allocation.
+func (n *Network) StartFlowTransient(src, dst string, bytes float64, onDone func()) (*Flow, error) {
+	return n.startFlow(src, dst, bytes, onDone, true)
+}
+
+func (n *Network) startFlow(src, dst string, bytes float64, onDone func(), pooled bool) (*Flow, error) {
 	hs, hd := n.hosts[src], n.hosts[dst]
 	if hs == nil || hd == nil {
 		return nil, fmt.Errorf("netsim: unknown host in flow %s -> %s", src, dst)
@@ -160,7 +228,8 @@ func (n *Network) StartFlow(src, dst string, bytes float64, onDone func()) (*Flo
 	if bytes < 0 || math.IsNaN(bytes) {
 		return nil, fmt.Errorf("netsim: invalid flow size %v", bytes)
 	}
-	f := &Flow{Src: hs, Dst: hd, Bytes: bytes, remaining: bytes, onDone: onDone}
+	f := n.newFlow()
+	f.Src, f.Dst, f.Bytes, f.remaining, f.onDone, f.pooled = hs, hd, bytes, bytes, onDone, pooled
 	if src == dst {
 		// Loopback: modelled as instantaneous plus a tiny fixed cost.
 		f.done = true
@@ -168,11 +237,17 @@ func (n *Network) StartFlow(src, dst string, bytes float64, onDone func()) (*Flo
 			if f.onDone != nil {
 				f.onDone()
 			}
+			if f.pooled {
+				n.releaseFlow(f)
+			}
 		})
 		return f, nil
 	}
 	route, err := n.routeBetween(hs, hd)
 	if err != nil {
+		if pooled {
+			n.releaseFlow(f)
+		}
 		return nil, err
 	}
 	f.route = route
@@ -193,14 +268,14 @@ func (n *Network) activateFlow(f *Flow) {
 		if f.onDone != nil {
 			f.onDone()
 		}
+		if f.pooled {
+			n.releaseFlow(f)
+		}
 		return
 	}
 	f.started = true
 	n.flows[f] = struct{}{}
 	n.flowOrder = append(n.flowOrder, f)
-	for _, l := range f.route.Links {
-		l.active[f] = struct{}{}
-	}
 	n.recompute()
 }
 
@@ -221,17 +296,14 @@ func (n *Network) advance() {
 	n.lastUpdate = now
 }
 
-// finish removes completed flows and invokes their callbacks.
+// finishCompleted removes completed flows and invokes their callbacks.
 func (n *Network) finishCompleted() {
-	var finished []*Flow
+	finished := n.finished[:0]
 	for _, f := range n.flowOrder {
 		if !f.done && f.remaining <= 0 {
 			f.done = true
 			finished = append(finished, f)
 			delete(n.flows, f)
-			for _, l := range f.route.Links {
-				delete(l.active, f)
-			}
 		}
 	}
 	if len(finished) > 0 {
@@ -241,7 +313,15 @@ func (n *Network) finishCompleted() {
 		if f.onDone != nil {
 			f.onDone()
 		}
+		if f.pooled {
+			n.releaseFlow(f)
+		}
 	}
+	// Drop the recycled pointers from the scratch before the next epoch.
+	for i := range finished {
+		finished[i] = nil
+	}
+	n.finished = finished[:0]
 }
 
 func (n *Network) compactOrder() {
@@ -290,7 +370,10 @@ func (n *Network) recompute() {
 		}
 		n.epoch++
 		epoch := n.epoch
-		n.sim.Schedule(next, func() {
+		// The completion estimate is auxiliary: a later recompute
+		// supersedes it (epoch mismatch) and the stale event fires as
+		// a no-op, so quiescence checks may ignore it.
+		n.sim.ScheduleAux(next, func() {
 			if n.epoch != epoch {
 				return // a newer recompute superseded this event
 			}
@@ -301,42 +384,46 @@ func (n *Network) recompute() {
 	}
 }
 
-// assignRates implements progressive filling (max–min fairness).
+// assignRates implements progressive filling (max–min fairness) over
+// the reusable per-link scratch. The fill order and arithmetic match
+// the original map-based implementation operation for operation, so
+// assigned rates are bit-identical; only the per-epoch allocations
+// are gone.
 func (n *Network) assignRates() {
-	type linkState struct {
-		link     *Link
-		residual float64
-		nflows   int
-	}
-	states := make(map[*Link]*linkState)
-	unassigned := make(map[*Flow]struct{})
+	n.rateMark++
+	mark := n.rateMark
+	active := n.activeLinks[:0]
+	unassigned := 0
 	for _, f := range n.flowOrder {
 		if f.done {
 			continue
 		}
 		f.rate = 0
-		unassigned[f] = struct{}{}
+		f.assigned = false
+		unassigned++
 		for _, l := range f.route.Links {
-			st, ok := states[l]
-			if !ok {
-				st = &linkState{link: l, residual: l.Bandwidth}
-				states[l] = st
+			st := &n.linkStates[l.idx]
+			if st.mark != mark {
+				st.mark = mark
+				st.residual = l.Bandwidth
+				st.nflows = 0
+				active = append(active, st)
 			}
 			st.nflows++
 		}
 	}
-	// Deterministic link ordering for tie-breaks.
-	ordered := make([]*linkState, 0, len(states))
-	for _, st := range states {
-		ordered = append(ordered, st)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].link.Name < ordered[j].link.Name })
+	// Deterministic link ordering for tie-breaks: names are unique,
+	// so the unstable allocation-free sort is a strict total order.
+	slices.SortFunc(active, func(a, b *linkState) int {
+		return cmp.Compare(a.link.Name, b.link.Name)
+	})
+	n.activeLinks = active
 
-	for len(unassigned) > 0 {
+	for unassigned > 0 {
 		// Find the bottleneck: min residual/nflows over links with flows.
 		var bottleneck *linkState
 		fair := math.Inf(1)
-		for _, st := range ordered {
+		for _, st := range active {
 			if st.nflows == 0 {
 				continue
 			}
@@ -352,7 +439,7 @@ func (n *Network) assignRates() {
 		// Fix every unassigned flow crossing the bottleneck at the fair
 		// share, then subtract its rate along its whole path.
 		for _, f := range n.flowOrder {
-			if _, ok := unassigned[f]; !ok {
+			if f.done || f.assigned {
 				continue
 			}
 			crosses := false
@@ -366,9 +453,10 @@ func (n *Network) assignRates() {
 				continue
 			}
 			f.rate = fair
-			delete(unassigned, f)
+			f.assigned = true
+			unassigned--
 			for _, l := range f.route.Links {
-				st := states[l]
+				st := &n.linkStates[l.idx]
 				st.residual -= fair
 				if st.residual < 0 {
 					st.residual = 0

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+type poolRoutes struct{ links []*Link }
+
+func (r poolRoutes) Route(src, dst string) (*Route, error) {
+	return &Route{Links: r.links, Latency: 1e-4}, nil
+}
+
+func poolNet(t *testing.T) (*des.Simulation, *Network) {
+	t.Helper()
+	sim := des.New()
+	n := New(sim, nil)
+	if _, err := n.AddHost("a", 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddHost("b", 1e9); err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.AddLink("ab", 1e8, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.provider = poolRoutes{links: []*Link{l}}
+	return sim, n
+}
+
+// TestTransientFlowPooling: transient flows are recycled after
+// completion and reused by later transfers; persistent flows are not.
+func TestTransientFlowPooling(t *testing.T) {
+	sim, n := poolNet(t)
+	done := 0
+	for i := 0; i < 8; i++ {
+		if _, err := n.StartFlowTransient("a", "b", 1e6, func() { done++ }); err != nil {
+			t.Fatal(err)
+		}
+		sim.Run()
+	}
+	if done != 8 {
+		t.Fatalf("completed %d transfers, want 8", done)
+	}
+	if len(n.flowPool) != 1 {
+		t.Fatalf("flow pool holds %d records, want 1 (sequential transfers reuse one)", len(n.flowPool))
+	}
+
+	// A persistent handle may draw from the pool but is never
+	// returned to it, so its fields survive completion.
+	f, err := n.StartFlow("a", "b", 2e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if len(n.flowPool) != 0 {
+		t.Fatalf("persistent flow was recycled (pool %d)", len(n.flowPool))
+	}
+	if f.Bytes != 2e6 || f.Remaining() != 0 || !f.done {
+		t.Fatalf("persistent handle corrupted: %+v", f)
+	}
+}
+
+// TestTransientLoopbackAndZeroByte: the recycle paths that bypass
+// bandwidth sharing (loopback, zero-byte) also return records to the
+// pool.
+func TestTransientLoopbackAndZeroByte(t *testing.T) {
+	sim, n := poolNet(t)
+	ran := 0
+	if _, err := n.StartFlowTransient("a", "a", 123, func() { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if _, err := n.StartFlowTransient("a", "b", 0, func() { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if ran != 2 {
+		t.Fatalf("callbacks ran %d times, want 2", ran)
+	}
+	if len(n.flowPool) != 1 {
+		t.Fatalf("flow pool holds %d records, want 1", len(n.flowPool))
+	}
+}
+
+// TestPendingMessages: the post office reports delivered-but-unread
+// messages across all mailboxes.
+func TestPendingMessages(t *testing.T) {
+	sim, n := poolNet(t)
+	po := NewPost(n)
+	if err := po.SendAsync("a", "b", "x", 100, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := po.SendAsync("a", "b", "y", 100, "ho"); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if got := po.PendingMessages(); got != 2 {
+		t.Fatalf("PendingMessages = %d, want 2", got)
+	}
+	if _, ok := po.TryRecv("b", "x"); !ok {
+		t.Fatal("message not delivered")
+	}
+	if got := po.PendingMessages(); got != 1 {
+		t.Fatalf("PendingMessages = %d after one read, want 1", got)
+	}
+}

@@ -65,6 +65,14 @@ func (e *Environment) Reset() error {
 	return nil
 }
 
+// Shutdown tears down every process goroutine still parked in the
+// kernel and drops pending events. It is the cleanup path for an
+// environment abandoned after a failed run (a stalled application
+// leaves workers parked forever); without it, each failed replay
+// would leak one goroutine per parked worker for the lifetime of the
+// program.
+func (e *Environment) Shutdown() { e.Sim.Shutdown() }
+
 // App is the per-peer subtask body. It runs as one simulated process
 // per rank and may compute, exchange with other ranks, and reduce.
 type App func(w *Worker) error
@@ -112,7 +120,10 @@ func (e *Environment) Run(spec RunSpec, app App) (*RunResult, error) {
 		WorkerTimes: make([]float64, len(spec.Hosts)),
 		Errors:      make([]error, len(spec.Hosts)),
 	}
-	start := e.Sim.Now()
+	// Phase times are measured on the absolute clock: the replay
+	// fast-forward engine rebases the kernel's epoch mid-run, so the
+	// in-epoch Now() is not a duration origin.
+	start := e.Sim.AbsNow()
 	n := len(spec.Hosts)
 
 	scatterDone := make([]bool, n)
@@ -149,7 +160,7 @@ func (e *Environment) Run(spec RunSpec, app App) (*RunResult, error) {
 				e.Post.Recv(p, h, fmt.Sprintf("p2pdc:scatter:%d", i))
 			}
 			scatterDone[i] = true
-			if t := e.Sim.Now() - start; t > scatterEnd {
+			if t := e.Sim.AbsNow() - start; t > scatterEnd {
 				scatterEnd = t
 			}
 			w := &Worker{
@@ -162,9 +173,9 @@ func (e *Environment) Run(spec RunSpec, app App) (*RunResult, error) {
 			if err := app(w); err != nil {
 				res.Errors[i] = err
 			}
-			res.WorkerTimes[i] = e.Sim.Now() - start
+			res.WorkerTimes[i] = e.Sim.AbsNow() - start
 			computeDone++
-			if t := e.Sim.Now() - start; t > computeEnd {
+			if t := e.Sim.AbsNow() - start; t > computeEnd {
 				computeEnd = t
 			}
 			if spec.GatherBytes > 0 {
@@ -193,7 +204,7 @@ func (e *Environment) Run(spec RunSpec, app App) (*RunResult, error) {
 		return nil
 	}()
 
-	res.Total = e.Sim.Now() - start
+	res.Total = e.Sim.AbsNow() - start
 	res.ScatterTime = scatterEnd
 	res.ComputeTime = computeEnd - scatterEnd
 	res.GatherTime = res.Total - computeEnd

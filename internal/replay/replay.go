@@ -31,6 +31,12 @@ type Spec struct {
 	// result collection phases around the traced execution.
 	ScatterBytes float64
 	GatherBytes  float64
+	// FastForward selects the steady-state fast-forward mode (FFOff,
+	// FFVerify, FFOn). The default FFOff replays every folded round
+	// and keeps timings bit-identical to prior releases; FFOn skips
+	// steady-state rounds of op-structured sources in closed form,
+	// bit-identical to FFVerify (the rebased per-iteration reference).
+	FastForward FFMode
 }
 
 // Result is the prediction outcome.
@@ -42,6 +48,9 @@ type Result struct {
 	ScatterSeconds float64
 	ComputeSeconds float64
 	GatherSeconds  float64
+	// FF reports what the fast-forward engine did (all zero when
+	// Spec.FastForward is FFOff or the source is not op-structured).
+	FF FFStats
 }
 
 // Run replays the traces once and returns the predicted time. It is
@@ -157,6 +166,12 @@ func (s *Session) RunSource(spec Spec, src trace.Source) (*Result, error) {
 	}
 	res, err := s.run(spec, src)
 	if err != nil {
+		// Tear down the wreck before marking it for rebuild: a failed
+		// run (a stalled application) leaves worker processes parked
+		// forever, and without an explicit shutdown every failed
+		// replay would leak their goroutines for the life of the
+		// program.
+		s.env.Shutdown()
 		s.dirty = true
 		return nil, err
 	}
@@ -165,7 +180,54 @@ func (s *Session) RunSource(spec Spec, src trace.Source) (*Result, error) {
 
 // run executes one replay on the (reset) environment.
 func (s *Session) run(spec Spec, src trace.Source) (*Result, error) {
-	app := func(w *p2pdc.Worker) error {
+	var ctl *ffController
+	var app p2pdc.App
+	if spec.FastForward != FFOff {
+		if ops, ok := src.(trace.OpsSource); ok {
+			// Op-structured replay: the executor sees Repeat
+			// boundaries and runs the steady-state protocol. Sources
+			// without op structure fall through to the cursor path
+			// (nothing to fast-forward over).
+			ctl = newFFController(s.env, spec.FastForward, src.Ranks())
+			app = func(w *p2pdc.Worker) error {
+				ex := &opsExec{w: w, ctl: ctl}
+				return ex.run(ops.RankOps(w.Rank()), true)
+			}
+		}
+	}
+	if app == nil {
+		app = s.cursorApp(src)
+	}
+	runSpec := p2pdc.RunSpec{
+		Submitter:    spec.Submitter,
+		Hosts:        spec.Hosts,
+		Scheme:       spec.Scheme,
+		ScatterBytes: spec.ScatterBytes,
+		GatherBytes:  spec.GatherBytes,
+	}
+	res, err := s.env.Run(runSpec, app)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.FirstError(); err != nil {
+		return nil, err
+	}
+	out := &Result{
+		PredictedSeconds: res.Total,
+		ScatterSeconds:   res.ScatterTime,
+		ComputeSeconds:   res.ComputeTime,
+		GatherSeconds:    res.GatherTime,
+	}
+	if ctl != nil {
+		out.FF = ctl.stats
+	}
+	return out, nil
+}
+
+// cursorApp is the record-run replay loop shared by the legacy path
+// and non-op-structured sources.
+func (s *Session) cursorApp(src trace.Source) p2pdc.App {
+	return func(w *p2pdc.Worker) error {
 		cur := src.Cursor(w.Rank())
 		for cur.Next() {
 			r, n := cur.Run()
@@ -175,16 +237,10 @@ func (s *Session) run(spec Spec, src trace.Source) (*Result, error) {
 					w.Sleep(r.NS / 1e9)
 					continue
 				}
-				// Fast path: one kernel event for the whole run. The
-				// deadline is accumulated exactly as n individual
-				// sleeps would move the clock, so the wakeup lands on
-				// the bit-identical instant.
-				t := w.Now()
-				d := r.NS / 1e9
-				for i := 0; i < n; i++ {
-					t += d
-				}
-				w.SleepUntil(t)
+				// Fast path: one kernel event for the whole run, at
+				// the bit-identical deadline n individual sleeps
+				// would reach.
+				w.SleepUntil(computeDeadline(w.Now(), r.NS, n))
 			case trace.KindSend:
 				for i := 0; i < n; i++ {
 					if err := w.Send(r.Peer, r.Bytes, nil); err != nil {
@@ -213,24 +269,4 @@ func (s *Session) run(spec Spec, src trace.Source) (*Result, error) {
 		}
 		return nil
 	}
-	runSpec := p2pdc.RunSpec{
-		Submitter:    spec.Submitter,
-		Hosts:        spec.Hosts,
-		Scheme:       spec.Scheme,
-		ScatterBytes: spec.ScatterBytes,
-		GatherBytes:  spec.GatherBytes,
-	}
-	res, err := s.env.Run(runSpec, app)
-	if err != nil {
-		return nil, err
-	}
-	if err := res.FirstError(); err != nil {
-		return nil, err
-	}
-	return &Result{
-		PredictedSeconds: res.Total,
-		ScatterSeconds:   res.ScatterTime,
-		ComputeSeconds:   res.ComputeTime,
-		GatherSeconds:    res.GatherTime,
-	}, nil
 }

@@ -1,0 +1,36 @@
+package trace
+
+import "testing"
+
+// TestCollectives: conv/barrier multiplicities are counted through
+// nested repeats without unfolding.
+func TestCollectives(t *testing.T) {
+	ops := []Op{
+		{Count: 1, Rec: Record{Kind: KindCompute, NS: 5}},
+		{Count: 3, Body: []Op{
+			{Count: 2, Rec: Record{Kind: KindConv}},
+			{Count: 4, Body: []Op{
+				{Count: 1, Rec: Record{Kind: KindBarrier}},
+			}},
+		}},
+		{Count: 5, Rec: Record{Kind: KindConv}},
+	}
+	convs, bars := Collectives(ops)
+	if convs != 3*2+5 || bars != 3*4 {
+		t.Fatalf("Collectives = (%d, %d), want (11, 12)", convs, bars)
+	}
+}
+
+// TestFoldedSourceIsOpsSource: the folded source advertises its op
+// structure to replay's fast-forward engine.
+func TestFoldedSourceIsOpsSource(t *testing.T) {
+	fs := FoldedSource{{Rank: 0, Of: 1, Ops: []Op{Lit(Record{Kind: KindConv})}}}
+	var src Source = fs
+	ops, ok := src.(OpsSource)
+	if !ok {
+		t.Fatal("FoldedSource does not implement OpsSource")
+	}
+	if got := ops.RankOps(0); len(got) != 1 || got[0].Rec.Kind != KindConv {
+		t.Fatalf("RankOps returned %+v", got)
+	}
+}

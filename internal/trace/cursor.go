@@ -130,6 +130,41 @@ func (s FoldedSource) Ranks() int { return len(s) }
 // Cursor implements Source.
 func (s FoldedSource) Cursor(rank int) Cursor { return s[rank].Cursor() }
 
+// OpsSource is a Source that can additionally expose each rank's
+// folded op structure. Cursors flatten Repeat ops into record runs,
+// which is what plain replay wants — but the fast-forward engine
+// needs to see the Repeat boundaries themselves (a round of a folded
+// loop is the unit it detects steady state over), so op-structured
+// sources advertise the IR here. The returned slice must not be
+// mutated.
+type OpsSource interface {
+	Source
+	RankOps(rank int) []Op
+}
+
+// RankOps implements OpsSource.
+func (s FoldedSource) RankOps(rank int) []Op { return s[rank].Ops }
+
+// Collectives returns the number of conv and barrier records the op
+// sequence unfolds to, saturating at math.MaxInt64 — O(ops),
+// independent of repeat counts. The replay fast-forward engine keys
+// loop alignment across ranks on the collectives completed before a
+// Repeat: collectives synchronize all ranks, so equal counts identify
+// the same loop in every rank's trace even when the surrounding op
+// layout differs.
+func Collectives(ops []Op) (convs, barriers int64) {
+	walkOps(ops, 1, func(r Record, mult int64) error {
+		switch r.Kind {
+		case KindConv:
+			convs = satAdd(convs, mult)
+		case KindBarrier:
+			barriers = satAdd(barriers, mult)
+		}
+		return nil
+	})
+	return convs, barriers
+}
+
 // maxValidateRecords bounds how many records validation is willing to
 // stream per rank before declaring the trace unreasonable. Folded
 // traces from untrusted files can imply astronomically long replays.

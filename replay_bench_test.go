@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/dperf"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// replayBenchSource generates the paper-scale obstacle trace set
+// (N=1200, 120 rounds × 15 sweeps) at 8 ranks — the configuration of
+// the fast-forward acceptance gate — as a shared folded source.
+func replayBenchSource(b *testing.B) (trace.FoldedSource, replay.Spec) {
+	b.Helper()
+	const ranks = 8
+	w := dperf.DefaultObstacleWorkload()
+	a, err := dperf.New(w, dperf.WithRanks(ranks)).Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := platform.ForKind(platform.KindCluster, ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trace.FoldedSource(ts.Folded()), replay.Spec{
+		Platform:     plat,
+		Hosts:        plat.Hosts()[:ranks],
+		Submitter:    plat.Frontend,
+		Scheme:       dperf.Synchronous,
+		ScatterBytes: ts.ScatterBytes,
+		GatherBytes:  ts.GatherBytes,
+	}
+}
+
+// BenchmarkReplayFastForward is the headline benchmark of
+// BENCH_replay.json: the paper-scale folded obstacle replay with the
+// steady-state fast-forward off (every round simulated), in verify
+// mode (epoch-rebased rounds, all simulated) and on (steady-state
+// rounds costed in closed form). The off/on ratio is the wall-clock
+// speedup of the engine; on-mode results are bit-identical to verify
+// mode.
+func BenchmarkReplayFastForward(b *testing.B) {
+	src, spec := replayBenchSource(b)
+	run := func(b *testing.B, mode replay.FFMode) {
+		s, err := replay.NewSession(spec.Platform)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms := spec
+		ms.FastForward = mode
+		var last *replay.Result
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.RunSource(ms, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(last.PredictedSeconds, "vsec-predicted")
+		if last.FF.RoundsSimulated+last.FF.RoundsFastForwarded > 0 {
+			b.ReportMetric(float64(last.FF.RoundsFastForwarded), "rounds-skipped")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, replay.FFOff) })
+	b.Run("verify", func(b *testing.B) { run(b, replay.FFVerify) })
+	b.Run("on", func(b *testing.B) { run(b, replay.FFOn) })
+}
