@@ -17,13 +17,19 @@
 // run with -load-traces skips analysis and benchmarking entirely and
 // replays the stored traces on any platform — dPerf's "benchmark
 // once, predict anywhere". -trace-format selects the on-disk format:
-// json (default) or the compact loop-folded binary (bin) for
-// -save-traces, text (default) or bin for the per-rank -emit-traces
-// files. -load-traces auto-detects all of them, including a
-// directory of per-rank files.
+// json (default) or the compact binary (bin) for -save-traces, text
+// (default) or bin for the per-rank -emit-traces files. Binary sets
+// are saved as the v2 template container: the per-rank folded traces
+// are factored into rank-parameterized role bodies (peers, counts and
+// boundary guards as affine expressions in rank and world size), so
+// the artifact stores O(roles) bodies instead of O(ranks).
+// -load-traces auto-detects every format — v1 per-rank and v2
+// template containers, JSON, a single binary trace or template file,
+// or a directory of per-rank files.
 //
 // -trace-stats inspects a trace set instead of predicting from it:
-// raw vs folded record counts and the serialized size of each format.
+// raw vs folded record counts, the template factoring with its
+// cross-rank dedup ratio, and the serialized size of each format.
 //
 // -sweep replays one trace source against the cross product of
 // platforms × rank counts × schemes concurrently and prints the
@@ -257,6 +263,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *saveTraces != "" {
 		save := ts.SaveJSON
 		if *traceFormat == "bin" {
+			// Factor the set first so SaveBinary writes the v2
+			// template container: one rank-parameterized role body
+			// instead of one folded trace per rank.
+			if _, err := ts.Template(); err != nil {
+				return err
+			}
 			save = ts.SaveBinary
 		}
 		if err := save(*saveTraces); err != nil {
@@ -317,6 +329,8 @@ func printTraceStats(w io.Writer, ts *dperf.TraceSet) error {
 	fmt.Fprintf(w, "trace set %s: %d ranks\n", name, st.Ranks)
 	fmt.Fprintf(w, "  records (flat)  %12d\n", st.Records)
 	fmt.Fprintf(w, "  ops (folded)    %12d  (fold ratio %.1fx)\n", st.Ops, st.FoldRatio)
+	fmt.Fprintf(w, "  template        %12d  ops in %d role(s), %d binding class(es)\n",
+		st.TemplateOps, st.Roles, st.Classes)
 	fmt.Fprintf(w, "  text bytes      %12d\n", st.TextBytes)
 	if st.JSONBytes > 0 {
 		fmt.Fprintf(w, "  json bytes      %12d\n", st.JSONBytes)
@@ -329,6 +343,8 @@ func printTraceStats(w io.Writer, ts *dperf.TraceSet) error {
 	} else {
 		fmt.Fprintf(w, "  binary bytes    %12d\n", st.BinaryBytes)
 	}
+	fmt.Fprintf(w, "  template bytes  %12d  (dedup ratio %.1fx vs per-rank binary)\n",
+		st.TemplateBytes, st.DedupRatio)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -96,6 +97,16 @@ func TestRunBinaryTraceFormat(t *testing.T) {
 	if fromJSON != fromBin {
 		t.Fatalf("predictions differ across formats:\n%s\nvs\n%s", fromJSON, fromBin)
 	}
+	// -trace-format bin writes the v2 template container: one factored
+	// template instead of per-rank bodies, strictly smaller than the
+	// JSON set and carrying the dperf trace-set magic.
+	binData, err := os.ReadFile(binSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binData) < 6 || string(binData[:4]) != "dpts" || binData[4] != 2 {
+		t.Fatalf("-trace-format bin did not write a v2 template container (header % x)", binData[:min(len(binData), 6)])
+	}
 }
 
 // TestRunEmitTracesFormats: per-rank trace files in text and binary,
@@ -127,7 +138,7 @@ func TestRunTraceStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"records (flat)", "ops (folded)", "binary bytes"} {
+	for _, want := range []string{"records (flat)", "ops (folded)", "binary bytes", "template bytes", "dedup ratio", "binding class"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats output missing %q:\n%s", want, out)
 		}

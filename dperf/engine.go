@@ -33,6 +33,14 @@ type EngineSpec struct {
 	// to a replay without fast-forward (the default) predictions can
 	// differ by float64 rounding in the last ulps.
 	FastForward bool
+	// Periods optionally shares detected steady-state periods across
+	// the replays of a sweep (see replay.PeriodCache): a cache hit
+	// replays a previously proven jump decision instead of
+	// re-deriving it, and by construction never changes results or
+	// round statistics. PeriodKey identifies the full replay; Sweep
+	// fills both in, and an empty key disables the cache.
+	Periods   *replay.PeriodCache
+	PeriodKey string
 }
 
 // EngineResult is a replay outcome: t_predicted plus its phase
@@ -124,6 +132,8 @@ func replaySpec(spec EngineSpec) replay.Spec {
 		ScatterBytes: spec.ScatterBytes,
 		GatherBytes:  spec.GatherBytes,
 		FastForward:  mode,
+		Periods:      spec.Periods,
+		PeriodKey:    spec.PeriodKey,
 	}
 }
 

@@ -1,0 +1,247 @@
+// Scale-shared trace sources: one interpreted trace set serving every
+// rank count of a sweep. The trace template layer (internal/trace)
+// factors a folded set into role bodies bound by rank selectors;
+// when those bindings are functions of rank and world size alone, the
+// same bodies re-bind at any rank count (trace.Template.AtWorld) —
+// the sweep derives the 2-rank set from the 8-rank one instead of
+// re-interpreting the workload per rank count.
+package dperf
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// StripObstacleSource is the weak-scaling variant of the obstacle
+// kernel: every rank owns a fixed H×W strip of the membrane — the
+// problem grows with the peer count instead of being divided by it —
+// relaxing it SWEEPS times per round, exchanging ghost rows of W
+// doubles with its line neighbours and joining the global convergence
+// reduction. Because each rank's work and message sizes are
+// independent of how many peers run beside it, the generated trace
+// bodies are bit-identical across world sizes; only the peer ids and
+// the boundary guards change, which is exactly what a rank-
+// parameterized template re-binds. The obstacle box spans the middle
+// third of the strip's columns so the projection structure survives
+// without making the per-row cost depend on the rank's position.
+const StripObstacleSource = `/* Weak-scaling obstacle strip for P2PDC (P2PSAP communication). */
+param int W;      /* strip width (columns)              */
+param int H;      /* rows owned by every rank           */
+param int ROUNDS; /* communication rounds               */
+param int SWEEPS; /* relaxation sweeps between rounds   */
+
+double u[2][H + 2][W + 2];
+
+int main() {
+    int rank; int p; int r; int s; int i; int j; int cur; int nxt; int tmp;
+    int w3; int w23;
+    double v; double res; double gres; double lim;
+
+    rank = p2psap_rank();
+    p = p2psap_nprocs();
+
+    w3 = W / 3;
+    w23 = 2 * W / 3;
+
+    cur = 0;
+    nxt = 1;
+    for (r = 0; r < ROUNDS; r++) {
+        res = 0.0;
+        for (s = 0; s < SWEEPS; s++) {
+            for (i = 1; i <= H; i++) {
+                for (j = 1; j <= W; j++) {
+                    v = 0.25 * (u[cur][i - 1][j] + u[cur][i + 1][j] + u[cur][i][j - 1] + u[cur][i][j + 1]) + 0.0001;
+                    lim = 0.0;
+                    if (j > w3 && j < w23) {
+                        lim = 0.05;
+                    }
+                    if (v < lim) {
+                        v = lim;
+                    }
+                    res = fmax(res, fabs(v - u[cur][i][j]));
+                    u[nxt][i][j] = v;
+                }
+            }
+            tmp = cur;
+            cur = nxt;
+            nxt = tmp;
+        }
+        /* Ghost-row exchange with line neighbours via P2PSAP. */
+        if (rank > 0) { p2psap_send(rank - 1, W); }
+        if (rank < p - 1) { p2psap_send(rank + 1, W); }
+        if (rank > 0) { p2psap_recv(rank - 1, W); }
+        if (rank < p - 1) { p2psap_recv(rank + 1, W); }
+        /* Global convergence test. */
+        gres = p2psap_allreduce_max(res);
+        if (gres < 0.0) { return 1; }
+    }
+    return 0;
+}
+`
+
+// StripObstacleWorkload is the weak-scaling obstacle strip: W columns,
+// H rows per rank, Rounds rounds of Sweeps relaxations. It is
+// interpreted at full size (no scale parameters), so its traces are
+// exact rather than scaled up — and, critically for scale-shared
+// sweeps, identical across rank counts except for peers and boundary
+// guards.
+type StripObstacleWorkload struct {
+	W, H, Rounds, Sweeps int64
+}
+
+// DefaultStripObstacleWorkload returns the calibrated weak-scaling
+// strip: a 48-column, 6-row strip per rank, 40 rounds of 3 sweeps.
+func DefaultStripObstacleWorkload() StripObstacleWorkload {
+	return StripObstacleWorkload{W: 48, H: 6, Rounds: 40, Sweeps: 3}
+}
+
+// Name implements Workload.
+func (w StripObstacleWorkload) Name() string { return "obstacle-strip" }
+
+// Source implements Workload.
+func (w StripObstacleWorkload) Source() string { return StripObstacleSource }
+
+// ScaleParams implements Workload: the strip is interpreted at full
+// size — per-rank work is constant by construction, so there is
+// nothing to scale up.
+func (w StripObstacleWorkload) ScaleParams() []string { return nil }
+
+func (w StripObstacleWorkload) params() map[string]int64 {
+	return map[string]int64{"W": w.W, "H": w.H, "ROUNDS": w.Rounds, "SWEEPS": w.Sweeps}
+}
+
+// Params implements Workload.
+func (w StripObstacleWorkload) Params() map[string]int64 { return w.params() }
+
+// BenchParams implements Workload. The values are rank-independent:
+// that independence is what makes the traces world-invariant and the
+// workload scale-shareable.
+func (w StripObstacleWorkload) BenchParams(ranks int) map[string]int64 { return w.params() }
+
+// SerialParams implements Workload: two rounds suffice for per-block
+// unit costs.
+func (w StripObstacleWorkload) SerialParams() map[string]int64 {
+	p := w.params()
+	p["ROUNDS"] = 2
+	return p
+}
+
+// ScatterBytes implements Workload: each peer receives its own strip
+// plus the obstacle, two H×W double grids — per-peer constant, so the
+// total deployment grows with the peer count (weak scaling).
+func (w StripObstacleWorkload) ScatterBytes(ranks int) float64 {
+	return 2 * 8 * float64(w.W) * float64(w.H)
+}
+
+// GatherBytes implements Workload: the solution strip.
+func (w StripObstacleWorkload) GatherBytes(ranks int) float64 {
+	return 8 * float64(w.W) * float64(w.H)
+}
+
+// ScaledSource is a TraceSource that serves every rank count of a
+// sweep from one interpreted trace set: the base set is generated
+// once (interpreting the workload exactly once), factored into a
+// rank-parameterized template, and every other rank count re-binds
+// the same role bodies via trace.Template.AtWorld. Derived sets share
+// the template memory; replay instantiates per-rank streams lazily.
+//
+// Exactness: re-binding reproduces what direct generation at the
+// other rank count would produce, bit for bit, when the workload's
+// per-rank trace bodies do not depend on the world size — weak-
+// scaling workloads such as StripObstacleWorkload, whose differential
+// tests assert exactly that. Workloads whose bindings pin explicit
+// ranks (the strong-scaling obstacle: its per-rank strip heights and
+// obstacle-box offsets make interior compute durations rank-specific)
+// are rejected by ScaleShared up front. A workload could in principle
+// factor into world-parameterized bindings while its bodies still
+// depend on the world size; re-binding such a template is well
+// defined but no longer matches direct generation — keep the
+// per-workload differential test (TestScaleSharedMatchesDirect) as
+// the guardrail when onboarding a new workload family.
+type ScaledSource struct {
+	analysis *Analysis
+	base     *TraceSet
+	tpl      *trace.Template
+
+	mu          sync.Mutex
+	sets        map[int]*TraceSet
+	generations int
+}
+
+// ScaleShared generates the workload's trace set once at baseRanks
+// and returns a source that re-binds it for any rank count a sweep
+// asks for. baseRanks must be at least 4: two interior ranks are
+// needed to pin the rank coefficients of peer expressions, and the
+// first/interior/last binding structure needs all three roles
+// populated.
+func (a *Analysis) ScaleShared(baseRanks int, opts ...Option) (*ScaledSource, error) {
+	if a.workload == nil {
+		return nil, errNoWorkload("ScaleShared")
+	}
+	if baseRanks < 4 {
+		return nil, fmt.Errorf("dperf: ScaleShared needs a base of at least 4 ranks to pin rank coefficients, got %d", baseRanks)
+	}
+	ts, err := a.Traces(append(append([]Option{}, opts...), WithRanks(baseRanks))...)
+	if err != nil {
+		return nil, err
+	}
+	tpl, err := ts.Template()
+	if err != nil {
+		return nil, err
+	}
+	if err := tpl.WorldParameterized(); err != nil {
+		return nil, fmt.Errorf("dperf: workload %q cannot be scale-shared: %w", a.workload.Name(), err)
+	}
+	s := &ScaledSource{
+		analysis:    a,
+		base:        ts,
+		tpl:         tpl,
+		sets:        map[int]*TraceSet{0: ts, baseRanks: ts},
+		generations: 1,
+	}
+	return s, nil
+}
+
+// SweepTraces implements TraceSource: the base set for its own rank
+// count (or the 0 default), a template-rebound set for any other.
+func (s *ScaledSource) SweepTraces(ranks int) (*TraceSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts, ok := s.sets[ranks]; ok {
+		return ts, nil
+	}
+	tpl, err := s.tpl.AtWorld(ranks)
+	if err != nil {
+		return nil, err
+	}
+	derived := &TraceSet{
+		Workload:     s.base.Workload,
+		Ranks:        ranks,
+		Level:        s.base.Level,
+		ScatterBytes: s.analysis.workload.ScatterBytes(ranks),
+		GatherBytes:  s.analysis.workload.GatherBytes(ranks),
+		cfg:          s.base.cfg,
+	}
+	if err := derived.setTemplate(tpl); err != nil {
+		return nil, err
+	}
+	s.sets[ranks] = derived
+	return derived, nil
+}
+
+// Base returns the generated base trace set.
+func (s *ScaledSource) Base() *TraceSet { return s.base }
+
+// Template returns the shared rank-parameterized template.
+func (s *ScaledSource) Template() *trace.Template { return s.tpl }
+
+// Generations reports how many times the workload was interpreted —
+// by construction exactly once, no matter how many rank counts the
+// sweep derives. Tests assert it.
+func (s *ScaledSource) Generations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generations
+}

@@ -177,11 +177,12 @@ func unfoldAll(folded []*trace.Folded) ([]*trace.Trace, error) {
 // another one.
 //
 // The set holds each rank's trace in the loop-folded IR, the flat
-// record slice, or both: generation emits folded traces, JSON files
-// load flat, binary files load folded. Source picks the best
-// available form for replay; Flat and Folded convert (and cache) on
-// demand. The conversions are exact, so predictions are bit-identical
-// regardless of representation.
+// record slice, a rank-parameterized template (Template), or any
+// combination: generation emits folded traces, JSON files load flat,
+// binary files load folded (v1) or templated (v2). Source picks the
+// best available form for replay; Flat, Folded and Template convert
+// (and cache) on demand. The conversions are exact, so predictions
+// are bit-identical regardless of representation.
 //
 // A TraceSet's lazy conversions are not synchronized: share a set
 // across goroutines only after the representation you need exists
@@ -199,6 +200,8 @@ type TraceSet struct {
 	Traces []*trace.Trace `json:"traces"`
 
 	folded []*trace.Folded
+	tpl    *trace.Template
+	tplSrc *trace.TemplateSource
 	cfg    config
 }
 
@@ -230,10 +233,15 @@ func (a *Analysis) Traces(opts ...Option) (*TraceSet, error) {
 }
 
 // Source returns the replay view of the set: the folded traces when
-// present (shared, O(compressed) memory), the flat slice otherwise.
+// present (shared, O(compressed) memory), the template source for
+// template-only sets (per-rank streams instantiated lazily from role
+// bodies), the flat slice otherwise.
 func (ts *TraceSet) Source() trace.Source {
 	if ts.folded != nil {
 		return trace.FoldedSource(ts.folded)
+	}
+	if ts.tplSrc != nil {
+		return ts.tplSrc
 	}
 	return trace.SliceSource(ts.Traces)
 }
@@ -241,8 +249,12 @@ func (ts *TraceSet) Source() trace.Source {
 // Flat returns the per-rank flat record traces, materializing (and
 // caching) them from the folded IR if needed.
 func (ts *TraceSet) Flat() ([]*trace.Trace, error) {
-	if ts.Traces == nil && ts.folded != nil {
-		traces, err := unfoldAll(ts.folded)
+	if ts.Traces == nil {
+		folded, err := ts.foldedOrErr()
+		if err != nil {
+			return nil, err
+		}
+		traces, err := unfoldAll(folded)
 		if err != nil {
 			return nil, err
 		}
@@ -251,17 +263,78 @@ func (ts *TraceSet) Flat() ([]*trace.Trace, error) {
 	return ts.Traces, nil
 }
 
-// Folded returns the per-rank folded traces, folding (and caching)
-// the flat records if needed.
+// Folded returns the per-rank folded traces, folding the flat records
+// or instantiating the template (and caching either) if needed. It
+// returns nil only for an empty set.
 func (ts *TraceSet) Folded() []*trace.Folded {
-	if ts.folded == nil && ts.Traces != nil {
+	fs, _ := ts.foldedOrErr()
+	return fs
+}
+
+func (ts *TraceSet) foldedOrErr() ([]*trace.Folded, error) {
+	if ts.folded != nil {
+		return ts.folded, nil
+	}
+	switch {
+	case ts.Traces != nil:
 		folded := make([]*trace.Folded, len(ts.Traces))
 		for i, t := range ts.Traces {
 			folded[i] = trace.Fold(t)
 		}
 		ts.folded = folded
+	case ts.tpl != nil:
+		folded, err := ts.tpl.Instantiate()
+		if err != nil {
+			return nil, err
+		}
+		ts.folded = folded
+	default:
+		return nil, fmt.Errorf("dperf: empty trace set")
 	}
-	return ts.folded
+	return ts.folded, nil
+}
+
+// Template returns the rank-parameterized template of the set,
+// factoring the folded traces (and caching the result) on first use.
+// Factoring is exact: replaying the template source is bit-identical
+// to replaying the folded traces it was factored from.
+//
+// Calling Template is the opt-in that makes SaveBinary/WriteBinary
+// emit the v2 template container instead of the v1 per-rank one;
+// read-only inspection (Stats) measures the template without
+// installing it, so it never changes what a later save writes.
+func (ts *TraceSet) Template() (*trace.Template, error) {
+	if ts.tpl != nil {
+		return ts.tpl, nil
+	}
+	tpl, err := ts.templateNoCache()
+	if err != nil {
+		return nil, err
+	}
+	return tpl, ts.setTemplate(tpl)
+}
+
+// templateNoCache returns the cached template or factors one without
+// installing it.
+func (ts *TraceSet) templateNoCache() (*trace.Template, error) {
+	if ts.tpl != nil {
+		return ts.tpl, nil
+	}
+	folded, err := ts.foldedOrErr()
+	if err != nil {
+		return nil, err
+	}
+	return trace.Factor(folded)
+}
+
+// setTemplate installs a template (and its validated replay source).
+func (ts *TraceSet) setTemplate(tpl *trace.Template) error {
+	src, err := tpl.Source()
+	if err != nil {
+		return err
+	}
+	ts.tpl, ts.tplSrc = tpl, src
+	return nil
 }
 
 // traceSetVersion guards the on-disk JSON format.
@@ -350,30 +423,49 @@ func (ts *TraceSet) saveTo(path string, write func(io.Writer) error) error {
 // Binary trace-set container format:
 //
 //	file  := magic version workload uvarint(ranks) uvarint(level)
-//	         f64(scatter) f64(gather) blob^ranks
+//	         f64(scatter) f64(gather) payload
 //	magic := "dpts" (4 bytes)
 //	workload := uvarint(len) bytes
-//	blob  := uvarint(len) <one rank's binary trace (trace.Magic format)>
+//	payload := version 1: blob^ranks, one per-rank binary trace
+//	         | version 2: blob, one rank-parameterized template
+//	           (trace.Magic version-2 stream)
+//	blob  := uvarint(len) bytes
 //	f64   := 8 bytes IEEE-754 little endian
+//
+// Version 2 stores the whole set as one template — O(roles) instead
+// of O(ranks) bodies. The reader accepts both versions; writers emit
+// version 2 when the set has been factored (Template) and version 1
+// otherwise, so files stay readable by older tooling unless the
+// caller opted into templates.
 const traceSetMagic = "dpts"
 
-const traceSetBinaryVersion = 1
+const (
+	traceSetBinaryVersion   = 1
+	traceSetTemplateVersion = 2
+)
 
-// maxTraceSetBlob bounds one rank's compressed trace blob (64 MiB);
-// a hostile length prefix must not drive allocation.
+// maxTraceSetBlob bounds one blob (64 MiB); a hostile length prefix
+// must not drive allocation.
 const maxTraceSetBlob = 64 << 20
 
-// WriteBinary serializes the trace set in the compact binary format.
-// Folded sets are written as-is; flat sets are folded first.
+// WriteBinary serializes the trace set in the compact binary format:
+// the v2 template container when the set has been factored (see
+// Template), the v1 per-rank container otherwise.
 func (ts *TraceSet) WriteBinary(w io.Writer) error {
-	folded := ts.Folded()
-	if err := validateSetShape(ts.Ranks, len(folded)); err != nil {
-		return err
+	return ts.writeBinary(w, ts.tpl)
+}
+
+// writeBinary emits the v2 container for the given template, or the
+// v1 per-rank container when tpl is nil.
+func (ts *TraceSet) writeBinary(w io.Writer, tpl *trace.Template) error {
+	version := uint64(traceSetBinaryVersion)
+	if tpl != nil {
+		version = traceSetTemplateVersion
 	}
 	bw := bufio.NewWriter(w)
 	var hdr []byte
 	hdr = append(hdr, traceSetMagic...)
-	hdr = binary.AppendUvarint(hdr, traceSetBinaryVersion)
+	hdr = binary.AppendUvarint(hdr, version)
 	hdr = binary.AppendUvarint(hdr, uint64(len(ts.Workload)))
 	hdr = append(hdr, ts.Workload...)
 	hdr = binary.AppendUvarint(hdr, uint64(ts.Ranks))
@@ -384,17 +476,40 @@ func (ts *TraceSet) WriteBinary(w io.Writer) error {
 		return err
 	}
 	var blob bytes.Buffer
-	for _, f := range folded {
-		blob.Reset()
-		if err := f.WriteBinary(&blob); err != nil {
-			return err
-		}
+	writeBlob := func() error {
 		var lenBuf [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(lenBuf[:], uint64(blob.Len()))
 		if _, err := bw.Write(lenBuf[:n]); err != nil {
 			return err
 		}
-		if _, err := bw.Write(blob.Bytes()); err != nil {
+		_, err := bw.Write(blob.Bytes())
+		return err
+	}
+	if tpl != nil {
+		if tpl.World != ts.Ranks {
+			return fmt.Errorf("dperf: template binds %d ranks, set has %d", tpl.World, ts.Ranks)
+		}
+		if err := tpl.WriteTemplate(&blob); err != nil {
+			return err
+		}
+		if err := writeBlob(); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	folded, err := ts.foldedOrErr()
+	if err != nil {
+		return err
+	}
+	if err := validateSetShape(ts.Ranks, len(folded)); err != nil {
+		return err
+	}
+	for _, f := range folded {
+		blob.Reset()
+		if err := f.WriteBinary(&blob); err != nil {
+			return err
+		}
+		if err := writeBlob(); err != nil {
 			return err
 		}
 	}
@@ -416,8 +531,9 @@ func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dperf: reading trace set version: %w", err)
 	}
-	if version != traceSetBinaryVersion {
-		return nil, fmt.Errorf("dperf: trace set binary version %d, want %d", version, traceSetBinaryVersion)
+	if version != traceSetBinaryVersion && version != traceSetTemplateVersion {
+		return nil, fmt.Errorf("dperf: trace set binary version %d, want %d or %d",
+			version, traceSetBinaryVersion, traceSetTemplateVersion)
 	}
 	nameLen, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -457,18 +573,57 @@ func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
 	if !(scatter >= 0) || !(gather >= 0) || math.IsInf(scatter, 1) || math.IsInf(gather, 1) {
 		return nil, fmt.Errorf("dperf: invalid deployment bytes (scatter %v, gather %v)", scatter, gather)
 	}
-	folded := make([]*trace.Folded, ranks)
-	for i := range folded {
+	ts := &TraceSet{
+		Workload:     string(name),
+		Ranks:        int(ranks),
+		Level:        level,
+		ScatterBytes: scatter,
+		GatherBytes:  gather,
+	}
+	readBlob := func(what string) ([]byte, error) {
 		blobLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("dperf: reading rank %d trace length: %w", i, err)
+			return nil, fmt.Errorf("dperf: reading %s length: %w", what, err)
 		}
 		if blobLen > maxTraceSetBlob {
-			return nil, fmt.Errorf("dperf: rank %d trace blob of %d bytes exceeds %d", i, blobLen, maxTraceSetBlob)
+			return nil, fmt.Errorf("dperf: %s blob of %d bytes exceeds %d", what, blobLen, maxTraceSetBlob)
 		}
 		blob := make([]byte, blobLen)
 		if _, err := io.ReadFull(br, blob); err != nil {
-			return nil, fmt.Errorf("dperf: reading rank %d trace: %w", i, err)
+			return nil, fmt.Errorf("dperf: reading %s: %w", what, err)
+		}
+		return blob, nil
+	}
+	if version == traceSetTemplateVersion {
+		blob, err := readBlob("template")
+		if err != nil {
+			return nil, err
+		}
+		tpl, err := trace.ReadTemplate(bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
+		if tpl.World != int(ranks) {
+			return nil, fmt.Errorf("dperf: trace set claims %d ranks but template binds %d", ranks, tpl.World)
+		}
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("dperf: trailing data after trace set")
+		}
+		if err := ts.setTemplate(tpl); err != nil {
+			return nil, err
+		}
+		// Cross-rank consistency, streamed off the template — a
+		// corrupted file fails here rather than deadlocking replay.
+		if err := trace.ValidateSource(ts.tplSrc); err != nil {
+			return nil, err
+		}
+		return ts, nil
+	}
+	folded := make([]*trace.Folded, ranks)
+	for i := range folded {
+		blob, err := readBlob(fmt.Sprintf("rank %d trace", i))
+		if err != nil {
+			return nil, err
 		}
 		f, err := trace.ReadBinary(bytes.NewReader(blob))
 		if err != nil {
@@ -482,20 +637,16 @@ func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
 	if err := trace.ValidateFolded(folded); err != nil {
 		return nil, err
 	}
-	return &TraceSet{
-		Workload:     string(name),
-		Ranks:        int(ranks),
-		Level:        level,
-		ScatterBytes: scatter,
-		GatherBytes:  gather,
-		folded:       folded,
-	}, nil
+	ts.folded = folded
+	return ts, nil
 }
 
 // LoadTraceSet reads a trace set from disk, auto-detecting the
-// format: a JSON file (SaveJSON), a compact binary file (SaveBinary),
-// or a directory of per-rank rank-<i>.trace files (text or binary,
-// as written by -emit-traces). Directory sets carry no workload or
+// format: a JSON file (SaveJSON), a compact binary file (SaveBinary,
+// v1 per-rank or v2 template container), a single per-rank binary
+// trace or template stream (trace.Magic), or a directory of per-rank
+// rank-<i>.trace files (text or binary, as written by -emit-traces).
+// Directory, bare-trace and bare-template sets carry no workload or
 // deployment metadata: workload name empty, level O0, zero
 // scatter/gather bytes.
 func LoadTraceSet(path string) (*TraceSet, error) {
@@ -515,19 +666,25 @@ func LoadTraceSet(path string) (*TraceSet, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var magic [4]byte
+	var magic [8]byte
 	n, err := io.ReadFull(f, magic[:])
-	if err != nil && err != io.ErrUnexpectedEOF {
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
 		return nil, fmt.Errorf("dperf: reading %s: %w", path, err)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
 	switch {
-	case n == 4 && string(magic[:]) == traceSetMagic:
+	case n >= 4 && string(magic[:4]) == traceSetMagic:
 		ts, err := ReadTraceSetBinary(f)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return ts, nil
+	case n >= 4 && string(magic[:4]) == trace.Magic:
+		ts, err := loadBareTrace(path, f, magic[:n])
+		if err != nil {
+			return nil, err
 		}
 		return ts, nil
 	case n > 0 && (magic[0] == '{' || magic[0] == ' ' || magic[0] == '\n' || magic[0] == '\t' || magic[0] == '\r'):
@@ -537,13 +694,53 @@ func LoadTraceSet(path string) (*TraceSet, error) {
 		}
 		return ts, nil
 	}
-	return nil, fmt.Errorf("dperf: %s is neither a JSON trace set, a binary trace set, nor a trace directory", path)
+	return nil, fmt.Errorf("dperf: %s is neither a JSON trace set, a binary trace set, a binary trace or template, nor a trace directory", path)
+}
+
+// loadBareTrace loads a single trace.Magic file as a complete set: a
+// v2 stream is a whole templated set; a v1 stream is a single-rank
+// set and must label itself as one — the same rank/world rule the
+// directory loader enforces (the rank-3-of-8 file that a directory
+// load would reject cannot sneak in through the single-file path).
+// f is the already-open file, positioned at the start; the template
+// arm streams from it rather than slurping the file into memory.
+func loadBareTrace(path string, f *os.File, prefix []byte) (*TraceSet, error) {
+	version, err := trace.SniffBinaryVersion(prefix)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if version == 1 {
+		fd, err := trace.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.ValidateLabel(0, 1, fd.Rank, fd.Of); err != nil {
+			return nil, fmt.Errorf("%s: not a complete trace set: %w", path, err)
+		}
+		folded := []*trace.Folded{fd}
+		if err := trace.ValidateFolded(folded); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &TraceSet{Ranks: 1, folded: folded}, nil
+	}
+	tpl, err := trace.ReadTemplate(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ts := &TraceSet{Ranks: tpl.World}
+	if err := ts.setTemplate(tpl); err != nil {
+		return nil, err
+	}
+	if err := trace.ValidateSource(ts.tplSrc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ts, nil
 }
 
 // TraceStats describes a trace set's size in every representation:
-// the raw record count against the folded op count, and the on-disk
-// byte sizes of the three formats. It is the -trace-stats inspection
-// payload.
+// the raw record count against the folded op count, the cross-rank
+// template factoring, and the on-disk byte sizes of each format. It
+// is the -trace-stats inspection payload.
 type TraceStats struct {
 	Workload string `json:"workload,omitempty"`
 	Ranks    int    `json:"ranks"`
@@ -552,13 +749,24 @@ type TraceStats struct {
 	Records   int64   `json:"records"`
 	Ops       int     `json:"ops"`
 	FoldRatio float64 `json:"fold_ratio"`
+	// Roles/Classes describe the rank-parameterized template:
+	// TemplateOps is its op count across role bodies, and DedupRatio
+	// is per-rank binary bytes over template binary bytes — how much
+	// smaller the artifact gets by storing role bodies instead of one
+	// body per rank.
+	Roles       int     `json:"roles"`
+	Classes     int     `json:"classes"`
+	TemplateOps int     `json:"template_ops"`
+	DedupRatio  float64 `json:"dedup_ratio"`
 	// Byte sizes of the set serialized in each format (text is the
 	// sum of the per-rank files). JSONBytes is 0 when the set is too
 	// large to materialize flat — the JSON format itself cannot hold
-	// it.
-	TextBytes   int64 `json:"text_bytes"`
-	JSONBytes   int64 `json:"json_bytes,omitempty"`
-	BinaryBytes int64 `json:"binary_bytes"`
+	// it. BinaryBytes is the v1 per-rank container; TemplateBytes the
+	// v2 template container.
+	TextBytes     int64 `json:"text_bytes"`
+	JSONBytes     int64 `json:"json_bytes,omitempty"`
+	BinaryBytes   int64 `json:"binary_bytes"`
+	TemplateBytes int64 `json:"template_bytes"`
 }
 
 // maxStatsJSONRecords bounds the flat materialization Stats is
@@ -584,12 +792,16 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// Stats measures the set: raw vs folded record counts and the
-// serialized byte size of each format. It folds (and, for the JSON
-// size, materializes) the set as needed.
+// Stats measures the set: raw vs folded record counts, the template
+// factoring and its dedup ratio, and the serialized byte size of each
+// format. It folds, factors (and, for the JSON size, materializes)
+// the set as needed.
 func (ts *TraceSet) Stats() (*TraceStats, error) {
 	st := &TraceStats{Workload: ts.Workload, Ranks: ts.Ranks}
-	folded := ts.Folded()
+	folded, err := ts.foldedOrErr()
+	if err != nil {
+		return nil, err
+	}
 	for _, f := range folded {
 		st.Records += f.NumRecords()
 		st.Ops += f.NumOps()
@@ -597,6 +809,15 @@ func (ts *TraceSet) Stats() (*TraceStats, error) {
 	if st.Ops > 0 {
 		st.FoldRatio = float64(st.Records) / float64(st.Ops)
 	}
+	// Measure the template without installing it: inspecting a set
+	// must not flip a later SaveBinary from the v1 container to v2.
+	tpl, err := ts.templateNoCache()
+	if err != nil {
+		return nil, err
+	}
+	st.Roles = len(tpl.Roles)
+	st.Classes = len(tpl.Classes)
+	st.TemplateOps = tpl.NumOps()
 	var cw countingWriter
 	for _, f := range folded {
 		if err := trace.WriteText(&cw, f.Rank, f.Of, f.Cursor()); err != nil {
@@ -614,9 +835,17 @@ func (ts *TraceSet) Stats() (*TraceStats, error) {
 		st.JSONBytes = cw.n
 	}
 	cw.n = 0
-	if err := ts.WriteBinary(&cw); err != nil {
+	if err := ts.writeBinary(&cw, nil); err != nil {
 		return nil, err
 	}
 	st.BinaryBytes = cw.n
+	cw.n = 0
+	if err := ts.writeBinary(&cw, tpl); err != nil {
+		return nil, err
+	}
+	st.TemplateBytes = cw.n
+	if st.TemplateBytes > 0 {
+		st.DedupRatio = float64(st.BinaryBytes) / float64(st.TemplateBytes)
+	}
 	return st, nil
 }

@@ -53,6 +53,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 
 	"repro/internal/p2pdc"
 	"repro/internal/trace"
@@ -99,6 +100,82 @@ type FFStats struct {
 	RoundsFastForwarded int64
 	// Jumps counts steady-state detections that led to a skip.
 	Jumps int64
+	// PeriodCacheHits counts jumps replayed from a shared PeriodCache
+	// entry instead of re-derived from the boundary ring.
+	PeriodCacheHits int64
+}
+
+// PeriodCache shares detected steady-state periods across the replays
+// of a sweep. Entries are keyed by the full replay identity
+// (Spec.PeriodKey, built by the caller from platform, scheme, rank
+// count, deployment bytes and source identity) plus the managed
+// loop's alignment key, so a hit can only occur for a replay whose
+// simulation dynamics are bit-identical to the one that stored the
+// entry. A hit therefore replays the exact jump decision the original
+// replay proved — same boundary, same period, same epoch shifts — and
+// by construction never changes when a replay jumps or what it
+// predicts: results and round statistics are identical with a cold or
+// a warm cache. What a hit saves is the detector's work: the boundary
+// that jumped needs one signature comparison against the cached entry
+// instead of a period scan over the snapshot ring.
+//
+// The cache is safe for concurrent use; Sweep shares one across its
+// workers. The first writer wins, and because any two writers for the
+// same key computed the entry from identical dynamics, the content is
+// deterministic regardless of scheduling.
+type PeriodCache struct {
+	mu sync.Mutex
+	m  map[periodCacheKey]*periodCacheEntry
+}
+
+type periodCacheKey struct {
+	spec string
+	rep  ffRepKey
+}
+
+// periodCacheEntry is one proven jump decision: at canonical
+// iteration `done` with boundary signature `sig`, the loop jumped
+// with the given period and cycle shifts (in application order).
+type periodCacheEntry struct {
+	done   int
+	period int
+	sig    []ffSigEntry
+	shifts []float64
+}
+
+// NewPeriodCache returns an empty shared period cache.
+func NewPeriodCache() *PeriodCache {
+	return &PeriodCache{m: make(map[periodCacheKey]*periodCacheEntry)}
+}
+
+// Len reports the number of cached loop entries.
+func (c *PeriodCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *PeriodCache) lookup(k periodCacheKey) *periodCacheEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+func (c *PeriodCache) store(k periodCacheKey, e *periodCacheEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; !ok {
+		c.m[k] = e
+	}
 }
 
 // ffMinIterations is the smallest Repeat count worth managing: below
@@ -122,6 +199,10 @@ type ffController struct {
 	n     int  // ranks in the replay
 	reps  map[ffRepKey]*repeatCtl
 	stats FFStats
+	// cache/specKey plug the shared cross-replay period cache in; a
+	// nil cache (or empty key) disables it.
+	cache   *PeriodCache
+	specKey string
 }
 
 // ffRepKey identifies "the same loop" across ranks: the collectives a
@@ -133,12 +214,17 @@ type ffRepKey struct {
 	count       int
 }
 
-func newFFController(env *p2pdc.Environment, mode FFMode, ranks int) *ffController {
+func newFFController(env *p2pdc.Environment, mode FFMode, ranks int, cache *PeriodCache, specKey string) *ffController {
+	if specKey == "" {
+		cache = nil
+	}
 	return &ffController{
-		env:  env,
-		jump: mode == FFOn,
-		n:    ranks,
-		reps: make(map[ffRepKey]*repeatCtl),
+		env:     env,
+		jump:    mode == FFOn,
+		n:       ranks,
+		reps:    make(map[ffRepKey]*repeatCtl),
+		cache:   cache,
+		specKey: specKey,
 	}
 }
 
@@ -169,6 +255,7 @@ type ffBoundary struct {
 // repeatCtl tracks one aligned Repeat loop.
 type repeatCtl struct {
 	ctl         *ffController
+	key         ffRepKey
 	count       int
 	members     int
 	st          []ffRankState
@@ -189,7 +276,7 @@ type repeatCtl struct {
 func (c *ffController) join(rank int, key ffRepKey) *repeatCtl {
 	rc := c.reps[key]
 	if rc == nil {
-		rc = &repeatCtl{ctl: c, count: key.count, st: make([]ffRankState, c.n)}
+		rc = &repeatCtl{ctl: c, key: key, count: key.count, st: make([]ffRankState, c.n)}
 		c.reps[key] = rc
 	}
 	if rc.st[rank].joined {
@@ -328,32 +415,72 @@ func (rc *repeatCtl) boundary(rank, done int) int {
 	// additions the simulated rounds would have performed. The last
 	// iteration is always simulated so the loop exits through ordinary
 	// control flow.
+	//
+	// The shared period cache is consulted first: an entry can only
+	// match a replay with bit-identical dynamics (the key covers the
+	// full replay identity), at the exact boundary the original replay
+	// jumped from, with the exact signature it jumped on — so a hit
+	// replays the proven decision the ring scan below would re-derive,
+	// and results are identical either way.
 	if rc.ctl.jump {
-		if p := rc.period(); p > 0 {
-			if m := ((rc.count - 1 - done) / p) * p; m > 0 {
-				cycle := rc.ring[len(rc.ring)-p:]
-				if p == 1 {
-					env.Sim.AdvanceBase(cycle[0].shift, m)
-				} else {
-					// The cycle's shifts must accumulate in
-					// chronological order — float64 addition does not
-					// commute across different addends.
-					for j := 0; j < m; j++ {
-						env.Sim.AdvanceBase(cycle[j%p].shift, 1)
-					}
-				}
-				rc.cumSkip += m
-				st.seenSkip = rc.cumSkip
-				done += m
-				st.done = done
-				rc.ctl.stats.Jumps++
-				rc.ring = rc.ring[:0]
-				if ffDebug {
-					fmt.Fprintf(os.Stderr, "ff: boundary %d: jumped %d rounds (period %d)\n", done-m, m, p)
-				}
-				return done
+		if e := rc.ctl.cache.lookup(rc.cacheKey()); e != nil && e.done == done && ffSigsEqual(e.sig, sig) {
+			if jumped := rc.jumpRounds(st, done, e.period, e.shifts); jumped > done {
+				rc.ctl.stats.PeriodCacheHits++
+				return jumped
 			}
 		}
+		if p := rc.period(); p > 0 {
+			cycle := rc.ring[len(rc.ring)-p:]
+			shifts := make([]float64, p)
+			for j := range cycle {
+				shifts[j] = cycle[j].shift
+			}
+			if jumped := rc.jumpRounds(st, done, p, shifts); jumped > done {
+				rc.ctl.cache.store(rc.cacheKey(), &periodCacheEntry{
+					done:   done,
+					period: p,
+					sig:    append([]ffSigEntry(nil), sig...),
+					shifts: shifts,
+				})
+				return jumped
+			}
+		}
+	}
+	return done
+}
+
+// cacheKey identifies this loop in the shared period cache.
+func (rc *repeatCtl) cacheKey() periodCacheKey {
+	return periodCacheKey{spec: rc.ctl.specKey, rep: rc.key}
+}
+
+// jumpRounds skips the largest multiple of the period that leaves the
+// final iteration simulated, advancing the epoch base by the cycle's
+// shifts in chronological order. It returns the new canonical done
+// count (unchanged if no whole period fits).
+func (rc *repeatCtl) jumpRounds(st *ffRankState, done, p int, shifts []float64) int {
+	m := ((rc.count - 1 - done) / p) * p
+	if m <= 0 {
+		return done
+	}
+	env := rc.ctl.env
+	if p == 1 {
+		env.Sim.AdvanceBase(shifts[0], m)
+	} else {
+		// The cycle's shifts must accumulate in chronological order —
+		// float64 addition does not commute across different addends.
+		for j := 0; j < m; j++ {
+			env.Sim.AdvanceBase(shifts[j%p], 1)
+		}
+	}
+	rc.cumSkip += m
+	st.seenSkip = rc.cumSkip
+	done += m
+	st.done = done
+	rc.ctl.stats.Jumps++
+	rc.ring = rc.ring[:0]
+	if ffDebug {
+		fmt.Fprintf(os.Stderr, "ff: boundary %d: jumped %d rounds (period %d)\n", done-m, m, p)
 	}
 	return done
 }

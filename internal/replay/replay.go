@@ -37,6 +37,13 @@ type Spec struct {
 	// steady-state rounds of op-structured sources in closed form,
 	// bit-identical to FFVerify (the rebased per-iteration reference).
 	FastForward FFMode
+	// Periods optionally shares detected steady-state periods across
+	// replays (see PeriodCache). PeriodKey must then identify the full
+	// replay — platform, scheme, ranks, deployment bytes and trace
+	// source — so that equal keys imply bit-identical dynamics; an
+	// empty key disables the cache for this replay.
+	Periods   *PeriodCache
+	PeriodKey string
 }
 
 // Result is the prediction outcome.
@@ -188,7 +195,7 @@ func (s *Session) run(spec Spec, src trace.Source) (*Result, error) {
 			// boundaries and runs the steady-state protocol. Sources
 			// without op structure fall through to the cursor path
 			// (nothing to fast-forward over).
-			ctl = newFFController(s.env, spec.FastForward, src.Ranks())
+			ctl = newFFController(s.env, spec.FastForward, src.Ranks(), spec.Periods, spec.PeriodKey)
 			app = func(w *p2pdc.Worker) error {
 				ex := &opsExec{w: w, ctl: ctl}
 				return ex.run(ops.RankOps(w.Rank()), true)

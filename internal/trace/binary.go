@@ -191,6 +191,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading version: %w", err)
 	}
+	if version == templateVersion {
+		return nil, fmt.Errorf("trace: binary version %d holds a template, not one rank's trace; use ReadTemplate", version)
+	}
 	if version != binaryVersion {
 		return nil, fmt.Errorf("trace: binary version %d, want %d", version, binaryVersion)
 	}
@@ -200,6 +203,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	of, err := readBoundedUvarint(br, maxBinaryRank, "of")
 	if err != nil {
+		return nil, err
+	}
+	// The same header rule every loader applies: a declared rank
+	// outside the declared world is invalid in any context, so it
+	// fails here rather than depending on which path loads the file.
+	if err := CheckHeader(int(rank), int(of)); err != nil {
 		return nil, err
 	}
 	return &Reader{br: br, rank: int(rank), of: int(of)}, nil

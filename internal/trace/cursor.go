@@ -172,8 +172,11 @@ const maxValidateRecords = int64(1) << 33
 
 // ValidateSource checks cross-rank consistency of a source: every
 // send has a matching recv on the peer and all conv/barrier counts
-// agree — replay deadlocks otherwise. Folded and slice sources are
-// checked structurally in O(ops); other sources are streamed.
+// agree — replay deadlocks otherwise. Folded, slice and op-structured
+// sources (templates included) are checked structurally in O(ops) —
+// multiplicities, never per-iteration streaming, so a hostile repeat
+// count cannot turn validation into a spin; other sources are
+// streamed, with the same record-count ceiling applied.
 func ValidateSource(src Source) error {
 	n := src.Ranks()
 	v := newValidator(n)
@@ -184,6 +187,8 @@ func ValidateSource(src Source) error {
 			err = walkOps(s[i].Ops, 1, v.visitor(i))
 		case SliceSource:
 			err = walkRecords(s[i].Records, v.visitor(i))
+		case OpsSource:
+			err = walkOps(s.RankOps(i), 1, v.visitor(i))
 		default:
 			err = walkCursor(src.Cursor(i), v.visitor(i))
 		}

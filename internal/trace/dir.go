@@ -157,11 +157,9 @@ func LoadAllFolded(dir string) ([]*Folded, error) {
 		if f.Rank < 0 {
 			f.Rank = i // tolerate headerless files
 		}
-		if f.Rank != i {
-			return nil, fmt.Errorf("trace: %s claims rank %d", path, f.Rank)
-		}
-		if f.Of != 0 && f.Of != n {
-			return nil, fmt.Errorf("trace: %s claims %d total ranks, directory has %d", path, f.Of, n)
+		// The same labeling rule the single-file and set loaders apply.
+		if err := ValidateLabel(i, n, f.Rank, f.Of); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		fs[i] = f
 	}

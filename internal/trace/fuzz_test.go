@@ -43,6 +43,80 @@ func FuzzParseText(f *testing.F) {
 	})
 }
 
+// FuzzReadTemplate asserts the v2 template decoder never panics and
+// never over-allocates on hostile input — truncated bindings, cyclic
+// or forward role references, overflowing affine coefficients — and
+// that every accepted template survives an encode/decode round trip
+// and instantiates every rank without error.
+func FuzzReadTemplate(f *testing.F) {
+	seed := func(tpl *Template) []byte {
+		var buf bytes.Buffer
+		if err := tpl.WriteTemplate(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	strip := func() *Template {
+		fs := makeStripSet(6, 4, stripNS, 9600)
+		tpl, err := Factor(fs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return tpl
+	}()
+	f.Add(seed(strip))
+	f.Add(seed(&Template{
+		World: 4,
+		Roles: [][]TOp{
+			{{Count: AffineConst(2), Kind: KindConv}},
+			{
+				{Count: Affine{C0: 1, CR: 1}, Ref: 1},
+				{Count: AffineConst(1), Guard: []Affine{GuardNotFirst, GuardNotLast}, Kind: KindCompute, NS: FParam(0)},
+			},
+		},
+		Classes: []Class{
+			{Sel: SelFirst, Role: 1, Params: []float64{1.5}},
+			{Sel: SelInterior, Role: 1, Params: []float64{2.5}},
+			{Sel: SelLast, Role: 1, Params: []float64{3.5}},
+		},
+	}))
+	// Hostile seeds: truncated bindings, a self reference, an
+	// overflowing affine coefficient.
+	whole := seed(strip)
+	f.Add(whole[:len(whole)-2])
+	f.Add(newTB(4, 1).u(1).u(7).u(0).u(1).u(1).bytes())
+	f.Add(newTB(4, 1).u(1).u(1).u(1).v(1 << 50).v(0).v(0).bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tpl, err := ReadTemplate(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tpl.WriteTemplate(&buf); err != nil {
+			t.Fatalf("accepted template failed to re-encode: %v", err)
+		}
+		back, err := ReadTemplate(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded template failed to decode: %v", err)
+		}
+		// Spot-check instantiation (bounded: hostile worlds are large).
+		ranks := []int{0, tpl.World - 1}
+		for r := 1; r < tpl.World-1 && r <= 32; r++ {
+			ranks = append(ranks, r)
+		}
+		for _, r := range ranks {
+			a, err := tpl.InstantiateRank(r)
+			if err != nil {
+				t.Fatalf("accepted template failed to instantiate rank %d: %v", r, err)
+			}
+			b, err := back.InstantiateRank(r)
+			if err != nil || !opsEqual(a, b) {
+				t.Fatalf("round trip changed rank %d instantiation (err %v)", r, err)
+			}
+		}
+	})
+}
+
 // FuzzReadBinary asserts the binary decoder never panics, never
 // over-allocates on hostile counts, and that every accepted trace
 // re-encodes byte-identically.

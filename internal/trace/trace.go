@@ -233,7 +233,27 @@ func Parse(r io.Reader) (*Trace, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	if err := CheckHeader(t.Rank, t.Of); err != nil {
+		return nil, err
+	}
 	return t, nil
+}
+
+// CheckHeader validates a single trace file's own rank labels,
+// independent of any surrounding set: a negative world size, or a
+// declared rank outside the declared world (rank >= of when both are
+// present), is inconsistent in every context. It is the shared header
+// rule applied by the binary reader, the text parser, the directory
+// loader and the single-file set loader, so no path accepts a file
+// another would reject.
+func CheckHeader(rank, of int) error {
+	if of < 0 {
+		return fmt.Errorf("trace: header claims %d total ranks", of)
+	}
+	if of > 0 && rank >= of {
+		return fmt.Errorf("trace: header claims rank %d of %d total ranks", rank, of)
+	}
+	return nil
 }
 
 // ValidateLabel checks that slot i of an n-rank set carries its own
@@ -241,6 +261,9 @@ func Parse(r io.Reader) (*Trace, error) {
 // file, is tolerated). It is the single labeling rule shared by the
 // set loaders and replay.
 func ValidateLabel(i, n, rank, of int) error {
+	if err := CheckHeader(rank, of); err != nil {
+		return err
+	}
 	if rank != i {
 		return fmt.Errorf("trace: rank %d file claims rank %d", i, rank)
 	}
