@@ -48,8 +48,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"maps"
 	"os"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -235,8 +237,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stdout, "dPerf analysis: %d basic blocks, %d communication sites\n",
 		len(a.An.Blocks), len(a.An.Comm))
-	for comm, count := range a.An.CommSummary() {
-		fmt.Fprintf(stdout, "  comm %-14s x%d\n", comm, count)
+	summary := a.An.CommSummary()
+	for _, comm := range slices.Sorted(maps.Keys(summary)) {
+		fmt.Fprintf(stdout, "  comm %-14s x%d\n", comm, summary[comm])
 	}
 
 	// Stage 2: block benchmarking at the reduced size.

@@ -1,0 +1,55 @@
+// Command dperfvet is the repo's determinism vet tool: five analyzers
+// (maporder, simpurity, sessionreuse, floatorder, errclose) that
+// statically enforce the simulation core's determinism and purity
+// invariants. It speaks the `go vet -vettool` protocol, so the
+// canonical invocation is
+//
+//	go build -o /tmp/dperfvet ./cmd/dperfvet
+//	go vet -vettool=/tmp/dperfvet ./...
+//
+// and for convenience the same thing happens when it is run directly
+// with package patterns:
+//
+//	dperfvet ./...
+//
+// which re-executes `go vet -vettool=<itself>` with those patterns.
+// See the README's "Static analysis" section for the rules and the
+// //dperfvet annotation syntax.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && (strings.HasPrefix(args[0], "-") || strings.HasSuffix(args[0], ".cfg")) {
+		os.Exit(unitchecker.Main("dperfvet", args, lint.Analyzers()))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	// Package-pattern mode: let cmd/go drive us over the build graph.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dperfvet: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "dperfvet: %v\n", err)
+		os.Exit(1)
+	}
+}

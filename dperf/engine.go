@@ -168,6 +168,7 @@ func (replayEngine) ReplayAll(specs []EngineSpec) []ReplayOutcome {
 		s, ok := sessions[spec.Platform]
 		if !ok {
 			var err error
+			//dperfvet:allow sessionreuse memoized: constructed once per distinct platform, then reused for the whole batch
 			s, err = replay.NewSession(spec.Platform)
 			if err != nil {
 				out[i] = ReplayOutcome{Err: err, Cost: time.Since(start)}

@@ -7,8 +7,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"maps"
 	"math"
 	"os"
+	"slices"
 
 	"repro/internal/costmodel"
 	"repro/internal/interp"
@@ -105,8 +107,11 @@ func GenerateFoldedTraces(a *Analysis, spec TraceSpec) ([]*trace.Folded, error) 
 		return nil, fmt.Errorf("dperf: need at least one rank")
 	}
 	// Determine the scale ratio from the designated scale parameters.
+	// The product runs over sorted names: float multiplication is not
+	// associative, so map iteration order would otherwise wiggle the
+	// ratio — and every scaled cost — in the last ulps between runs.
 	ratio := 1.0
-	for name := range a.An.ScaleParams {
+	for _, name := range slices.Sorted(maps.Keys(a.An.ScaleParams)) {
 		full, ok1 := spec.FullParams[name]
 		bench, ok2 := spec.BenchParams[name]
 		if !ok1 || !ok2 {

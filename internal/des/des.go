@@ -447,6 +447,7 @@ func (s *Simulation) Spawn(name string, delay float64, body func(p *Process)) *P
 	p := &Process{sim: s, name: name, resume: make(chan struct{})}
 	s.live++
 	s.procs = append(s.procs, p)
+	//dperfvet:allow simpurity process goroutines only run while holding the kernel's execution token, so scheduling is fully sequenced and deterministic
 	go func() {
 		<-p.resume // wait for first activation
 		if p.killed {

@@ -1,0 +1,288 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis core types, specialized for the
+// dperfvet suite. The module is deliberately self-contained (no
+// external dependencies), so the handful of framework concepts the
+// analyzers need — an Analyzer with a Run function over a type-checked
+// Pass, Diagnostic reporting, and the //dperfvet:* suppression
+// annotations — live here instead of being imported.
+//
+// Analyzers written against this package are driven two ways:
+//
+//   - by internal/lint/unitchecker, which implements the `go vet
+//     -vettool` config protocol, so `go vet -vettool=$(dperfvet)` runs
+//     the suite over export data exactly like a standard vet pass;
+//   - by internal/lint/linttest, an analysistest-style harness that
+//     loads testdata/src fixture packages from source and checks
+//     diagnostics against `// want` comments.
+//
+// # Annotations
+//
+// Findings are suppressed with a comment on the flagged line or on the
+// line directly above it:
+//
+//	//dperfvet:ordered <reason>          (maporder only)
+//	//dperfvet:allow <analyzer> <reason> (any analyzer)
+//
+// The reason is mandatory: an annotation without one keeps the
+// suppression but earns its own diagnostic, so a bare escape hatch can
+// never land silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ModulePath is the import-path prefix of this repository's module.
+// Analyzer package scopes are expressed as full package paths under
+// this prefix ("repro/internal/des", ...), which both the unitchecker
+// (export-data paths) and linttest fixtures (testdata/src layout)
+// produce verbatim.
+const ModulePath = "repro"
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dperfvet:allow annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass holds one type-checked package and the reporting sink for one
+// analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	annots map[*ast.File]map[int]*Annotation
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PackagePath returns the package path with any test-variant suffix
+// stripped: `go vet` presents the test-augmented package
+// "repro/internal/des [repro/internal/des.test]" with the bracketed ID
+// appended, and scope checks care only about the base path.
+func (p *Pass) PackagePath() string {
+	path := p.Pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// InPackages reports whether the pass's package is one of paths.
+func (p *Pass) InPackages(paths map[string]bool) bool {
+	return paths[p.PackagePath()]
+}
+
+// NonTestFiles returns the pass's files excluding _test.go files.
+// The determinism invariants bind simulation code, not its tests
+// (which freely use goroutines, wall-clock timeouts and so on), and
+// `go vet` hands analyzers test files too.
+func (p *Pass) NonTestFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Annotation is one parsed //dperfvet:* comment.
+type Annotation struct {
+	// Name is the directive: "ordered" or "allow".
+	Name string
+	// Analyzer is the analyzer named by an allow annotation ("" for
+	// ordered, which is maporder-specific by construction).
+	Analyzer string
+	// Reason is the free-text justification; empty is an error.
+	Reason string
+	Pos    token.Pos
+}
+
+const annotPrefix = "//dperfvet:"
+
+// parseAnnotations indexes a file's //dperfvet:* comments by line.
+func parseAnnotations(fset *token.FileSet, f *ast.File) map[int]*Annotation {
+	m := make(map[int]*Annotation)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, annotPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, annotPrefix)
+			name, args, _ := strings.Cut(rest, " ")
+			a := &Annotation{Name: name, Pos: c.Pos()}
+			args = strings.TrimSpace(args)
+			if name == "allow" {
+				a.Analyzer, a.Reason, _ = strings.Cut(args, " ")
+				a.Reason = strings.TrimSpace(a.Reason)
+			} else {
+				a.Reason = args
+			}
+			m[fset.Position(c.Pos()).Line] = a
+		}
+	}
+	return m
+}
+
+// annotationNear returns the annotation covering line (same line or
+// the line directly above), if any.
+func (p *Pass) annotationNear(f *ast.File, line int) *Annotation {
+	if p.annots == nil {
+		p.annots = make(map[*ast.File]map[int]*Annotation)
+	}
+	m, ok := p.annots[f]
+	if !ok {
+		m = parseAnnotations(p.Fset, f)
+		p.annots[f] = m
+	}
+	if a := m[line]; a != nil {
+		return a
+	}
+	return m[line-1]
+}
+
+// Exempted reports whether the finding at pos (in file f) is
+// suppressed for the pass's analyzer: by //dperfvet:allow <analyzer>,
+// or — when ordered is set — by //dperfvet:ordered. A matching
+// annotation with no reason still suppresses but is itself reported,
+// so the tree can never accumulate unexplained escapes.
+func (p *Pass) Exempted(f *ast.File, pos token.Pos, ordered bool) bool {
+	line := p.Fset.Position(pos).Line
+	a := p.annotationNear(f, line)
+	if a == nil {
+		return false
+	}
+	match := a.Name == "allow" && a.Analyzer == p.Analyzer.Name
+	if ordered && a.Name == "ordered" {
+		match = true
+	}
+	if !match {
+		return false
+	}
+	if a.Reason == "" {
+		p.Reportf(pos, "dperfvet:%s annotation needs a reason", a.Name)
+	}
+	return true
+}
+
+// StmtLists invokes fn on every statement list under root: block
+// bodies, switch case clauses and select comm clauses. Analyzers that
+// need a statement's following siblings (e.g. maporder's sorted-keys
+// idiom) walk these instead of single nodes.
+func StmtLists(root ast.Node, fn func([]ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// Unparen strips parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// RootIdent returns the leftmost identifier of an lvalue-ish
+// expression (x, x.f, x[i], *x, ...), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// PkgFunc resolves a call to a package-level function and returns the
+// function object and its package path, or ("", nil) when the callee
+// is not a package-level function (methods, builtins, conversions,
+// function-typed variables).
+func PkgFunc(info *types.Info, call *ast.CallExpr) (path string, fn *types.Func) {
+	switch f := Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id, ok := Unparen(f.X).(*ast.Ident)
+		if !ok {
+			return "", nil
+		}
+		if _, ok := info.Uses[id].(*types.PkgName); !ok {
+			return "", nil
+		}
+		fn, ok := info.Uses[f.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", nil
+		}
+		return fn.Pkg().Path(), fn
+	case *ast.Ident:
+		fn, ok := info.Uses[f].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+			return "", nil
+		}
+		return fn.Pkg().Path(), fn
+	}
+	return "", nil
+}
+
+// IsMapRange reports whether rs ranges over a map value.
+func IsMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// IsFloat reports whether t's underlying type is a floating-point
+// (or complex) type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

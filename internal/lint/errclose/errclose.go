@@ -1,0 +1,115 @@
+// Package errclose requires the error results of Close and Flush to
+// be checked wherever a swallowed error means a silently truncated
+// artifact. The trace binary and template writers buffer aggressively
+// (bufio all the way down), so the *only* place a disk-full or closed-
+// pipe error can surface is the final Close/Flush — drop it and the
+// reader later finds a container without its end marker.
+//
+// Flagged: a Close/Flush method call returning exactly one error,
+// used as a bare statement or deferred, when either
+//
+//   - the receiver's type is declared in repro/internal/trace (the
+//     binary/template writers and readers), anywhere in the module, or
+//   - the receiver is a *bufio.Writer inside one of the packages that
+//     serialize artifacts through it (internal/trace,
+//     internal/platform, dperf).
+//
+// An explicit `_ = w.Close()` is a visible, deliberate discard (the
+// error-path cleanup idiom) and is not flagged. A deliberate ignore
+// that must stay a bare call carries //dperfvet:allow errclose
+// <reason>.
+package errclose
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// bufioScope is where an unchecked (*bufio.Writer).Flush silently
+// truncates a serialized artifact.
+var bufioScope = map[string]bool{
+	analysis.ModulePath + "/internal/trace":    true,
+	analysis.ModulePath + "/internal/platform": true,
+	analysis.ModulePath + "/dperf":             true,
+}
+
+// Analyzer is the errclose analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclose",
+	Doc:  "requires checked errors on Close/Flush of trace writers (a swallowed error truncates the container)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.PackagePath()
+	if path != analysis.ModulePath && !strings.HasPrefix(path, analysis.ModulePath+"/") {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = analysis.Unparen(n.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			if recv, name := flushClose(pass, call); recv != "" {
+				if !pass.Exempted(file, call.Pos(), false) {
+					pass.Reportf(call.Pos(), "unchecked error from %s.%s; a swallowed write error silently truncates the container", recv, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// flushClose reports the receiver type name when call is an in-scope
+// Close/Flush method call returning exactly one error.
+func flushClose(pass *analysis.Pass, call *ast.CallExpr) (recv, name string) {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name = sel.Sel.Name
+	if name != "Close" && name != "Flush" {
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return "", ""
+	}
+	if named, ok := sig.Results().At(0).Type().(*types.Named); !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return "", ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	pkg := named.Obj().Pkg().Path()
+	switch {
+	case pkg == analysis.ModulePath+"/internal/trace":
+		return "trace." + named.Obj().Name(), name
+	case pkg == "bufio" && named.Obj().Name() == "Writer" && pass.InPackages(bufioScope):
+		return "bufio.Writer", name
+	}
+	return "", ""
+}

@@ -1,0 +1,15 @@
+package errclose_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errclose"
+	"repro/internal/lint/linttest"
+)
+
+func TestErrClose(t *testing.T) {
+	linttest.Run(t, "testdata", errclose.Analyzer,
+		"repro/dperf",
+		"repro/internal/overlay",
+	)
+}

@@ -1,0 +1,41 @@
+package dperf
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func unchecked(w *trace.Writer, tw *trace.TemplateWriter, bw *bufio.Writer) {
+	w.Close()        // want `unchecked error from trace.Writer.Close`
+	w.Flush()        // want `unchecked error from trace.Writer.Flush`
+	defer w.Close()  // want `unchecked error from trace.Writer.Close`
+	tw.Close()       // want `unchecked error from trace.TemplateWriter.Close`
+	bw.Flush()       // want `unchecked error from bufio.Writer.Flush`
+	defer bw.Flush() // want `unchecked error from bufio.Writer.Flush`
+}
+
+func checked(w *trace.Writer, bw *bufio.Writer) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// An explicit blank assignment is a visible, deliberate discard.
+	_ = w.Close()
+	//dperfvet:allow errclose best-effort teardown after an earlier error
+	w.Close()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// Non-trace receivers are out of scope even when the error result is
+// dropped; errcheck-style totality is not this analyzer's job.
+func outOfScope(f *os.File, c io.Closer) {
+	f.Close()
+	c.Close()
+	w := bufio.NewWriter(f)
+	w.Reset(f)
+}

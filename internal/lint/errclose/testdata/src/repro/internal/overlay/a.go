@@ -1,0 +1,9 @@
+// Package overlay is outside the bufio serialization scope: an
+// unchecked bufio flush here is not a trace-container hazard.
+package overlay
+
+import "bufio"
+
+func flush(bw *bufio.Writer) {
+	bw.Flush()
+}

@@ -1,0 +1,16 @@
+// Package trace is a fixture stand-in for the real
+// repro/internal/trace writers.
+package trace
+
+type Writer struct{ closed bool }
+
+func (w *Writer) WriteOp(op int) error { return nil }
+func (w *Writer) Close() error         { return nil }
+func (w *Writer) Flush() error         { return nil }
+
+type TemplateWriter struct{}
+
+func (w *TemplateWriter) Close() error { return nil }
+
+// Reset returns nothing: not an error-bearing close.
+func (w *Writer) Reset() {}

@@ -1,0 +1,127 @@
+// Package floatorder flags order-sensitive floating-point reductions
+// in the costing paths. Float addition is not associative, and the
+// repo's fast-forward engine promises bit-identical results — its
+// closed-form jump performs the *same sequence* of float64 additions a
+// full simulation would (des.AdvanceBase iterates, never multiplies).
+// That guarantee dies wherever accumulation order is left to chance:
+//
+//   - `+=` into a float inside a range-over-map body, where Go's
+//     randomized iteration order permutes the addition sequence;
+//   - `+=` into a float captured by a goroutine's function literal,
+//     where the scheduler permutes it (and races it).
+//
+// Sorting the keys (or restructuring to a slice) fixes the first;
+// per-worker partial sums reduced in a fixed order fix the second.
+// A reduction proven exact regardless of order carries
+// //dperfvet:allow floatorder <reason>.
+package floatorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// costing is the scope: every package whose float arithmetic reaches a
+// prediction.
+var costing = map[string]bool{
+	analysis.ModulePath + "/internal/des":       true,
+	analysis.ModulePath + "/internal/netsim":    true,
+	analysis.ModulePath + "/internal/replay":    true,
+	analysis.ModulePath + "/internal/trace":     true,
+	analysis.ModulePath + "/internal/interp":    true,
+	analysis.ModulePath + "/internal/costmodel": true,
+	analysis.ModulePath + "/dperf":              true,
+}
+
+// Analyzer is the floatorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc:  "flags order-sensitive float accumulation (map iteration, cross-goroutine captures) in costing paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.InPackages(costing) {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if analysis.IsMapRange(pass.TypesInfo, n) {
+					checkMapBody(pass, file, n.Body)
+				}
+			case *ast.GoStmt:
+				if lit, ok := analysis.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkGoroutineBody(pass, file, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// compoundFloat reports whether as is an arithmetic op-assignment with
+// a float-typed target.
+func compoundFloat(info *types.Info, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if tv, ok := info.Types[lhs]; ok && tv.Type != nil && analysis.IsFloat(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapBody flags float op-assignments anywhere under a map-range
+// body.
+func checkMapBody(pass *analysis.Pass, file *ast.File, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundFloat(pass.TypesInfo, as) {
+			return true
+		}
+		if !pass.Exempted(file, as.Pos(), false) {
+			pass.Reportf(as.Pos(), "float accumulation under map iteration order; the addition sequence differs run to run — iterate sorted keys")
+		}
+		return true
+	})
+}
+
+// checkGoroutineBody flags float op-assignments to variables the
+// goroutine's function literal captures from an enclosing scope.
+func checkGoroutineBody(pass *analysis.Pass, file *ast.File, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundFloat(pass.TypesInfo, as) {
+			return true
+		}
+		captured := false
+		for _, lhs := range as.Lhs {
+			id := analysis.RootIdent(lhs)
+			if id == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				captured = true
+			}
+		}
+		if captured && !pass.Exempted(file, as.Pos(), false) {
+			pass.Reportf(as.Pos(), "float accumulation into a variable captured across goroutines; scheduler order permutes the sum — reduce per-worker partials in a fixed order")
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/floatorder"
+	"repro/internal/lint/linttest"
+)
+
+func TestFloatOrder(t *testing.T) {
+	linttest.Run(t, "testdata", floatorder.Analyzer,
+		"repro/internal/netsim",
+	)
+}

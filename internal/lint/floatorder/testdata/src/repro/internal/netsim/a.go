@@ -1,0 +1,63 @@
+package netsim
+
+// mapSum's addition sequence follows randomized map order.
+func mapSum(m map[int]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v // want `float accumulation under map iteration order`
+	}
+	return t
+}
+
+// sliceSum is order-fixed: slices iterate front to back.
+func sliceSum(xs []float64) float64 {
+	var t float64
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+// intCount commutes exactly; only floats are order-sensitive.
+func intCount(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// capturedSum races the accumulator across goroutines.
+func capturedSum(xs []float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	go func() {
+		for _, v := range xs {
+			total += v // want `captured across goroutines`
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// partialSum keeps the accumulator goroutine-local.
+func partialSum(xs []float64, out chan<- float64) {
+	go func() {
+		var part float64
+		for _, v := range xs {
+			part += v
+		}
+		out <- part
+	}()
+}
+
+// annotated is asserted exact by its author.
+func annotated(m map[int]float64) float64 {
+	var t float64
+	for _, v := range m {
+		//dperfvet:allow floatorder values are integral and below 2^52, addition is exact
+		t += v
+	}
+	return t
+}

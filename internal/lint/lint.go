@@ -1,0 +1,27 @@
+// Package lint assembles the dperfvet analyzer suite: five static
+// checks that turn the repo's dynamically-enforced determinism and
+// simulation-purity invariants (byte-identical predictions at any
+// worker count, bit-identical fast-forward, untruncated containers)
+// into compile-time rules, the way go vet's loopclosure/copylocks
+// encode Go-wide ones.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/errclose"
+	"repro/internal/lint/floatorder"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/sessionreuse"
+	"repro/internal/lint/simpurity"
+)
+
+// Analyzers returns the full dperfvet suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		simpurity.Analyzer,
+		sessionreuse.Analyzer,
+		floatorder.Analyzer,
+		errclose.Analyzer,
+	}
+}

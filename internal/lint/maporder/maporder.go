@@ -1,0 +1,209 @@
+// Package maporder flags `range` over a map in determinism-critical
+// packages whenever the loop body is order-sensitive: it appends,
+// accumulates floats, sends on a channel, emits output or schedules
+// simulation events. Go randomizes map iteration order, so any such
+// loop can change predictions, serialized artifacts or event order
+// from run to run — the exact class of bug the repo's byte-identity
+// acceptance bars exist to catch, surfaced at compile time instead.
+//
+// Two escapes are recognized:
+//
+//   - the sorted-keys idiom: a loop that only collects keys/values
+//     into a slice that a following statement sorts (sort.* or
+//     slices.Sort*) is allowed;
+//   - an explicit //dperfvet:ordered <reason> annotation on (or right
+//     above) the range statement, asserting the body is order-free.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// critical is the set of determinism-critical packages: the ones whose
+// output feeds predictions, serialized artifacts or the event queue.
+var critical = map[string]bool{
+	analysis.ModulePath + "/internal/des":    true,
+	analysis.ModulePath + "/internal/netsim": true,
+	analysis.ModulePath + "/internal/replay": true,
+	analysis.ModulePath + "/internal/trace":  true,
+	analysis.ModulePath + "/internal/interp": true,
+	analysis.ModulePath + "/dperf":           true,
+	// The CLIs print reports and tables users diff between runs; a
+	// map-ordered print loop makes byte-identical output a coin flip.
+	analysis.ModulePath + "/cmd/dperf":       true,
+	analysis.ModulePath + "/cmd/experiments": true,
+}
+
+// Analyzer is the maporder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags order-sensitive range-over-map loops in determinism-critical packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.InPackages(critical) {
+		return nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		file := f
+		analysis.StmtLists(file, func(list []ast.Stmt) {
+			for i, s := range list {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok || !analysis.IsMapRange(pass.TypesInfo, rs) {
+					continue
+				}
+				if pass.Exempted(file, rs.Pos(), true) {
+					continue
+				}
+				verb := classify(pass.TypesInfo, rs.Body)
+				if verb == "" {
+					continue
+				}
+				if targets := collectOnly(pass.TypesInfo, rs); len(targets) > 0 && sortedAfter(pass.TypesInfo, list[i+1:], targets) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "range over map %s in a determinism-critical package; iterate in sorted key order (e.g. slices.Sorted(maps.Keys(m))) or annotate //dperfvet:ordered <reason>", verb)
+			}
+		})
+	}
+	return nil
+}
+
+// emitPrefixes and emitNames match call names whose effects are
+// ordered: output, event scheduling, process control.
+var emitPrefixes = []string{"Schedule", "Write", "Print", "Fprint", "Emit", "Append"}
+
+var emitNames = map[string]bool{
+	"Spawn": true, "Signal": true, "Put": true, "Push": true,
+	"Enqueue": true, "Send": true, "Post": true, "Record": true,
+}
+
+func emitName(name string) bool {
+	if emitNames[name] {
+		return true
+	}
+	for _, p := range emitPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// classify reports why the loop body is order-sensitive, or "".
+func classify(info *types.Info, body *ast.BlockStmt) string {
+	verb := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if verb != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := analysis.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && isBuiltin(info, fun) {
+					verb = "appends per iteration"
+				} else if emitName(fun.Name) {
+					verb = "calls " + fun.Name + " per iteration"
+				}
+			case *ast.SelectorExpr:
+				if emitName(fun.Sel.Name) {
+					verb = "calls " + fun.Sel.Name + " per iteration"
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				return true
+			}
+			// Compound assignment: float accumulation is order-
+			// sensitive in the last ulps; integer/string reductions
+			// commute and are left to the sorted-output rules above.
+			for _, lhs := range n.Lhs {
+				if tv, ok := info.Types[lhs]; ok && tv.Type != nil && analysis.IsFloat(tv.Type) {
+					verb = "accumulates floats"
+				}
+			}
+		case *ast.SendStmt:
+			verb = "sends on a channel per iteration"
+		}
+		return verb == ""
+	})
+	return verb
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// collectOnly reports the append targets of a loop whose body does
+// nothing but `x = append(x, ...)`; nil means the body does more.
+func collectOnly(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	targets := make(map[types.Object]bool)
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		call, ok := analysis.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fun, ok := analysis.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "append" || !isBuiltin(info, fun) {
+			return nil
+		}
+		id, ok := analysis.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return nil
+		}
+		targets[obj] = true
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	return targets
+}
+
+// sortedAfter reports whether a following sibling statement sorts one
+// of the collected slices via sort.* or slices.Sort*.
+func sortedAfter(info *types.Info, rest []ast.Stmt, targets map[types.Object]bool) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			path, fn := analysis.PkgFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			isSort := path == "sort" || (path == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+			if !isSort || len(call.Args) == 0 {
+				return true
+			}
+			if id := analysis.RootIdent(call.Args[0]); id != nil && targets[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", maporder.Analyzer,
+		"repro/internal/des",
+		"repro/internal/overlay",
+	)
+}

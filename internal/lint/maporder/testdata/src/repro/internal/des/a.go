@@ -1,0 +1,97 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+)
+
+// keys collects without sorting: iteration order leaks into the slice.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map appends per iteration`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys is the allowed idiom: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// sum accumulates floats in map order.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map accumulates floats`
+		total += v
+	}
+	return total
+}
+
+// count is order-free: integer reductions commute exactly.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// emit prints in map order.
+func emit(m map[string]int) {
+	for k, v := range m { // want `range over map calls Println per iteration`
+		fmt.Println(k, v)
+	}
+}
+
+type kernel struct{}
+
+func (kernel) Schedule(d float64, fn func()) {}
+
+// schedules enqueues simulation events in map order.
+func schedules(k kernel, delays map[string]float64) {
+	for _, d := range delays { // want `range over map calls Schedule per iteration`
+		k.Schedule(d, nil)
+	}
+}
+
+// send forwards map elements over a channel in map order.
+func send(m map[string]int, ch chan int) {
+	for _, v := range m { // want `range over map sends on a channel per iteration`
+		ch <- v
+	}
+}
+
+// annotated is asserted order-free by its author.
+func annotated(m map[string]float64) float64 {
+	t := 0.0
+	//dperfvet:ordered all values are exact powers of two, addition is exact
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// bare annotations suppress but are themselves flagged.
+func bareAnnotation(m map[string]float64) float64 {
+	t := 0.0
+	//dperfvet:ordered
+	for _, v := range m { // want `annotation needs a reason`
+		t += v
+	}
+	return t
+}
+
+// copyMap rebuilds a map: writes indexed by the key commute.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+// Package overlay is outside the determinism-critical set: the same
+// patterns produce no findings here.
+package overlay
+
+import "fmt"
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func sum(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

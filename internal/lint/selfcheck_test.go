@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoClean builds cmd/dperfvet and runs it over the whole module
+// through the real `go vet -vettool` protocol: the repository must be
+// clean under its own determinism suite. This is both the acceptance
+// gate and an end-to-end test of the unitchecker protocol (tool
+// identity, -flags, per-package vet.cfg analysis over export data).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "dperfvet")
+	build := exec.Command(goTool, "build", "-o", bin, "./cmd/dperfvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building dperfvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool=dperfvet ./... reported findings: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,242 @@
+// Package sessionreuse enforces two documented object-lifetime
+// contracts of the simulation core:
+//
+//   - No-copy types stay put. Structs that (transitively) carry a
+//     sync lock, a sync/atomic value, or the DES kernel's by-value
+//     event heap must never be copied: a copied mutex deadlocks or
+//     races, and a copied event heap aliases the backing array of the
+//     original, so two kernels would corrupt each other's schedule.
+//     This is the stock copylocks rule extended with the repo's own
+//     heap-bearing types (des.Simulation and its eventQueue).
+//
+//   - replay.Session is constructed once and reused. The session
+//     holds the realized network — hosts, links, route caches,
+//     mailboxes — and its documented contract is "create one Session
+//     and reuse it"; constructing one per iteration inside a loop
+//     (the sweep-worker mistake) rebuilds all of that per replay.
+//     A construction that is genuinely once-per-key (memoized through
+//     a cache map) carries //dperfvet:allow sessionreuse <reason>.
+package sessionreuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the sessionreuse analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "sessionreuse",
+	Doc:  "flags copies of lock- or heap-bearing structs and per-iteration replay.Session construction",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.PackagePath(), analysis.ModulePath+"/") &&
+		pass.PackagePath() != analysis.ModulePath {
+		return nil
+	}
+	c := &checker{pass: pass, seen: make(map[types.Type]string)}
+	for _, f := range pass.NonTestFiles() {
+		c.file = f
+		c.checkFile(f)
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	file *ast.File
+	seen map[types.Type]string
+}
+
+// noCopy returns a description of the no-copy component t carries
+// ("sync.Mutex", "des.eventQueue", ...) or "".
+func (c *checker) noCopy(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if why, ok := c.seen[t]; ok {
+		return why
+	}
+	c.seen[t] = "" // break recursive types; refined below
+	why := ""
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "Once", "WaitGroup", "Cond", "Map", "Pool":
+					why = "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					why = "sync/atomic." + obj.Name()
+				}
+			case analysis.ModulePath + "/internal/des":
+				// The kernel's slice-backed event heap: copying the
+				// struct aliases the heap array between two queues.
+				switch obj.Name() {
+				case "Simulation", "eventQueue":
+					why = "des." + obj.Name()
+				}
+			}
+		}
+	}
+	if why == "" {
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields() && why == ""; i++ {
+				why = c.noCopy(u.Field(i).Type())
+			}
+		case *types.Array:
+			why = c.noCopy(u.Elem())
+		}
+	}
+	c.seen[t] = why
+	return why
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	// Defining identifiers (a range statement's value variable) are in
+	// Defs, not Types.
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// denotesValue reports whether e names an existing value (variable,
+// field, element, deref) rather than constructing one: composite
+// literals and function-call results are births, not copies.
+func denotesValue(e ast.Expr) bool {
+	switch x := analysis.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		_ = x
+		return true
+	}
+	return false
+}
+
+func (c *checker) reportCopy(pos token.Pos, what, why string) {
+	if pass := c.pass; !pass.Exempted(c.file, pos, false) {
+		pass.Reportf(pos, "%s copies a no-copy value (carries %s); use a pointer", what, why)
+	}
+}
+
+func (c *checker) checkFile(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !denotesValue(rhs) {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := analysis.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" && len(n.Lhs) == len(n.Rhs) {
+						continue // discarded, no live copy
+					}
+				}
+				if why := c.noCopy(c.typeOf(rhs)); why != "" {
+					c.reportCopy(n.Pos(), "assignment", why)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if !denotesValue(arg) {
+					continue
+				}
+				if why := c.noCopy(c.typeOf(arg)); why != "" {
+					c.reportCopy(arg.Pos(), "call argument", why)
+				}
+			}
+		case *ast.FuncDecl:
+			c.checkFieldLists(n.Recv, n.Type)
+		case *ast.FuncLit:
+			c.checkFieldLists(nil, n.Type)
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if why := c.noCopy(c.typeOf(n.Value)); why != "" {
+					c.reportCopy(n.Value.Pos(), "range value", why)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if !denotesValue(res) {
+					continue
+				}
+				if why := c.noCopy(c.typeOf(res)); why != "" {
+					c.reportCopy(res.Pos(), "return", why)
+				}
+			}
+		}
+		return true
+	})
+	c.checkSessionLoops(f)
+}
+
+func (c *checker) checkFieldLists(recv *ast.FieldList, ft *ast.FuncType) {
+	lists := []*ast.FieldList{recv, ft.Params}
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			t := c.typeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if why := c.noCopy(t); why != "" {
+				c.reportCopy(field.Pos(), "by-value parameter", why)
+			}
+		}
+	}
+}
+
+// checkSessionLoops flags replay.NewSession calls lexically inside a
+// loop.
+func (c *checker) checkSessionLoops(f *ast.File) {
+	var visit func(n ast.Node, inLoop bool)
+	visit = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if m != n {
+					visit(m, true)
+					return false
+				}
+			case *ast.RangeStmt:
+				if m != n {
+					visit(m, true)
+					return false
+				}
+			case *ast.CallExpr:
+				path, fn := analysis.PkgFunc(c.pass.TypesInfo, m)
+				if fn != nil && fn.Name() == "NewSession" &&
+					path == analysis.ModulePath+"/internal/replay" && inLoop {
+					if !c.pass.Exempted(c.file, m.Pos(), false) {
+						c.pass.Reportf(m.Pos(), "replay.NewSession inside a loop; a Session's documented contract is construct-once-and-reuse (hoist it, or memoize per platform and annotate //dperfvet:allow sessionreuse <reason>)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(f, false)
+}

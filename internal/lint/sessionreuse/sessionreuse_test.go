@@ -1,0 +1,14 @@
+package sessionreuse_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/sessionreuse"
+)
+
+func TestSessionReuse(t *testing.T) {
+	linttest.Run(t, "testdata", sessionreuse.Analyzer,
+		"repro/dperf",
+	)
+}

@@ -1,0 +1,90 @@
+package dperf
+
+import (
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/replay"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func use(interface{}) {}
+
+func copies(g guarded) { // want `by-value parameter copies a no-copy value \(carries sync.Mutex\)`
+	h := g // want `assignment copies a no-copy value \(carries sync.Mutex\)`
+	use(h) // want `call argument copies a no-copy value \(carries sync.Mutex\)`
+}
+
+func pointers(g *guarded) {
+	use(g)
+}
+
+func iterate(gs []guarded) {
+	for _, g := range gs { // want `range value copies a no-copy value \(carries sync.Mutex\)`
+		use(&g)
+	}
+	for i := range gs {
+		use(&gs[i])
+	}
+}
+
+var global guarded
+
+func ret() guarded {
+	return global // want `return copies a no-copy value \(carries sync.Mutex\)`
+}
+
+func copySim(s *des.Simulation) {
+	v := *s // want `assignment copies a no-copy value \(carries des.Simulation\)`
+	use(&v)
+}
+
+func perIteration(n int) error {
+	for i := 0; i < n; i++ {
+		s, err := replay.NewSession(i) // want `replay.NewSession inside a loop`
+		if err != nil {
+			return err
+		}
+		if err := s.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func memoized(plats []int) error {
+	cache := make(map[int]*replay.Session)
+	for _, p := range plats {
+		s, ok := cache[p]
+		if !ok {
+			var err error
+			//dperfvet:allow sessionreuse memoized: constructed once per distinct platform
+			s, err = replay.NewSession(p)
+			if err != nil {
+				return err
+			}
+			cache[p] = s
+		}
+		if err := s.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hoisted(n int) error {
+	s, err := replay.NewSession(0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package des is a fixture stand-in for the real repro/internal/des:
+// the kernel types whose by-value copies the analyzer must reject.
+package des
+
+type eventQueue struct{ a []int }
+
+type Simulation struct {
+	queue eventQueue
+	now   float64
+}
+
+func New() *Simulation { return &Simulation{} }

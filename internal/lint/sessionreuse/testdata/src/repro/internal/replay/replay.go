@@ -1,0 +1,10 @@
+// Package replay is a fixture stand-in for the real
+// repro/internal/replay: just enough surface for the analyzer's
+// Session-reuse rule.
+package replay
+
+type Session struct{ plat int }
+
+func NewSession(plat int) (*Session, error) { return &Session{plat: plat}, nil }
+
+func (s *Session) Run() error { return nil }

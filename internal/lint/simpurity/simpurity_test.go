@@ -1,0 +1,15 @@
+package simpurity_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/simpurity"
+)
+
+func TestSimPurity(t *testing.T) {
+	linttest.Run(t, "testdata", simpurity.Analyzer,
+		"repro/internal/netsim",
+		"repro/dperf",
+	)
+}

@@ -1,0 +1,17 @@
+// Package dperf is the sweep-timing/CLI layer: allowlisted, so
+// wall-clock cost measurement and worker goroutines are fine here.
+package dperf
+
+import (
+	"sync"
+	"time"
+)
+
+func sweepTiming() time.Duration {
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go wg.Done()
+	wg.Wait()
+	return time.Since(start)
+}

@@ -1,0 +1,32 @@
+package netsim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func impure() {
+	_ = time.Now()                     // want `wall-clock time.Now`
+	time.Sleep(1)                      // want `wall-clock time.Sleep`
+	_ = time.Since(time.Time{})        // want `wall-clock time.Since`
+	_ = rand.Intn(4)                   // want `global math/rand.Intn`
+	rand.Shuffle(0, func(i, j int) {}) // want `global math/rand.Shuffle`
+	_ = os.Getenv("X")                 // want `os.Getenv in a simulation package`
+	_, _ = os.LookupEnv("X")           // want `os.LookupEnv in a simulation package`
+	go impure()                        // want `go statement in a simulation package`
+}
+
+func pure() {
+	// Seeded randomness is the sanctioned form.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(4)
+	_ = r.Float64()
+}
+
+func annotated() {
+	//dperfvet:allow simpurity debug-only logging gate, cannot affect results
+	_ = os.Getenv("FF_DEBUG")
+	//dperfvet:allow simpurity kernel token-passing goroutine, sequenced by the scheduler
+	go pure()
+}

@@ -1,0 +1,207 @@
+// Package unitchecker implements the `go vet -vettool` command-line
+// protocol for the dperfvet suite, on the standard library alone (the
+// x/tools unitchecker is the reference implementation of the same
+// unpublished protocol). The driver (cmd/go) invokes the tool three
+// ways:
+//
+//	tool -V=full        print a tool identity line for the build cache
+//	tool -flags         print the tool's flags as JSON (we have none)
+//	tool <file>.cfg     analyze one package described by the config
+//
+// The config names the package's source files and maps every import
+// to the export data cmd/go already compiled, so type-checking here is
+// a cheap gc-export-data import (go/importer with a lookup function),
+// never a source re-load.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config is cmd/go's vet configuration (work.vetConfig). Fields we do
+// not consume are listed for fidelity to the protocol.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main dispatches on the protocol entry points and returns the process
+// exit code: 0 clean, 1 tool/typecheck error, 2 diagnostics reported.
+func Main(progname string, args []string, analyzers []*analysis.Analyzer) int {
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V="):
+			printVersion(progname)
+			return 0
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0], analyzers)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "usage: %s -V=full | -flags | <file>.cfg | <packages>\n", progname)
+	return 1
+}
+
+// printVersion emits the identity line cmd/go's toolID parser expects:
+// at least three fields, the second "version", and for "devel" a
+// trailing buildID derived from the tool binary's content so cache
+// entries invalidate when the suite changes.
+func printVersion(progname string) {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", progname, id)
+}
+
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dperfvet: reading config: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dperfvet: parsing config %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The driver caches our (empty) facts output keyed by tool identity.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+			fmt.Fprintf(os.Stderr, "dperfvet: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: the suite keeps no cross-package facts
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dperfvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "dperfvet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	type posDiag struct {
+		pos token.Position
+		msg string
+	}
+	var diags []posDiag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				// Suffix the analyzer name: it is what a
+				// //dperfvet:allow annotation must reference.
+				msg := fmt.Sprintf("%s [dperfvet:%s]", d.Message, a.Name)
+				diags = append(diags, posDiag{fset.Position(d.Pos), msg})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "dperfvet: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].msg < diags[j].msg
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.pos, d.msg)
+	}
+	return 2
+}

@@ -59,6 +59,7 @@ import (
 	"repro/internal/trace"
 )
 
+//dperfvet:allow simpurity read-once debug gate; it toggles stderr tracing only and can never reach a prediction
 var ffDebug = os.Getenv("FF_DEBUG") != ""
 
 // FFMode selects the steady-state fast-forward behaviour of a replay.
