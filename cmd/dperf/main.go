@@ -81,8 +81,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		saveTraces   = fs.String("save-traces", "", "file to write the trace set (JSON or binary, see -trace-format)")
 		loadTraces   = fs.String("load-traces", "", "replay a previously saved trace set or trace directory (skips analysis; format auto-detected)")
 		traceFormat  = fs.String("trace-format", "", "trace output format: json or bin for -save-traces, text or bin for -emit-traces")
-		traceStats   = fs.Bool("trace-stats", false, "print trace-set statistics (records vs folded ops, per-format sizes) instead of predicting")
+		traceStats   = fs.Bool("trace-stats", false, "print trace-set statistics (records vs folded ops, per-format sizes, binding-class fit quality) instead of predicting")
 		noFF         = fs.Bool("no-fastforward", false, "simulate every folded iteration round instead of fast-forwarding steady-state rounds")
+		predictMode  = fs.String("predict-mode", "des", "prediction tier: des (replay engine), auto (analytic when certified, DES fallback) or analytic (forced, fails when ineligible)")
 		n            = fs.Int64("n", 0, "override grid dimension N")
 		rounds       = fs.Int64("rounds", 0, "override the iteration round count")
 
@@ -152,6 +153,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	mode, err := dperf.ParsePredictMode(*predictMode)
+	if err != nil {
+		return err
+	}
 	kind := dperf.Kind(*platformName)
 
 	// Replay-only mode: a stored trace set is platform-independent, so
@@ -162,7 +167,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var badFlag error
 		fs.Visit(func(f *flag.Flag) {
 			switch {
-			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats" || f.Name == "no-fastforward":
+			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats" || f.Name == "no-fastforward" || f.Name == "predict-mode":
 			case *sweep && strings.HasPrefix(f.Name, "sweep"):
 			default:
 				badFlag = fmt.Errorf("-%s has no effect with -load-traces: the trace set fixes the workload, peers and level", f.Name)
@@ -179,10 +184,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return printTraceStats(stdout, ts)
 		}
 		if *sweep {
-			return runSweep(fs, ts, stdout, !*noFF,
+			return runSweep(fs, ts, stdout, !*noFF, mode,
 				*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 		}
-		pred, err := ts.Predict(dperf.WithPlatform(kind), dperf.WithFastForward(!*noFF))
+		pred, err := ts.Predict(dperf.WithPlatform(kind), dperf.WithFastForward(!*noFF), dperf.WithPredictMode(mode))
 		if err != nil {
 			return err
 		}
@@ -231,7 +236,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *sweep {
-		return runSweep(fs, a, stdout, !*noFF,
+		return runSweep(fs, a, stdout, !*noFF, mode,
 			*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 	}
 
@@ -292,7 +297,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	// Stage 4: replay on the target platform.
-	pred, err := ts.Predict(dperf.WithFastForward(!*noFF))
+	pred, err := ts.Predict(dperf.WithFastForward(!*noFF), dperf.WithPredictMode(mode))
 	if err != nil {
 		return err
 	}
@@ -348,13 +353,30 @@ func printTraceStats(w io.Writer, ts *dperf.TraceSet) error {
 	}
 	fmt.Fprintf(w, "  template bytes  %12d  (dedup ratio %.1fx vs per-rank binary)\n",
 		st.TemplateBytes, st.DedupRatio)
+	if st.ScaleUnits > 0 {
+		fmt.Fprintf(w, "  scale units     %12d\n", st.ScaleUnits)
+	}
+	for _, cf := range st.ClassFits {
+		if cf.Affine {
+			fmt.Fprintf(w, "  class %-9s %d rank(s), role %d, %d param(s), affine a~%.3g b~%.3g, residual %.2e\n",
+				cf.Sel, cf.Ranks, cf.Role, cf.Params, cf.MeanParam, cf.MeanSlope, cf.Residual)
+		} else {
+			fmt.Fprintf(w, "  class %-9s %d rank(s), role %d, %d param(s), exact\n",
+				cf.Sel, cf.Ranks, cf.Role, cf.Params)
+		}
+	}
+	if st.AnalyticEligible {
+		fmt.Fprintf(w, "  analytic tier   eligible\n")
+	} else {
+		fmt.Fprintf(w, "  analytic tier   ineligible: %s\n", st.AnalyticReason)
+	}
 	return nil
 }
 
 // runSweep expands the sweep flags into a dperf.Space, runs the sweep
 // and writes the requested output format.
 func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer, fastForward bool,
-	plats, ranks, schemes string, workers int, format, outPath string) error {
+	mode dperf.PredictMode, plats, ranks, schemes string, workers int, format, outPath string) error {
 	// Validate the output side first: a typo in -sweep-format or an
 	// unwritable -sweep-out must not cost a full sweep.
 	switch format {
@@ -411,7 +433,7 @@ func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer, fastFor
 		}
 	}
 
-	opts := []dperf.SweepOption{dperf.SweepOptions(dperf.WithFastForward(fastForward))}
+	opts := []dperf.SweepOption{dperf.SweepOptions(dperf.WithFastForward(fastForward), dperf.WithPredictMode(mode))}
 	if workers > 0 {
 		opts = append(opts, dperf.SweepWorkers(workers))
 	}
@@ -465,5 +487,8 @@ func printPrediction(w io.Writer, pred *dperf.Prediction) {
 	if pred.RoundsFastForwarded > 0 {
 		fmt.Fprintf(w, "  fast-forward: %d rounds simulated, %d fast-forwarded\n",
 			pred.RoundsSimulated, pred.RoundsFastForwarded)
+	}
+	if pred.Tier == dperf.TierAnalytic {
+		fmt.Fprintf(w, "  tier: analytic (closed-form, no DES on the prediction path)\n")
 	}
 }

@@ -1,0 +1,301 @@
+package dperf_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/dperf"
+)
+
+// ffObstacle is the smallest obstacle configuration whose rounds are
+// compute-led enough for the steady-state machinery to engage (the
+// leading compute must outlast the conv stagger).
+func ffObstacle() dperf.ObstacleWorkload {
+	return dperf.ObstacleWorkload{N: 1200, Rounds: 40, Sweeps: 15, BenchN: 32}
+}
+
+// TestAnalyticMatchesFastForward is the analytic tier's differential
+// harness: across the three paper platforms, rank counts 2–16 and both
+// schemes, the forced-analytic prediction must be bit-identical —
+// timings and round accounting — to the DES fast-forward replay of the
+// same traces. The obstacle here is small enough that not every point
+// reaches a steady state; bit-identity must hold either way.
+func TestAnalyticMatchesFastForward(t *testing.T) {
+	w := dperf.ObstacleWorkload{N: 256, Rounds: 12, Sweeps: 2, BenchN: 16}
+	a, err := dperf.New(w).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{2, 4, 8, 16} {
+		ts, err := a.Traces(dperf.WithRanks(ranks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []dperf.Kind{dperf.KindCluster, dperf.KindLAN, dperf.KindDaisy} {
+			for _, scheme := range []dperf.Scheme{dperf.Synchronous, dperf.Asynchronous} {
+				opts := []dperf.Option{dperf.WithPlatform(kind), dperf.WithScheme(scheme)}
+				des, err := ts.Predict(append(opts, dperf.WithFastForward(true))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ana, err := ts.Predict(append(opts, dperf.WithPredictMode(dperf.PredictAnalytic))...)
+				if err != nil {
+					t.Fatalf("r%d %s %s: analytic predict: %v", ranks, kind, scheme, err)
+				}
+				if ana.Tier != dperf.TierAnalytic {
+					t.Fatalf("r%d %s %s: tier %q, want %q", ranks, kind, scheme, ana.Tier, dperf.TierAnalytic)
+				}
+				if des.Tier != dperf.TierDES {
+					t.Fatalf("r%d %s %s: DES tier %q, want %q", ranks, kind, scheme, des.Tier, dperf.TierDES)
+				}
+				if !predEqual(des, ana) {
+					t.Fatalf("r%d %s %s: analytic diverged from fast-forward replay:\nDES      %+v\nanalytic %+v",
+						ranks, kind, scheme, des, ana)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictModeRouting pins the tier-selection rules: auto serves
+// eligible workloads analytically after certification, falls back to
+// DES for ineligible (flat) sources, and the forced analytic mode
+// errors instead of falling back.
+func TestPredictModeRouting(t *testing.T) {
+	a, err := dperf.New(ffObstacle(), dperf.WithRanks(4)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	auto, err := ts.Predict(dperf.WithPredictMode(dperf.PredictAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Tier != dperf.TierAnalytic {
+		t.Fatalf("auto mode on an eligible steady-state workload served tier %q", auto.Tier)
+	}
+	ff, err := ts.Predict(dperf.WithFastForward(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !predEqual(ff, auto) {
+		t.Fatalf("auto-tier prediction diverged from fast-forward replay:\nDES      %+v\nanalytic %+v", ff, auto)
+	}
+
+	// The flat JSON round trip erases op structure, which makes the
+	// source ineligible for the analytic tier.
+	var js bytes.Buffer
+	if err := ts.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := dperf.ReadTraceSetJSON(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fauto, err := flat.Predict(dperf.WithPredictMode(dperf.PredictAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fauto.Tier != dperf.TierDES {
+		t.Fatalf("auto mode on a flat source served tier %q, want DES fallback", fauto.Tier)
+	}
+	if _, err := flat.Predict(dperf.WithPredictMode(dperf.PredictAnalytic)); err == nil {
+		t.Fatal("forced analytic mode on a flat source did not error")
+	}
+
+	if _, err := dperf.ParsePredictMode("nonsense"); err == nil {
+		t.Fatal("ParsePredictMode accepted nonsense")
+	}
+	for in, want := range map[string]dperf.PredictMode{
+		"":         dperf.PredictDES,
+		"des":      dperf.PredictDES,
+		"auto":     dperf.PredictAuto,
+		"analytic": dperf.PredictAnalytic,
+	} {
+		got, err := dperf.ParsePredictMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePredictMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+// TestSweepAnalyticTier: a sweep under predict-mode auto routes
+// eligible points through the shared predictor and its predictions
+// stay bit-identical to the per-point forced-analytic path.
+func TestSweepAnalyticTier(t *testing.T) {
+	a, err := dperf.New(ffObstacle(), dperf.WithRanks(4)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := dperf.Space{
+		Platforms: []dperf.Kind{dperf.KindCluster, dperf.KindLAN},
+		Ranks:     []int{4},
+		Schemes:   []dperf.Scheme{dperf.Synchronous, dperf.Asynchronous},
+	}
+	res, err := dperf.Sweep(ts, space, dperf.SweepOptions(dperf.WithPredictMode(dperf.PredictAuto)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("swept %d points, want 4", len(res.Results))
+	}
+	for _, cr := range res.Results {
+		if cr.Error != "" {
+			t.Fatalf("%s failed: %s", cr.Config.Label(), cr.Error)
+		}
+		if cr.Prediction.Tier != dperf.TierAnalytic {
+			t.Fatalf("%s served tier %q, want analytic", cr.Config.Label(), cr.Prediction.Tier)
+		}
+		direct, err := ts.Predict(
+			dperf.WithPlatform(cr.Config.Platform),
+			dperf.WithScheme(cr.Config.Scheme),
+			dperf.WithPredictMode(dperf.PredictAnalytic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !predEqual(direct, cr.Prediction) {
+			t.Fatalf("%s: sweep prediction diverged from direct analytic predict:\nsweep  %+v\ndirect %+v",
+				cr.Config.Label(), cr.Prediction, direct)
+		}
+	}
+}
+
+// TestAnalyticPaperScaleSpeedup is the acceptance gate: on the
+// paper-scale obstacle, a warm analytic-tier prediction (certificate
+// serving through the public Predict path) must be at least 100×
+// faster than a warm fast-forward DES replay of the same spec.
+func TestAnalyticPaperScaleSpeedup(t *testing.T) {
+	a, err := dperf.New(dperf.DefaultObstacleWorkload(), dperf.WithPlatform(dperf.KindCluster), dperf.WithRanks(8)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := dperf.NewPredictor()
+	opts := []dperf.Option{
+		dperf.WithPlatform(dperf.KindCluster),
+		dperf.WithPredictMode(dperf.PredictAnalytic),
+		dperf.WithPredictor(p),
+	}
+	warm, err := ts.Predict(opts...) // certify once
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Tier != dperf.TierAnalytic {
+		t.Fatalf("tier %q, want analytic", warm.Tier)
+	}
+	ff, err := ts.Predict(dperf.WithPlatform(dperf.KindCluster), dperf.WithFastForward(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !predEqual(ff, warm) {
+		t.Fatalf("analytic tier diverged from fast-forward replay:\nDES      %+v\nanalytic %+v", ff, warm)
+	}
+
+	// Warm wall-clock per prediction: best of several batches on each
+	// side (the DES side reuses the engine's warmed replay session).
+	analyticCost := func() time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for b := 0; b < 5; b++ {
+			const k = 50
+			start := time.Now()
+			for i := 0; i < k; i++ {
+				if _, err := ts.Predict(opts...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := time.Since(start) / k; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	desCost := func() time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for b := 0; b < 3; b++ {
+			start := time.Now()
+			if _, err := ts.Predict(dperf.WithPlatform(dperf.KindCluster), dperf.WithFastForward(true)); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	des := desCost()
+	ana := analyticCost()
+	if ana*100 > des {
+		t.Fatalf("analytic tier %.0fx faster than fast-forward replay, want >= 100x (DES %v, analytic %v)",
+			float64(des)/float64(ana), des, ana)
+	}
+	t.Logf("paper-scale prediction: DES fast-forward %v, analytic %v (%.0fx)",
+		des, ana, float64(des)/float64(ana))
+}
+
+// BenchmarkAnalyticPredict measures a warm analytic-tier prediction
+// (certificate serving) on the paper-scale obstacle at 8 ranks.
+func BenchmarkAnalyticPredict(b *testing.B) {
+	a, err := dperf.New(dperf.DefaultObstacleWorkload(), dperf.WithPlatform(dperf.KindCluster), dperf.WithRanks(8)).Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := dperf.NewPredictor()
+	opts := []dperf.Option{
+		dperf.WithPlatform(dperf.KindCluster),
+		dperf.WithPredictMode(dperf.PredictAnalytic),
+		dperf.WithPredictor(p),
+	}
+	if _, err := ts.Predict(opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ts.Predict(opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticCertify measures a cold analytic evaluation (fresh
+// predictor per iteration) of the same paper-scale spec.
+func BenchmarkAnalyticCertify(b *testing.B) {
+	a, err := dperf.New(dperf.DefaultObstacleWorkload(), dperf.WithPlatform(dperf.KindCluster), dperf.WithRanks(8)).Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := []dperf.Option{
+			dperf.WithPlatform(dperf.KindCluster),
+			dperf.WithPredictMode(dperf.PredictAnalytic),
+			dperf.WithPredictor(dperf.NewPredictor()),
+		}
+		if _, err := ts.Predict(opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,8 @@ type config struct {
 	scheme      Scheme
 	engine      Engine
 	fastForward bool
+	predictMode PredictMode
+	predictor   *Predictor
 }
 
 // normalized fills unset fields with the documented defaults: level

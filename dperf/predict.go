@@ -23,6 +23,9 @@ type Prediction struct {
 	// (both zero unless WithFastForward(true) engaged).
 	RoundsSimulated     int64 `json:"rounds_simulated,omitempty"`
 	RoundsFastForwarded int64 `json:"rounds_fast_forwarded,omitempty"`
+	// Tier reports which prediction tier produced the result: TierDES
+	// (the replay engine) or TierAnalytic (the closed-form evaluator).
+	Tier string `json:"tier,omitempty"`
 	// TraceSet is the artifact this prediction was replayed from. It is
 	// kept out of serialized predictions: the trace set is its own
 	// artifact with its own JSON format.
@@ -80,20 +83,63 @@ func (cfg config) newPrediction(ts *TraceSet, label string, res *EngineResult) *
 		Gather:              res.GatherSeconds,
 		RoundsSimulated:     res.RoundsSimulated,
 		RoundsFastForwarded: res.RoundsFastForwarded,
+		Tier:                TierDES,
 		TraceSet:            ts,
 	}
 }
 
-// Predict replays the trace set on the configured platform and
-// returns the prediction. The same trace set can be predicted on many
-// platforms — pass WithPlatform/WithCustomPlatform per call. Trace
-// sets loaded from JSON use the package defaults for anything not
-// overridden here.
+// Predict produces the prediction for the trace set on the configured
+// platform — through the DES replay engine, the analytic tier, or
+// auto-selection between them (WithPredictMode). The same trace set
+// can be predicted on many platforms — pass
+// WithPlatform/WithCustomPlatform per call. Trace sets loaded from
+// JSON use the package defaults for anything not overridden here.
 func (ts *TraceSet) Predict(opts ...Option) (*Prediction, error) {
 	cfg := ts.cfg.apply(opts)
-	spec, label, err := cfg.engineSpec(ts)
+	var (
+		spec      EngineSpec
+		label     string
+		err       error
+		predictor *Predictor
+	)
+	if cfg.predictMode != PredictDES {
+		// Resolve the platform through the predictor so a shared
+		// predictor sees a stable *Platform identity across calls —
+		// certificate-cache hits depend on it.
+		predictor = cfg.predictorOrNew()
+		if ts.Source().Ranks() == 0 {
+			return nil, fmt.Errorf("dperf: empty trace set")
+		}
+		var plat *Platform
+		plat, label, err = predictor.platformFor(&cfg, ts.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		spec, label, err = cfg.engineSpecOn(ts, plat, label)
+	} else {
+		spec, label, err = cfg.engineSpec(ts)
+	}
 	if err != nil {
 		return nil, err
+	}
+	switch cfg.predictMode {
+	case PredictAnalytic:
+		res, err := predictor.tryAnalytic(&spec, false)
+		if err != nil {
+			return nil, err
+		}
+		pred := cfg.newPrediction(ts, label, res)
+		pred.Tier = TierAnalytic
+		return pred, nil
+	case PredictAuto:
+		// Any analytic failure — ineligibility, no steady state, a
+		// verification mismatch — silently selects the DES tier; that
+		// fallback is the mode's contract.
+		if res, err := predictor.tryAnalytic(&spec, true); err == nil {
+			pred := cfg.newPrediction(ts, label, res)
+			pred.Tier = TierAnalytic
+			return pred, nil
+		}
 	}
 	res, err := cfg.engine.Replay(spec)
 	if err != nil {

@@ -204,6 +204,66 @@ func (a *Analysis) ScaleShared(baseRanks int, opts ...Option) (*ScaledSource, er
 	return s, nil
 }
 
+// ScaleSharedAffine is the strong-scaling counterpart of ScaleShared:
+// instead of requiring world-invariant trace bodies, it interprets the
+// workload at two rank counts and fits every compute duration and
+// payload size as an affine function of the rank's scale share
+// h(r) = S/w (trace.FitAffine), where S is the workload's single
+// scale parameter. The fitted template re-binds at any rank count
+// like a ScaleShared one, so workloads the plain path auto-rejects
+// (the strong-scaling obstacle and its SelList bindings) become
+// scale-shareable at the cost of a bounded approximation: each
+// binding class records its worst relative fit deviation in
+// Class.Residual, and the per-workload differential tests assert the
+// end-to-end makespan error it induces.
+//
+// baseRanks must be at least 4 (as for ScaleShared) and probeRanks at
+// least 3 and distinct, so every structural rank group is observed at
+// two scale shares. The workload is interpreted exactly twice, no
+// matter how many rank counts a sweep derives — Generations reports 2.
+func (a *Analysis) ScaleSharedAffine(baseRanks, probeRanks int, opts ...Option) (*ScaledSource, error) {
+	if a.workload == nil {
+		return nil, errNoWorkload("ScaleSharedAffine")
+	}
+	if baseRanks < 4 {
+		return nil, fmt.Errorf("dperf: ScaleSharedAffine needs a base of at least 4 ranks to pin rank coefficients, got %d", baseRanks)
+	}
+	if probeRanks < 3 || probeRanks == baseRanks {
+		return nil, fmt.Errorf("dperf: ScaleSharedAffine needs a probe of at least 3 ranks distinct from the base %d, got %d", baseRanks, probeRanks)
+	}
+	scale := a.workload.ScaleParams()
+	if len(scale) != 1 {
+		return nil, fmt.Errorf("dperf: ScaleSharedAffine needs exactly one scale parameter, workload %q has %d", a.workload.Name(), len(scale))
+	}
+	units := a.workload.Params()[scale[0]]
+	if units < 1 {
+		return nil, fmt.Errorf("dperf: workload %q scale parameter %s = %d is not positive", a.workload.Name(), scale[0], units)
+	}
+	base, err := a.Traces(append(append([]Option{}, opts...), WithRanks(baseRanks))...)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := a.Traces(append(append([]Option{}, opts...), WithRanks(probeRanks))...)
+	if err != nil {
+		return nil, err
+	}
+	tpl, err := trace.FitAffine(units, []trace.AffineProbe{
+		{World: baseRanks, Folded: base.Folded()},
+		{World: probeRanks, Folded: probe.Folded()},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dperf: workload %q cannot be affine scale-shared: %w", a.workload.Name(), err)
+	}
+	s := &ScaledSource{
+		analysis:    a,
+		base:        base,
+		tpl:         tpl,
+		sets:        map[int]*TraceSet{0: base, baseRanks: base},
+		generations: 2,
+	}
+	return s, nil
+}
+
 // SweepTraces implements TraceSource: the base set for its own rank
 // count (or the 0 default), a template-rebound set for any other.
 func (s *ScaledSource) SweepTraces(ranks int) (*TraceSet, error) {

@@ -429,6 +429,14 @@ func Sweep(src TraceSource, space Space, opts ...SweepOption) (*SweepResult, err
 	start := time.Now()
 	base := config{}.apply(settings.base)
 	result := &SweepResult{Results: make([]ConfigResult, len(configs))}
+	// One analytic predictor for the whole sweep when an analytic mode
+	// is in play: configurations sharing a platform/source certify once
+	// and every worker serves from the same certificate cache. The
+	// analytic result is bit-identical to a fast-forward replay, so the
+	// tier split never changes the predictions, only the wall clock.
+	if base.predictMode != PredictDES && base.predictor == nil {
+		base.predictor = NewPredictor()
+	}
 	// One steady-state period cache for the whole sweep, shared by all
 	// workers: configurations with bit-identical replay dynamics (the
 	// key covers platform, scheme, ranks, deployment bytes and source
@@ -601,6 +609,23 @@ func Sweep(src TraceSource, space Space, opts ...SweepOption) (*SweepResult, err
 			for i := k; i < len(configs); i += workers {
 				if !jobs[i].ok {
 					continue
+				}
+				// Analytic modes try the closed-form tier first; only
+				// auto-mode fallbacks join the DES engine batches.
+				if mode := jobs[i].cfg.predictMode; mode != PredictDES {
+					cr := &result.Results[i]
+					tierStart := time.Now()
+					res, err := jobs[i].cfg.predictor.tryAnalytic(&jobs[i].spec, mode == PredictAuto)
+					cr.Cost += time.Since(tierStart)
+					if err == nil {
+						cr.Prediction = jobs[i].cfg.newPrediction(jobs[i].ts, jobs[i].label, res)
+						cr.Prediction.Tier = TierAnalytic
+						continue
+					}
+					if mode == PredictAnalytic {
+						cr.Error = err.Error()
+						continue
+					}
 				}
 				g := findGroup(jobs[i].cfg.engine)
 				groups[g] = append(groups[g], i)

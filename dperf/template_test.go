@@ -482,3 +482,153 @@ func TestTemplateScaleSharedSweepRace(t *testing.T) {
 		t.Fatalf("race sweep interpreted the workload %d times", g)
 	}
 }
+
+// affineObstacle is the strong-scaling obstacle shape the affine
+// scale-shared tests fit: big enough that per-rank shares differ
+// across the probe worlds, small enough to interpret quickly.
+func affineObstacle() dperf.ObstacleWorkload {
+	return dperf.ObstacleWorkload{N: 128, Rounds: 8, Sweeps: 2, BenchN: 16}
+}
+
+// TestTemplateScaleSharedAffineObstacle is the acceptance test of the
+// affine binding arm: the strong-scaling obstacle — which plain
+// ScaleShared rejects — becomes scale-shareable through the two-probe
+// fit, with two interpretations total, honest per-class residuals,
+// and derived trace sets that agree with direct generation within the
+// reported fit quality at the sampled worlds and within a makespan
+// tolerance at unseen worlds.
+func TestTemplateScaleSharedAffineObstacle(t *testing.T) {
+	a, err := dperf.New(affineObstacle()).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := a.ScaleSharedAffine(8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := src.Generations(); g != 2 {
+		t.Fatalf("affine scale-sharing interpreted the workload %d times, want 2", g)
+	}
+	tpl := src.Template()
+	maxRes := 0.0
+	for _, cls := range tpl.Classes {
+		if cls.Slopes == nil {
+			t.Fatalf("class sel=%d carries no affine arm", cls.Sel)
+		}
+		if cls.Residual > 0.5 {
+			t.Fatalf("class sel=%d residual %g is implausibly large", cls.Sel, cls.Residual)
+		}
+		if cls.Residual > maxRes {
+			maxRes = cls.Residual
+		}
+	}
+
+	// Sampled world: record-wise agreement bounded by the residual the
+	// template itself reports.
+	derived, err := src.SweepTraces(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := a.Traces(dperf.WithRanks(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAffineTraces(t, derived, direct, maxRes+1e-9)
+
+	// Unseen worlds: same structure, and end-to-end makespans that
+	// track direct generation. The bound is empirical (the fit is
+	// approximate by design); the differential harness pins the
+	// analytic tier's tolerance separately.
+	for _, ranks := range []int{4, 12} {
+		d, err := src.SweepTraces(ranks)
+		if err != nil {
+			t.Fatalf("SweepTraces(%d): %v", ranks, err)
+		}
+		g, err := a.Traces(dperf.WithRanks(ranks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareAffineTraces(t, d, g, 0) // structure only (tol 0 skips values)
+		pd, err := d.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := g.Predict()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(pd.Predicted-pg.Predicted) / pg.Predicted
+		if rel > 0.10 {
+			t.Fatalf("ranks %d: derived makespan %g vs direct %g (rel %.3f)", ranks, pd.Predicted, pg.Predicted, rel)
+		}
+	}
+
+	// The byte shape follows the workload at every derived rank count.
+	w := affineObstacle()
+	if derived.ScatterBytes != w.ScatterBytes(6) || derived.GatherBytes != w.GatherBytes(6) {
+		t.Fatalf("derived deployment bytes %g/%g do not match the workload", derived.ScatterBytes, derived.GatherBytes)
+	}
+}
+
+// compareAffineTraces asserts structural identity between two trace
+// sets and, when tol > 0, that every float payload of a agrees with b
+// within the relative tolerance.
+func compareAffineTraces(t *testing.T, a, b *dperf.TraceSet, tol float64) {
+	t.Helper()
+	fa, err := a.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fa) != len(fb) {
+		t.Fatalf("rank counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for r := range fa {
+		ra, rb := fa[r].Records, fb[r].Records
+		if len(ra) != len(rb) {
+			t.Fatalf("rank %d: %d records vs %d", r, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i].Kind != rb[i].Kind || ra[i].Peer != rb[i].Peer {
+				t.Fatalf("rank %d rec %d: %v vs %v", r, i, ra[i], rb[i])
+			}
+			if tol <= 0 {
+				continue
+			}
+			if !relWithin(ra[i].NS, rb[i].NS, tol) || !relWithin(ra[i].Bytes, rb[i].Bytes, tol) {
+				t.Fatalf("rank %d rec %d: %v vs %v beyond tol %g", r, i, ra[i], rb[i], tol)
+			}
+		}
+	}
+}
+
+func relWithin(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(b), 1)
+	return d <= tol*m
+}
+
+// TestTemplateScaleSharedAffineRejections covers the cheap input
+// rejections and the workload-shape requirement.
+func TestTemplateScaleSharedAffineRejections(t *testing.T) {
+	a, err := dperf.New(affineObstacle()).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ScaleSharedAffine(3, 6); err == nil {
+		t.Error("3-rank base accepted")
+	}
+	if _, err := a.ScaleSharedAffine(8, 8); err == nil {
+		t.Error("probe equal to base accepted")
+	}
+	if _, err := a.ScaleSharedAffine(8, 2); err == nil {
+		t.Error("2-rank probe accepted")
+	}
+	// The weak-scaling strip has no scale parameter to fit over.
+	if _, err := stripAnalysis(t).ScaleSharedAffine(8, 6); err == nil {
+		t.Error("scale-parameter-free workload accepted")
+	}
+}

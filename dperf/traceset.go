@@ -12,6 +12,7 @@ import (
 	"os"
 	"slices"
 
+	"repro/internal/analytic"
 	"repro/internal/costmodel"
 	"repro/internal/interp"
 	"repro/internal/trace"
@@ -763,6 +764,17 @@ type TraceStats struct {
 	Classes     int     `json:"classes"`
 	TemplateOps int     `json:"template_ops"`
 	DedupRatio  float64 `json:"dedup_ratio"`
+	// ScaleUnits echoes the template's problem scale S (0 when no
+	// class carries an affine binding arm), and ClassFits summarizes
+	// each binding class's parameter columns — for affine arms, the
+	// a/b column magnitudes and the fit residual.
+	ScaleUnits int64      `json:"scale_units,omitempty"`
+	ClassFits  []ClassFit `json:"class_fits,omitempty"`
+	// AnalyticEligible reports whether the set qualifies for the
+	// analytic prediction tier (see PredictMode); AnalyticReason holds
+	// the rejection reason when it does not.
+	AnalyticEligible bool   `json:"analytic_eligible"`
+	AnalyticReason   string `json:"analytic_reason,omitempty"`
 	// Byte sizes of the set serialized in each format (text is the
 	// sum of the per-rank files). JSONBytes is 0 when the set is too
 	// large to materialize flat — the JSON format itself cannot hold
@@ -772,6 +784,25 @@ type TraceStats struct {
 	JSONBytes     int64 `json:"json_bytes,omitempty"`
 	BinaryBytes   int64 `json:"binary_bytes"`
 	TemplateBytes int64 `json:"template_bytes"`
+}
+
+// ClassFit is one binding class's -trace-stats row: the rank selector,
+// the parameter-column width, and — when the class carries an affine
+// arm a + b*h — the mean |a| and |b| with the fit's worst relative
+// deviation.
+type ClassFit struct {
+	Sel    string `json:"sel"`
+	Ranks  int    `json:"ranks"`
+	Role   int    `json:"role"`
+	Params int    `json:"params"`
+	Affine bool   `json:"affine"`
+	// MeanParam / MeanSlope are the mean magnitudes of the a and b
+	// columns (MeanSlope is 0 for plain classes).
+	MeanParam float64 `json:"mean_param,omitempty"`
+	MeanSlope float64 `json:"mean_slope,omitempty"`
+	// Residual is the affine fit's largest relative deviation across
+	// the probe samples (0 for plain or exactly-fitted classes).
+	Residual float64 `json:"residual,omitempty"`
 }
 
 // maxStatsJSONRecords bounds the flat materialization Stats is
@@ -823,6 +854,13 @@ func (ts *TraceSet) Stats() (*TraceStats, error) {
 	st.Roles = len(tpl.Roles)
 	st.Classes = len(tpl.Classes)
 	st.TemplateOps = tpl.NumOps()
+	st.ScaleUnits = tpl.ScaleUnits
+	st.ClassFits = classFits(tpl)
+	if err := analytic.Eligible(ts.Source()); err != nil {
+		st.AnalyticReason = err.Error()
+	} else {
+		st.AnalyticEligible = true
+	}
 	var cw countingWriter
 	for _, f := range folded {
 		if err := trace.WriteText(&cw, f.Rank, f.Of, f.Cursor()); err != nil {
@@ -853,4 +891,48 @@ func (ts *TraceSet) Stats() (*TraceStats, error) {
 		st.DedupRatio = float64(st.BinaryBytes) / float64(st.TemplateBytes)
 	}
 	return st, nil
+}
+
+// classFits summarizes the template's binding classes for TraceStats.
+func classFits(tpl *trace.Template) []ClassFit {
+	fits := make([]ClassFit, len(tpl.Classes))
+	for i := range tpl.Classes {
+		c := &tpl.Classes[i]
+		cf := ClassFit{
+			Sel:      c.Sel.String(),
+			Role:     c.Role,
+			Params:   len(c.Params),
+			Affine:   c.Slopes != nil,
+			Residual: c.Residual,
+		}
+		switch c.Sel {
+		case trace.SelFirst:
+			cf.Ranks = 1
+		case trace.SelLast:
+			if tpl.World > 1 {
+				cf.Ranks = 1
+			}
+		case trace.SelInterior:
+			if tpl.World > 2 {
+				cf.Ranks = tpl.World - 2
+			}
+		default:
+			cf.Ranks = len(c.Ranks)
+		}
+		if n := len(c.Params); n > 0 {
+			var sumA, sumB float64
+			for j, p := range c.Params {
+				sumA += math.Abs(p)
+				if cf.Affine {
+					sumB += math.Abs(c.Slopes[j])
+				}
+			}
+			cf.MeanParam = sumA / float64(n)
+			if cf.Affine {
+				cf.MeanSlope = sumB / float64(n)
+			}
+		}
+		fits[i] = cf
+	}
+	return fits
 }

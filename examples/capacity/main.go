@@ -1,8 +1,11 @@
 // Capacity planning: the paper's headline use case — "how many
-// peer-to-peer desktop machines on a LAN (or behind xDSL lines) match
-// the computing power of a cluster?" dPerf answers by predicting the
-// same workload on candidate P2P configurations and finding the
-// smallest one that beats the cluster's measured time.
+// peer-to-peer desktop machines match the computing power of a
+// cluster?" — upgraded from a six-point search to the full
+// procurement grid. Every candidate configuration (NIC bandwidth ×
+// switch latency × machine grade × scheme × peer count × problem
+// size: one million points) is answered by the analytic prediction
+// tier in microseconds, with no DES run on the prediction path; a
+// sampled DES fast-forward replay cross-checks the tier bit for bit.
 //
 //	go run ./examples/capacity
 package main
@@ -10,55 +13,312 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/costmodel"
+	"repro/internal/analytic"
+	"repro/internal/p2psap"
 	"repro/internal/platform"
+	"repro/internal/proximity"
+	"repro/internal/replay"
+	"repro/internal/trace"
 )
 
+const (
+	rounds       = 300  // iterative rounds per run
+	flopsPerCell = 50.0 // update cost: compute-led rounds, as in the paper
+	clusterPeers = 4    // the Stage-1 target to beat
+	refN         = 3072
+	refSpeed     = 3e9 // Bordeplage-grade desktops
+)
+
+// ghostSource builds the iterative line-topology kernel at problem
+// size N on w peers of the given speed: each round computes the
+// rank's strip (N^2/w cells, slightly skewed so the steady state is
+// not trivially symmetric), exchanges 8N-byte ghost rows with its
+// line neighbours and joins the convergence test. The Repeat folding
+// is what makes the source analytic-eligible.
+func ghostSource(w, n int, speed float64) trace.FoldedSource {
+	ghost := 8 * float64(n)
+	fs := make([]*trace.Folded, w)
+	for r := 0; r < w; r++ {
+		cells := float64(n) * float64(n) / float64(w)
+		skew := 1 + 0.02*float64(r)/float64(w)
+		ns := flopsPerCell * cells * skew / speed * 1e9
+		body := []trace.Op{
+			{Count: 1, Rec: trace.Record{Kind: trace.KindCompute, NS: ns}},
+		}
+		if r > 0 {
+			body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindSend, Peer: r - 1, Bytes: ghost}})
+		}
+		if r < w-1 {
+			body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindSend, Peer: r + 1, Bytes: ghost}})
+		}
+		if r > 0 {
+			body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindRecv, Peer: r - 1, Bytes: ghost}})
+		}
+		if r < w-1 {
+			body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindRecv, Peer: r + 1, Bytes: ghost}})
+		}
+		body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindConv}})
+		fs[r] = &trace.Folded{Rank: r, Of: w, Ops: []trace.Op{
+			{Count: 1, Rec: trace.Record{Kind: trace.KindCompute, NS: ns / 10}},
+			{Count: 1, Rec: trace.Record{Kind: trace.KindConv}},
+			{Count: rounds, Body: body},
+			{Count: 1, Rec: trace.Record{Kind: trace.KindCompute, NS: 1e3}},
+		}}
+	}
+	return fs
+}
+
+// candidate builds a star LAN: w desktops behind one switch, each on
+// a drop link of the given bandwidth/latency, plus the submitting
+// frontend on a fast link.
+func candidate(w int, bw, lat float64) (*platform.Platform, error) {
+	p := platform.New(fmt.Sprintf("star-%d-%g-%g", w, bw, lat))
+	if err := p.AddRouter("switch"); err != nil {
+		return nil, err
+	}
+	base := proximity.MustParseAddr("10.20.0.0")
+	for i := 0; i < w; i++ {
+		name := fmt.Sprintf("peer-%02d", i)
+		if err := p.AddHost(name, proximity.Addr(uint32(base)+uint32(i)+1), refSpeed); err != nil {
+			return nil, err
+		}
+		if err := p.Connect(name, "switch", fmt.Sprintf("drop-%02d", i), bw, lat); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.AddHost("frontend", proximity.MustParseAddr("192.168.100.1"), refSpeed); err != nil {
+		return nil, err
+	}
+	p.Frontend = "frontend"
+	if err := p.Connect("frontend", "switch", "uplink", 1*platform.Gbps, 100e-6); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func specFor(plat *platform.Platform, w, n int, scheme p2psap.Scheme, src trace.Source) analytic.Spec {
+	strip := 8 * float64(n) * float64(n) / float64(w)
+	return analytic.Spec{
+		Platform:     plat,
+		Hosts:        plat.Hosts()[:w],
+		Submitter:    plat.Frontend,
+		Scheme:       scheme,
+		ScatterBytes: strip,
+		GatherBytes:  strip,
+		Source:       src,
+	}
+}
+
+// logspace returns k points log-spaced over [lo, hi].
+func logspace(lo, hi float64, k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		f := float64(i) / float64(k-1)
+		out[i] = lo * math.Pow(hi/lo, f)
+	}
+	return out
+}
+
 func main() {
-	// Reduced workload to keep the example quick (compute-heavy enough
-	// that a LAN configuration can match the cluster, as in Table I).
-	params := core.ObstacleParams{N: 600, Rounds: 40, Sweeps: 30, BenchN: 24}
-	level := costmodel.O0
-	clusterPeers := 4
+	// The procurement grid: 40 NIC bandwidths × 25 switch latencies ×
+	// 5 machine grades × 2 schemes × a peers/problem-size plan of 100
+	// points per cell = 1,000,000 configurations.
+	bws := logspace(40*platform.Mbps, 8*platform.Gbps, 40)
+	lats := logspace(50e-6, 1.5e-3, 25)
+	speeds := []float64{1.5e9, 2e9, 2.5e9, 3e9, 3.5e9}
+	schemes := []p2psap.Scheme{p2psap.Synchronous, p2psap.Asynchronous}
+	// Problem sizes: 70 master values; larger peer counts scan nested
+	// subsequences sized so rounds stay compute-led across the whole
+	// grid (per-rank work shrinks with the peer count, and fast
+	// steady-state costing needs the leading compute to outlast the
+	// ghost exchange even at the slowest corner). All three plans
+	// include the reference N=3072 at index 48.
+	master := make([]int, 70)
+	for i := range master {
+		master[i] = 1536 + 32*i
+	}
+	idx2 := make([]int, 0, 70)
+	for i := 0; i < 70; i++ {
+		idx2 = append(idx2, i)
+	}
+	idx4 := make([]int, 0, 24)
+	for i := 0; i < 70; i += 3 {
+		idx4 = append(idx4, i)
+	}
+	plan := []struct {
+		peers int
+		idx   []int
+	}{
+		{2, idx2},
+		{4, idx4},
+		{8, []int{24, 32, 40, 48, 56, 64}},
+	}
 
-	a, err := core.Analyze(core.ObstacleSource, []string{"N"})
+	// The target: the Stage-1 cluster, predicted through the same
+	// analytic tier, once per problem size.
+	clusterPlat, err := platform.Cluster(clusterPeers)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	cluster, err := core.PredictProgram(a, platform.KindCluster, clusterPeers, level, params)
+	clusterModel, err := analytic.NewModel(clusterPlat)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("target: %d cluster nodes finish in %.3f s\n\n", clusterPeers, cluster.Predicted)
+	target := make(map[int]float64, len(master))
+	for _, n := range master {
+		src := ghostSource(clusterPeers, n, platform.NodeSpeed)
+		res, err := clusterModel.Evaluate(specFor(clusterPlat, clusterPeers, n, p2psap.Synchronous, src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		target[n] = res.PredictedSeconds
+	}
+	fmt.Printf("target: %d cluster nodes solve N=%d in %.3f s\n\n", clusterPeers, refN, target[refN])
 
-	for _, kind := range []platform.Kind{platform.KindLAN, platform.KindDaisy} {
-		fmt.Printf("searching the smallest %s configuration matching the cluster...\n", kind)
-		found := 0
-		for _, peers := range []int{2, 4, 8, 16, 32, 64} {
-			pred, err := core.PredictProgram(a, kind, peers, level, params)
+	// Sources depend only on (peers, N, speed): build each once and
+	// reuse it across the 2,000 platform/scheme combinations.
+	type srcKey struct {
+		peers, n int
+		speed    float64
+	}
+	sources := make(map[srcKey]trace.FoldedSource)
+	for _, pp := range plan {
+		for _, i := range pp.idx {
+			for _, s := range speeds {
+				k := srcKey{pp.peers, master[i], s}
+				sources[k] = ghostSource(pp.peers, master[i], s)
+			}
+		}
+	}
+
+	// The scan. One analytic model per candidate platform; every point
+	// is a full closed-form evaluation — no DES anywhere on this path.
+	type frontierVal struct {
+		bw, lat, t float64
+	}
+	frontier := make(map[int]frontierVal) // peers -> cheapest winning NIC at the reference point
+	var points, beats int64
+	start := time.Now()
+	for _, bw := range bws {
+		for _, lat := range lats {
+			for _, pp := range plan {
+				plat, err := candidate(pp.peers, bw, lat)
+				if err != nil {
+					log.Fatal(err)
+				}
+				model, err := analytic.NewModel(plat)
+				if err != nil {
+					log.Fatal(err)
+				}
+				hosts := plat.Hosts()[:pp.peers]
+				for _, s := range speeds {
+					for _, scheme := range schemes {
+						for _, i := range pp.idx {
+							n := master[i]
+							spec := specFor(plat, pp.peers, n, scheme, sources[srcKey{pp.peers, n, s}])
+							spec.Hosts = hosts
+							res, err := model.Evaluate(spec)
+							if err != nil {
+								log.Fatal(err)
+							}
+							points++
+							if res.PredictedSeconds <= target[n] {
+								beats++
+								if n == refN && s == refSpeed && scheme == p2psap.Synchronous {
+									cur, ok := frontier[pp.peers]
+									if !ok || bw < cur.bw {
+										frontier[pp.peers] = frontierVal{bw, lat, res.PredictedSeconds}
+									}
+								}
+							}
+							if points%200000 == 0 {
+								el := time.Since(start)
+								fmt.Printf("  %7d points in %6.1f s (%.0f points/s)\n",
+									points, el.Seconds(), float64(points)/el.Seconds())
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\nanalytic scan: %d configurations in %.1f s — %.0f points/s, %.1f µs/point\n",
+		points, elapsed.Seconds(), float64(points)/elapsed.Seconds(),
+		elapsed.Seconds()/float64(points)*1e6)
+	fmt.Printf("%d of %d configurations (%.1f%%) beat the cluster\n\n",
+		beats, points, 100*float64(beats)/float64(points))
+
+	fmt.Printf("capacity answer at N=%d, %.1f GHz desktops, synchronous:\n", refN, refSpeed/1e9)
+	for _, pp := range plan {
+		if f, ok := frontier[pp.peers]; ok {
+			fmt.Printf("  %d peers beat the cluster from %.0f Mbps NICs (%.0f µs drops): %.3f s vs %.3f s\n",
+				pp.peers, f.bw/platform.Mbps, f.lat*1e6, f.t, target[refN])
+		} else {
+			fmt.Printf("  %d peers never beat the cluster on this grid\n", pp.peers)
+		}
+	}
+
+	// DES spot-check: replay a handful of scanned points (and the
+	// cluster target) through the fast-forward DES engine; the
+	// analytic tier must agree bit for bit.
+	fmt.Println("\nDES spot-check (analytic vs fast-forward replay):")
+	checks := []struct {
+		label  string
+		plat   *platform.Platform
+		peers  int
+		scheme p2psap.Scheme
+		speed  float64
+		bw     float64
+	}{
+		{"cluster target", clusterPlat, clusterPeers, p2psap.Synchronous, platform.NodeSpeed, 0},
+		{"2 peers, 100 Mbps", nil, 2, p2psap.Synchronous, refSpeed, 100 * platform.Mbps},
+		{"4 peers, 100 Mbps", nil, 4, p2psap.Asynchronous, refSpeed, 100 * platform.Mbps},
+		{"8 peers, 1 Gbps", nil, 8, p2psap.Synchronous, refSpeed, 1 * platform.Gbps},
+	}
+	worst := 0.0
+	for _, c := range checks {
+		plat := c.plat
+		if plat == nil {
+			var err error
+			plat, err = candidate(c.peers, c.bw, 300e-6)
 			if err != nil {
 				log.Fatal(err)
 			}
-			marker := " "
-			if found == 0 && pred.Predicted <= cluster.Predicted {
-				marker = "<-- first configuration at least as fast"
-				found = peers
-			}
-			fmt.Printf("  %2d peers on %-9s: %8.3f s %s\n", peers, kind, pred.Predicted, marker)
-			if found != 0 {
-				break
-			}
 		}
-		if found == 0 {
-			fmt.Printf("  no %s configuration up to 64 peers matches the cluster "+
-				"(communication dominates)\n", kind)
-		} else {
-			fmt.Printf("=> deploy on %d %s peers instead of waiting for %d cluster nodes\n",
-				found, kind, clusterPeers)
+		src := ghostSource(c.peers, refN, c.speed)
+		spec := specFor(plat, c.peers, refN, c.scheme, src)
+		ares, err := analytic.Evaluate(spec)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Println()
+		rres, err := replay.RunSource(replay.Spec{
+			Platform:     plat,
+			Hosts:        spec.Hosts,
+			Submitter:    spec.Submitter,
+			Scheme:       spec.Scheme,
+			ScatterBytes: spec.ScatterBytes,
+			GatherBytes:  spec.GatherBytes,
+			FastForward:  replay.FFOn,
+		}, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diff := math.Abs(ares.PredictedSeconds - rres.PredictedSeconds)
+		if diff > worst {
+			worst = diff
+		}
+		mark := "bit-identical"
+		if diff != 0 {
+			mark = fmt.Sprintf("delta %g s", diff)
+		}
+		fmt.Printf("  %-20s analytic %.6f s, DES %.6f s — %s\n",
+			c.label, ares.PredictedSeconds, rres.PredictedSeconds, mark)
+	}
+	if worst != 0 {
+		log.Fatalf("analytic tier diverged from DES replay by %g s", worst)
 	}
 }

@@ -1,0 +1,901 @@
+// The actor layer: the p2pdc submitter/worker/watchdog processes and
+// the p2psap channel protocol re-expressed as resumable state machines
+// over the arithmetic kernel, plus a port of the replay fast-forward
+// boundary protocol. Each DES goroutine becomes an actor id; each park
+// point becomes a state-machine phase; every scheduling call happens
+// in the same order with the same operands as the DES original, which
+// is what keeps event sequence numbers — and therefore tie-breaks and
+// every float64 — in lockstep.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/p2psap"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// convBytes mirrors p2pdc.ConvergeMax's valBytes: the control payload
+// of the gather/broadcast convergence pattern.
+const convBytes = 8
+
+// evaluator holds the complete state of one analytic evaluation. It is
+// single-use and not safe for concurrent use; the reusable, shareable
+// part lives in Model.
+type evaluator struct {
+	m         *Model
+	n         int
+	hosts     []string
+	submitter string
+	scheme    p2psap.Scheme
+
+	scatterBytes float64
+	gatherBytes  float64
+
+	// Kernel (kernel.go).
+	heap []aev
+	seq  uint64
+	now  float64
+	base float64
+	aux  int
+	live int
+
+	// Fluid network (fluid.go).
+	flows       int // mirrors len(netsim.Network.flows)
+	flowOrder   []*aflow
+	lastUpdate  float64
+	epoch       uint64
+	linkStates  []linkState
+	activeLinks []*linkState
+	finished    []*aflow
+	flowPool    []*aflow
+	rateMark    uint64
+
+	// Mailboxes (kernel.go).
+	pendingMsgs int
+	scatterBox  []abox
+	gatherBox   abox
+	dataBox     []*abox // n*n, [at*n+from], lazily created
+	ctlBox      []*abox
+	pairProf    []*p2psap.Profile // n*n, [lo*n+hi]
+
+	// p2pdc run bookkeeping (mirrors p2pdc.Environment.Run locals).
+	scatterEnd  float64
+	computeEnd  float64
+	computeDone int
+	workerTimes []float64
+	errs        []error
+
+	// Actors. Ids: 0..n-1 workers, n submitter, n+1 watchdog.
+	workers   []worker
+	subPhase  int
+	subGot    int
+	wdPhase   int // 0 not activated, 1 parked on cond, 2 signaled, 3 done
+	wdPending bool
+
+	ctl actl
+}
+
+func newEvaluator(m *Model, spec *Spec) (*evaluator, error) {
+	src, err := m.validateSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	ops, ok := src.(trace.OpsSource)
+	if !ok {
+		return nil, fmt.Errorf("analytic: source is not op-structured (does not implement trace.OpsSource)")
+	}
+	n := spec.Source.Ranks()
+	ev := &evaluator{
+		m:            m,
+		n:            n,
+		hosts:        spec.Hosts,
+		submitter:    spec.Submitter,
+		scheme:       spec.Scheme,
+		scatterBytes: spec.ScatterBytes,
+		gatherBytes:  spec.GatherBytes,
+		linkStates:   make([]linkState, m.nlink),
+		scatterBox:   make([]abox, n),
+		dataBox:      make([]*abox, n*n),
+		ctlBox:       make([]*abox, n*n),
+		pairProf:     make([]*p2psap.Profile, n*n),
+		workerTimes:  make([]float64, n),
+		errs:         make([]error, n),
+		workers:      make([]worker, n),
+	}
+	ev.ctl = actl{ev: ev, n: n, reps: make(map[arepKey]*arepCtl)}
+	for i := range ev.workers {
+		w := &ev.workers[i]
+		w.ev = ev
+		w.rank = i
+		w.host = spec.Hosts[i]
+		w.ops = ops.RankOps(i)
+	}
+	return ev, nil
+}
+
+// run seeds the three actor groups in p2pdc spawn order — submitter,
+// then the workers in rank order, then the watchdog, all activating at
+// t=0 — and drives the event loop to completion.
+func (ev *evaluator) run() (*Result, error) {
+	ev.live = ev.n + 2
+	ev.scheduleResume(0, ev.n) // submitter
+	for i := 0; i < ev.n; i++ {
+		ev.scheduleResume(0, i)
+	}
+	ev.scheduleResume(0, ev.n+1) // watchdog
+	if err := ev.drive(); err != nil {
+		return nil, err
+	}
+	if ev.computeDone != ev.n {
+		return nil, fmt.Errorf("analytic: only %d of %d workers finished", ev.computeDone, ev.n)
+	}
+	if err := ev.firstErr(); err != nil {
+		return nil, err
+	}
+	total := ev.absNow()
+	res := &Result{
+		PredictedSeconds:    total,
+		ScatterSeconds:      ev.scatterEnd,
+		ComputeSeconds:      ev.computeEnd - ev.scatterEnd,
+		GatherSeconds:       total - ev.computeEnd,
+		RoundsSimulated:     ev.ctl.roundsSim,
+		RoundsFastForwarded: ev.ctl.roundsFF,
+		Jumps:               ev.ctl.jumps,
+	}
+	if res.GatherSeconds < 0 {
+		res.GatherSeconds = 0
+	}
+	return res, nil
+}
+
+func (ev *evaluator) firstErr() error {
+	for _, err := range ev.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resumeActor hands the execution token to an actor, which runs until
+// it parks or finishes — the analogue of des.Simulation.activate.
+func (ev *evaluator) resumeActor(id int) {
+	switch {
+	case id < ev.n:
+		ev.workers[id].resume()
+	case id == ev.n:
+		ev.runSubmitter()
+	default:
+		ev.runWatchdog()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Submitter and watchdog
+
+// runSubmitter mirrors the p2pdc submitter process: scatter the inputs
+// with raw async sends, then block on the shared gather mailbox until
+// every result arrived, then signal the watchdog.
+func (ev *evaluator) runSubmitter() {
+	if ev.subPhase == 0 {
+		if ev.scatterBytes > 0 {
+			for i := range ev.hosts {
+				if err := ev.startFlow(ev.submitter, ev.hosts[i], ev.scatterBytes, &ev.scatterBox[i], -1); err != nil {
+					ev.errs[i] = err
+				}
+			}
+		}
+		ev.subPhase = 1
+	}
+	if ev.gatherBytes > 0 {
+		for ev.subGot < ev.n {
+			if !ev.tryGet(&ev.gatherBox, ev.n) {
+				return // parked as the gather box's reader
+			}
+			ev.subGot++
+		}
+	}
+	ev.signalGatherDone()
+	ev.subPhase = 2
+	ev.live--
+}
+
+// signalGatherDone mirrors gatherDoneCond.Signal.
+func (ev *evaluator) signalGatherDone() {
+	if ev.wdPhase == 1 {
+		ev.wdPhase = 2
+		ev.scheduleResume(0, ev.n+1)
+		return
+	}
+	ev.wdPending = true
+}
+
+// runWatchdog mirrors the watchdog process: one Cond.Wait.
+func (ev *evaluator) runWatchdog() {
+	if ev.wdPhase == 0 {
+		if ev.wdPending {
+			ev.wdPending = false
+			ev.wdPhase = 3
+			ev.live--
+			return
+		}
+		ev.wdPhase = 1 // parked on the cond
+		return
+	}
+	// wdPhase == 2: resumed by the signal.
+	ev.wdPhase = 3
+	ev.live--
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+
+// Worker phases.
+const (
+	wkInit = iota
+	wkScatter
+	wkBody
+	wkGatherWait
+	wkDone
+)
+
+// wframe is one level of the op-tree walk. A frame either iterates an
+// op list (`ops`: the current body, `rem` whole-list iterations left)
+// or, when mrc is set, runs one managed Repeat through the boundary
+// protocol (mop/done/mst).
+type wframe struct {
+	ops  []trace.Op
+	idx  int
+	rem  int
+	mrc  *arepCtl
+	mop  trace.Op
+	done int
+	mst  uint8 // 0 at boundary, 1 lead sleeping, 2 body rest running
+}
+
+// worker is one rank's actor: the p2pdc worker process plus the
+// op-structured replay interpreter, flattened into resumable state.
+type worker struct {
+	ev    *evaluator
+	rank  int
+	host  string
+	ops   []trace.Op
+	phase int
+
+	frames []wframe
+
+	// Leaf execution state.
+	leafOn bool
+	leaf   trace.Op
+	ci     int // completed leaf iterations
+	lph    int // sub-phase within one iteration
+	lj     int // rank-0 collective peer index
+
+	convs, bars int64 // collectives completed (managed-loop keys)
+
+	gatherWaiting bool
+	gatherPending bool
+	err           error
+}
+
+// resume runs the worker until it parks or finishes, mirroring the
+// p2pdc worker process body.
+func (w *worker) resume() {
+	ev := w.ev
+	for {
+		switch w.phase {
+		case wkInit:
+			if ev.scatterBytes > 0 {
+				w.phase = wkScatter
+				continue
+			}
+			w.beginBody()
+			w.phase = wkBody
+		case wkScatter:
+			if !ev.tryGet(&ev.scatterBox[w.rank], w.rank) {
+				return
+			}
+			w.beginBody()
+			w.phase = wkBody
+		case wkBody:
+			if w.walk() {
+				return
+			}
+			// App body done (w.err carries an interpreter failure, which
+			// the DES worker also records before running its epilogue).
+			if w.err != nil {
+				ev.errs[w.rank] = w.err
+			}
+			ev.workerTimes[w.rank] = ev.absNow()
+			ev.computeDone++
+			if t := ev.absNow(); t > ev.computeEnd {
+				ev.computeEnd = t
+			}
+			if ev.gatherBytes > 0 {
+				if err := ev.startFlow(w.host, ev.submitter, ev.gatherBytes, &ev.gatherBox, w.rank); err != nil {
+					if ev.errs[w.rank] == nil {
+						ev.errs[w.rank] = err
+					}
+					w.phase = wkDone
+					ev.live--
+					return
+				}
+				if w.gatherPending {
+					w.gatherPending = false
+					w.phase = wkDone
+					ev.live--
+					return
+				}
+				w.gatherWaiting = true
+				w.phase = wkGatherWait
+				return
+			}
+			w.phase = wkDone
+			ev.live--
+			return
+		case wkGatherWait:
+			// Resumed by the gather flow's completion signal.
+			w.phase = wkDone
+			ev.live--
+			return
+		default:
+			return
+		}
+	}
+}
+
+// beginBody records the scatter-phase end (the DES worker does this
+// whether or not a scatter ran) and seeds the op walk.
+func (w *worker) beginBody() {
+	ev := w.ev
+	if t := ev.absNow(); t > ev.scatterEnd {
+		ev.scatterEnd = t
+	}
+	w.frames = append(w.frames[:0], wframe{ops: w.ops, rem: 1})
+}
+
+// maybeJoin mirrors opsExec.maybeJoin: the analytic tier always runs
+// with fast-forward engaged (the FFOn equivalent).
+func (w *worker) maybeJoin(op trace.Op) *arepCtl {
+	if !replay.Manageable(op) {
+		return nil
+	}
+	return w.ev.ctl.join(w.rank, arepKey{convs: w.convs, bars: w.bars, count: op.Count})
+}
+
+// walk advances the op-tree interpreter until it parks (true) or the
+// rank's ops are exhausted (false). It mirrors opsExec.run/repeat:
+// leaves execute through the leaf state machine, plain body ops loop
+// their bodies, top-level manageable Repeats run the boundary
+// protocol.
+func (w *worker) walk() bool {
+	ev := w.ev
+	for {
+		if w.leafOn {
+			if w.leafStep() {
+				return true
+			}
+			if w.err != nil {
+				w.frames = w.frames[:0]
+				return false
+			}
+		}
+		if len(w.frames) == 0 {
+			return false
+		}
+		fi := len(w.frames) - 1
+		f := &w.frames[fi]
+		if f.mrc != nil {
+			switch f.mst {
+			case 0: // at an iteration boundary
+				f.done = f.mrc.boundary(w.rank, f.done)
+				if f.done >= f.mop.Count {
+					f.mrc.leave()
+					w.frames = w.frames[:fi]
+					continue
+				}
+				lead := f.mop.Body[0]
+				t := replay.ComputeDeadline(ev.now, lead.Rec.NS, lead.Count)
+				f.mrc.parkUntil(w.rank, t)
+				f.mst = 1
+				ev.scheduleResumeAt(t, w.rank)
+				return true
+			case 1: // lead compute finished
+				f.mrc.woke(w.rank)
+				f.mst = 2
+				body := f.mop.Body
+				w.frames = append(w.frames, wframe{ops: body[1:], rem: 1})
+				continue
+			default: // 2: body rest finished
+				f.done++
+				f.mst = 0
+				continue
+			}
+		}
+		if f.idx >= len(f.ops) {
+			f.rem--
+			if f.rem > 0 {
+				f.idx = 0
+				continue
+			}
+			w.frames = w.frames[:fi]
+			continue
+		}
+		op := f.ops[f.idx]
+		f.idx++
+		if op.Count <= 0 {
+			continue
+		}
+		if len(op.Body) == 0 {
+			w.startLeaf(op)
+			continue
+		}
+		if fi == 0 {
+			if rc := w.maybeJoin(op); rc != nil {
+				w.frames = append(w.frames, wframe{mrc: rc, mop: op})
+				continue
+			}
+		}
+		w.frames = append(w.frames, wframe{ops: op.Body, rem: op.Count})
+	}
+}
+
+func (w *worker) startLeaf(op trace.Op) {
+	w.leafOn = true
+	w.leaf = op
+	w.ci = 0
+	w.lph = 0
+	w.lj = 1
+}
+
+// finishLeaf commits the collective counters (as opsExec.leaf does
+// after its loop) and closes the leaf.
+func (w *worker) finishLeaf() {
+	switch w.leaf.Rec.Kind {
+	case trace.KindConv:
+		w.convs += int64(w.leaf.Count)
+	case trace.KindBarrier:
+		w.bars += int64(w.leaf.Count)
+	}
+	w.leafOn = false
+}
+
+func (w *worker) fail(err error) {
+	w.err = err
+	w.leafOn = false
+}
+
+// leafStep advances one run-length leaf op, mirroring opsExec.leaf and
+// the p2psap channel primitives it calls. Returns true when parked.
+func (w *worker) leafStep() bool {
+	ev := w.ev
+	r := w.leaf.Rec
+	n := w.leaf.Count
+	switch r.Kind {
+	case trace.KindCompute:
+		if w.lph == 0 {
+			if n == 1 {
+				// Process.Sleep: one activation at now + d.
+				ev.scheduleResume(r.NS/1e9, w.rank)
+			} else {
+				// SleepUntil at the iterated-addition deadline.
+				ev.scheduleResumeAt(replay.ComputeDeadline(ev.now, r.NS, n), w.rank)
+			}
+			w.lph = 1
+			return true
+		}
+		w.finishLeaf()
+		return false
+
+	case trace.KindSend:
+		if err := ev.checkPeer(r.Peer); err != nil {
+			w.fail(err)
+			return false
+		}
+		p, err := ev.profileFor(w.rank, r.Peer)
+		if err != nil {
+			w.fail(err)
+			return false
+		}
+		for {
+			if w.lph == 0 {
+				// Channel.Send: sender-side protocol processing first.
+				if p.SendOverhead > 0 {
+					ev.scheduleResume(p.SendOverhead, w.rank)
+					w.lph = 1
+					return true
+				}
+				w.lph = 1
+			}
+			wire := r.Bytes + p.FrameBytes
+			if err := ev.startFlow(w.host, ev.hosts[r.Peer], wire, ev.boxAt(false, r.Peer, w.rank), -1); err != nil {
+				w.fail(err)
+				return false
+			}
+			w.ci++
+			w.lph = 0
+			if w.ci >= n {
+				w.finishLeaf()
+				return false
+			}
+		}
+
+	case trace.KindRecv:
+		if err := ev.checkPeer(r.Peer); err != nil {
+			w.fail(err)
+			return false
+		}
+		p, err := ev.profileFor(w.rank, r.Peer)
+		if err != nil {
+			w.fail(err)
+			return false
+		}
+		for {
+			if w.lph == 0 {
+				// Channel.Recv: blocking mailbox get, then receiver-side
+				// processing.
+				if !ev.tryGet(ev.boxAt(false, w.rank, r.Peer), w.rank) {
+					return true
+				}
+				if p.RecvOverhead > 0 {
+					ev.scheduleResume(p.RecvOverhead, w.rank)
+					w.lph = 1
+					return true
+				}
+				w.lph = 1
+			}
+			w.ci++
+			w.lph = 0
+			if w.ci >= n {
+				w.finishLeaf()
+				return false
+			}
+		}
+
+	case trace.KindConv, trace.KindBarrier:
+		if ev.n == 1 {
+			// Size-1 collective: immediate, no events.
+			w.finishLeaf()
+			return false
+		}
+		if w.rank != 0 {
+			// Non-root: sendCtl(0) then recvCtl(0).
+			p, err := ev.profileFor(w.rank, 0)
+			if err != nil {
+				w.fail(err)
+				return false
+			}
+			for {
+				switch w.lph {
+				case 0:
+					if p.SendOverhead > 0 {
+						ev.scheduleResume(p.SendOverhead, w.rank)
+						w.lph = 1
+						return true
+					}
+					w.lph = 1
+				case 1:
+					wire := convBytes + p.FrameBytes
+					if err := ev.startFlow(w.host, ev.hosts[0], wire, ev.boxAt(true, 0, w.rank), -1); err != nil {
+						w.fail(err)
+						return false
+					}
+					w.lph = 2
+				case 2:
+					if !ev.tryGet(ev.boxAt(true, w.rank, 0), w.rank) {
+						return true
+					}
+					if p.RecvOverhead > 0 {
+						ev.scheduleResume(p.RecvOverhead, w.rank)
+						w.lph = 3
+						return true
+					}
+					w.lph = 3
+				default: // 3: one converge complete
+					w.ci++
+					w.lph = 0
+					if w.ci >= n {
+						w.finishLeaf()
+						return false
+					}
+				}
+			}
+		}
+		// Root: recvCtl(1..n-1) in rank order, then sendCtl(1..n-1).
+		for {
+			switch w.lph {
+			case 0:
+				if !ev.tryGet(ev.boxAt(true, 0, w.lj), w.rank) {
+					return true
+				}
+				p, err := ev.profileFor(0, w.lj)
+				if err != nil {
+					w.fail(err)
+					return false
+				}
+				if p.RecvOverhead > 0 {
+					ev.scheduleResume(p.RecvOverhead, w.rank)
+					w.lph = 1
+					return true
+				}
+				w.lph = 1
+			case 1:
+				w.lj++
+				if w.lj < ev.n {
+					w.lph = 0
+					continue
+				}
+				w.lj = 1
+				w.lph = 2
+			case 2:
+				p, err := ev.profileFor(0, w.lj)
+				if err != nil {
+					w.fail(err)
+					return false
+				}
+				if p.SendOverhead > 0 {
+					ev.scheduleResume(p.SendOverhead, w.rank)
+					w.lph = 3
+					return true
+				}
+				w.lph = 3
+			default: // 3: launch the broadcast flow to lj
+				p, err := ev.profileFor(0, w.lj)
+				if err != nil {
+					w.fail(err)
+					return false
+				}
+				wire := convBytes + p.FrameBytes
+				if err := ev.startFlow(w.host, ev.hosts[w.lj], wire, ev.boxAt(true, w.lj, 0), -1); err != nil {
+					w.fail(err)
+					return false
+				}
+				w.lj++
+				if w.lj < ev.n {
+					w.lph = 2
+					continue
+				}
+				w.ci++
+				w.lj = 1
+				w.lph = 0
+				if w.ci >= n {
+					w.finishLeaf()
+					return false
+				}
+			}
+		}
+	}
+	// Unknown record kind: a no-op, as in the DES replay switch.
+	w.finishLeaf()
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Fast-forward controller (port of replay's ffController/repeatCtl,
+// minus the cross-replay period cache — certificates make it moot)
+
+// arepKey mirrors replay.ffRepKey.
+type arepKey struct {
+	convs, bars int64
+	count       int
+}
+
+// aSigEntry mirrors replay.ffSigEntry.
+type aSigEntry struct {
+	rank int
+	wake uint64
+}
+
+// aRankState mirrors replay.ffRankState.
+type aRankState struct {
+	joined   bool
+	done     int
+	seenSkip int
+	parked   bool
+	wake     float64
+	parkSeq  uint64
+}
+
+// aBoundary mirrors replay.ffBoundary.
+type aBoundary struct {
+	sig   []aSigEntry
+	shift float64
+}
+
+// actl mirrors replay.ffController with jumping always enabled (the
+// analytic tier is the FFOn path by definition).
+type actl struct {
+	ev                         *evaluator
+	n                          int
+	reps                       map[arepKey]*arepCtl
+	roundsSim, roundsFF, jumps int64
+}
+
+// arepCtl mirrors replay.repeatCtl.
+type arepCtl struct {
+	ctl         *actl
+	key         arepKey
+	count       int
+	members     int
+	st          []aRankState
+	parkCounter uint64
+	ring        []aBoundary
+	sigBuf      []aSigEntry
+	cumSkip     int
+	counted     bool
+}
+
+func (c *actl) join(rank int, key arepKey) *arepCtl {
+	rc := c.reps[key]
+	if rc == nil {
+		rc = &arepCtl{ctl: c, key: key, count: key.count, st: make([]aRankState, c.n)}
+		c.reps[key] = rc
+	}
+	if rc.st[rank].joined {
+		return nil
+	}
+	rc.st[rank].joined = true
+	rc.members++
+	return rc
+}
+
+func (rc *arepCtl) parkUntil(rank int, t float64) {
+	st := &rc.st[rank]
+	st.parked = true
+	st.wake = t
+	rc.parkCounter++
+	st.parkSeq = rc.parkCounter
+}
+
+func (rc *arepCtl) woke(rank int) { rc.st[rank].parked = false }
+
+func (rc *arepCtl) leave() {
+	if rc.counted {
+		return
+	}
+	rc.counted = true
+	rc.ctl.roundsSim += int64(rc.count - rc.cumSkip)
+	rc.ctl.roundsFF += int64(rc.cumSkip)
+}
+
+// boundary is the verbatim port of repeatCtl.boundary: fold unseen
+// skips into the canonical count, and from the last-arriving rank
+// attempt a steady-state snapshot — rebase, fingerprint, and jump when
+// the fingerprint chain proves a period.
+func (rc *arepCtl) boundary(rank, done int) int {
+	st := &rc.st[rank]
+	done += rc.cumSkip - st.seenSkip
+	st.seenSkip = rc.cumSkip
+	st.done = done
+	if done >= rc.count {
+		return done
+	}
+	if rc.members != rc.ctl.n {
+		return done
+	}
+	for r := range rc.st {
+		if rc.st[r].done < done {
+			return done // not the last arrival
+		}
+		if rc.st[r].done > done {
+			rc.ring = rc.ring[:0] // a rank ran ahead: no clean boundary
+			return done
+		}
+		if r != rank && !rc.st[r].parked {
+			rc.ring = rc.ring[:0] // a leading compute already finished
+			return done
+		}
+	}
+	ev := rc.ctl.ev
+	if ev.flows != 0 || ev.pendingMsgs != 0 || ev.pendingReal() != rc.ctl.n-1 {
+		rc.ring = rc.ring[:0]
+		return done
+	}
+
+	shift := ev.rebase()
+	for r := range rc.st {
+		if rc.st[r].parked {
+			rc.st[r].wake -= shift
+		}
+	}
+
+	sig := rc.sigBuf[:0]
+	for r := range rc.st {
+		if rc.st[r].parked {
+			sig = append(sig, aSigEntry{rank: r, wake: math.Float64bits(rc.st[r].wake)})
+		}
+	}
+	for i := 1; i < len(sig); i++ {
+		e := sig[i]
+		j := i - 1
+		for j >= 0 && rc.st[sig[j].rank].parkSeq > rc.st[e.rank].parkSeq {
+			sig[j+1] = sig[j]
+			j--
+		}
+		sig[j+1] = e
+	}
+	sig = append(sig, aSigEntry{rank: rank, wake: 0})
+	rc.sigBuf = sig
+	rc.push(sig, shift)
+
+	if p := rc.period(); p > 0 {
+		cycle := rc.ring[len(rc.ring)-p:]
+		shifts := make([]float64, p)
+		for j := range cycle {
+			shifts[j] = cycle[j].shift
+		}
+		if jumped := rc.jumpRounds(st, done, p, shifts); jumped > done {
+			return jumped
+		}
+	}
+	return done
+}
+
+func (rc *arepCtl) jumpRounds(st *aRankState, done, p int, shifts []float64) int {
+	m := ((rc.count - 1 - done) / p) * p
+	if m <= 0 {
+		return done
+	}
+	ev := rc.ctl.ev
+	if p == 1 {
+		ev.advanceBase(shifts[0], m)
+	} else {
+		for j := 0; j < m; j++ {
+			ev.advanceBase(shifts[j%p], 1)
+		}
+	}
+	rc.cumSkip += m
+	st.seenSkip = rc.cumSkip
+	done += m
+	st.done = done
+	rc.ctl.jumps++
+	rc.ring = rc.ring[:0]
+	return done
+}
+
+func (rc *arepCtl) push(sig []aSigEntry, shift float64) {
+	var entry aBoundary
+	if len(rc.ring) == 2*replay.FFMaxPeriod {
+		entry = rc.ring[0]
+		copy(rc.ring, rc.ring[1:])
+		rc.ring = rc.ring[:len(rc.ring)-1]
+	}
+	entry.sig = append(entry.sig[:0], sig...)
+	entry.shift = shift
+	rc.ring = append(rc.ring, entry)
+}
+
+func (rc *arepCtl) period() int {
+	for p := 1; p <= replay.FFMaxPeriod; p++ {
+		if 2*p > len(rc.ring) {
+			return 0
+		}
+		last := len(rc.ring) - 1
+		match := true
+		for j := 0; j < p; j++ {
+			if !aSigsEqual(rc.ring[last-j].sig, rc.ring[last-p-j].sig) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p
+		}
+	}
+	return 0
+}
+
+func aSigsEqual(a, b []aSigEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,277 @@
+// The fluid network: an exact port of internal/netsim's flow model
+// onto the arithmetic kernel. Flow order, progressive-filling order,
+// the link-name tie-break sort, the completion quantum and the
+// loopback constant are carried over verbatim — the assigned rates
+// and completion instants are the same float64s netsim computes.
+package analytic
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+)
+
+// loopbackLatency and timeQuantum mirror the netsim constants.
+const (
+	loopbackLatency = 1e-6
+	timeQuantum     = 1e-9
+)
+
+// aflow mirrors netsim.Flow, with the delivery callback replaced by
+// the (box, gatherRank) pair every replay delivery reduces to: a
+// mailbox put, optionally followed by a blocking-send completion
+// signal to a worker (the gather path).
+type aflow struct {
+	remaining  float64
+	rate       float64
+	route      *aroute
+	done       bool
+	assigned   bool
+	box        *abox
+	gatherRank int32 // worker whose blocking gather send this completes; -1 none
+}
+
+// linkState is the per-link scratch of one progressive-filling epoch,
+// indexed by alink.idx.
+type linkState struct {
+	link     *alink
+	residual float64
+	nflows   int
+	mark     uint64
+}
+
+func (ev *evaluator) newFlow() *aflow {
+	if k := len(ev.flowPool); k > 0 {
+		f := ev.flowPool[k-1]
+		ev.flowPool[k-1] = nil
+		ev.flowPool = ev.flowPool[:k-1]
+		return f
+	}
+	return &aflow{}
+}
+
+func (ev *evaluator) releaseFlow(f *aflow) {
+	*f = aflow{}
+	ev.flowPool = append(ev.flowPool, f)
+}
+
+// deliver mirrors the replay delivery callbacks: mailbox put first,
+// then the blocking-send condition signal — the same order the DES
+// gather path schedules its wakeups in (Post.Send's onDone puts, then
+// signals).
+func (ev *evaluator) deliver(f *aflow) {
+	if f.box != nil {
+		ev.put(f.box)
+	}
+	if f.gatherRank >= 0 {
+		w := &ev.workers[f.gatherRank]
+		if w.gatherWaiting {
+			w.gatherWaiting = false
+			ev.scheduleResume(0, int(f.gatherRank))
+		} else {
+			w.gatherPending = true
+		}
+	}
+}
+
+// startFlow mirrors netsim.Network.startFlow (the transient path the
+// message layer always uses).
+func (ev *evaluator) startFlow(src, dst string, bytes float64, box *abox, gatherRank int) error {
+	if bytes < 0 || math.IsNaN(bytes) {
+		return fmt.Errorf("analytic: invalid flow size %v", bytes)
+	}
+	f := ev.newFlow()
+	f.remaining = bytes
+	f.box = box
+	f.gatherRank = int32(gatherRank)
+	if src == dst {
+		f.done = true
+		ev.push(aev{time: ev.now + loopbackLatency, kind: aevLoopback, flow: f})
+		return nil
+	}
+	rt, err := ev.m.route(src, dst)
+	if err != nil {
+		ev.releaseFlow(f)
+		return err
+	}
+	f.route = rt
+	ev.push(aev{time: ev.now + rt.latency, kind: aevActivate, flow: f})
+	return nil
+}
+
+// activateFlow mirrors netsim.Network.activateFlow.
+func (ev *evaluator) activateFlow(f *aflow) {
+	ev.advanceFlows()
+	if f.remaining <= 0 {
+		f.done = true
+		ev.deliver(f)
+		ev.releaseFlow(f)
+		return
+	}
+	ev.flows++
+	ev.flowOrder = append(ev.flowOrder, f)
+	ev.recompute()
+}
+
+// advanceFlows mirrors netsim.Network.advance.
+func (ev *evaluator) advanceFlows() {
+	dt := ev.now - ev.lastUpdate
+	if dt > 0 {
+		for _, f := range ev.flowOrder {
+			if !f.done {
+				f.remaining -= f.rate * dt
+				if f.remaining < 1e-9 {
+					f.remaining = 0
+				}
+			}
+		}
+	}
+	ev.lastUpdate = ev.now
+}
+
+// finishCompleted mirrors netsim.Network.finishCompleted: completed
+// flows leave the sharing set first, then their deliveries run in flow
+// order.
+func (ev *evaluator) finishCompleted() {
+	finished := ev.finished[:0]
+	for _, f := range ev.flowOrder {
+		if !f.done && f.remaining <= 0 {
+			f.done = true
+			finished = append(finished, f)
+			ev.flows--
+		}
+	}
+	if len(finished) > 0 {
+		keep := ev.flowOrder[:0]
+		for _, f := range ev.flowOrder {
+			if !f.done {
+				keep = append(keep, f)
+			}
+		}
+		ev.flowOrder = keep
+	}
+	for _, f := range finished {
+		ev.deliver(f)
+		ev.releaseFlow(f)
+	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	ev.finished = finished[:0]
+}
+
+// recompute mirrors netsim.Network.recompute.
+func (ev *evaluator) recompute() {
+	for {
+		ev.finishCompleted()
+		ev.assignRates()
+		next := math.Inf(1)
+		for _, f := range ev.flowOrder {
+			if f.rate > 0 {
+				t := f.remaining / f.rate
+				if t < next {
+					next = t
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			ev.epoch++
+			// Mirror netsim's idle skip (its default): with no flows
+			// left, every queued completion estimate is stale — drop
+			// them instead of popping no-ops.
+			if ev.flows == 0 {
+				ev.discardAux()
+			}
+			return
+		}
+		if next <= timeQuantum {
+			for _, f := range ev.flowOrder {
+				if f.rate > 0 && f.remaining <= f.rate*timeQuantum {
+					f.remaining = 0
+				}
+			}
+			continue
+		}
+		ev.epoch++
+		ev.scheduleAux(next, ev.epoch)
+		return
+	}
+}
+
+// assignRates mirrors netsim.Network.assignRates: progressive filling
+// in flow order, bottleneck selection over link states sorted by link
+// name (unique names make the unstable sort a strict total order).
+func (ev *evaluator) assignRates() {
+	ev.rateMark++
+	mark := ev.rateMark
+	active := ev.activeLinks[:0]
+	unassigned := 0
+	for _, f := range ev.flowOrder {
+		if f.done {
+			continue
+		}
+		f.rate = 0
+		f.assigned = false
+		unassigned++
+		for _, l := range f.route.links {
+			st := &ev.linkStates[l.idx]
+			if st.mark != mark {
+				st.mark = mark
+				st.link = l
+				st.residual = l.bandwidth
+				st.nflows = 0
+				active = append(active, st)
+			}
+			st.nflows++
+		}
+	}
+	slices.SortFunc(active, func(a, b *linkState) int {
+		return cmp.Compare(a.link.name, b.link.name)
+	})
+	ev.activeLinks = active
+
+	for unassigned > 0 {
+		var bottleneck *linkState
+		fair := math.Inf(1)
+		for _, st := range active {
+			if st.nflows == 0 {
+				continue
+			}
+			f := st.residual / float64(st.nflows)
+			if f < fair {
+				fair = f
+				bottleneck = st
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for _, f := range ev.flowOrder {
+			if f.done || f.assigned {
+				continue
+			}
+			crosses := false
+			for _, l := range f.route.links {
+				if l == bottleneck.link {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = fair
+			f.assigned = true
+			unassigned--
+			for _, l := range f.route.links {
+				st := &ev.linkStates[l.idx]
+				st.residual -= fair
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.nflows--
+			}
+		}
+	}
+}

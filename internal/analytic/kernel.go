@@ -1,0 +1,322 @@
+// The arithmetic event kernel: a single-goroutine mirror of
+// internal/des. Events are ordered by (time, seq) — a strict total
+// order, since sequence numbers are unique — so any heap yields the
+// same pop order as the des queue; what the mirror must preserve is
+// the one-to-one correspondence of scheduling calls, which fixes the
+// sequence numbers, and the float64 arithmetic on event times.
+package analytic
+
+import (
+	"fmt"
+
+	"repro/internal/p2psap"
+)
+
+// Event kinds. aevResume replaces des process activation (an actor id
+// instead of a goroutine handle); aevActivate/aevLoopback are the two
+// flow events netsim schedules with plain callbacks; aevAux is the
+// epoch-guarded flow-completion estimate.
+const (
+	aevResume uint8 = iota
+	aevActivate
+	aevLoopback
+	aevAux
+)
+
+// aev is one scheduled occurrence.
+type aev struct {
+	time  float64
+	seq   uint64
+	kind  uint8
+	id    int32  // aevResume: actor id
+	flow  *aflow // aevActivate / aevLoopback
+	epoch uint64 // aevAux
+}
+
+func aevLess(a, b *aev) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// push schedules an event; the sequence counter advances exactly once
+// per call, mirroring des.Simulation scheduling.
+func (ev *evaluator) push(e aev) {
+	ev.seq++
+	e.seq = ev.seq
+	a := append(ev.heap, e)
+	ev.heap = a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if aevLess(&a[p], &a[i]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (ev *evaluator) pop() aev {
+	a := ev.heap
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = aev{}
+	a = a[:n]
+	ev.heap = a
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		m := first
+		for c := first + 1; c < last; c++ {
+			if aevLess(&a[c], &a[m]) {
+				m = c
+			}
+		}
+		if aevLess(&a[i], &a[m]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
+}
+
+// heapify re-establishes the invariant after a uniform time shift
+// (Floyd's bottom-up pass, as in des.eventQueue.reheap).
+func (ev *evaluator) heapify() {
+	a := ev.heap
+	n := len(a)
+	for i := (n - 2) / 4; i >= 0; i-- {
+		for j := i; ; {
+			first := 4*j + 1
+			if first >= n {
+				break
+			}
+			last := first + 4
+			if last > n {
+				last = n
+			}
+			m := first
+			for c := first + 1; c < last; c++ {
+				if aevLess(&a[c], &a[m]) {
+					m = c
+				}
+			}
+			if aevLess(&a[j], &a[m]) {
+				break
+			}
+			a[j], a[m] = a[m], a[j]
+			j = m
+		}
+	}
+}
+
+// scheduleResume mirrors des scheduleActivate: actor wakeup at
+// now+delay.
+func (ev *evaluator) scheduleResume(delay float64, id int) {
+	ev.push(aev{time: ev.now + delay, kind: aevResume, id: int32(id)})
+}
+
+// scheduleResumeAt mirrors scheduleActivateAt: wakeup at the exact
+// in-epoch time t, with no now+(t-now) round trip.
+func (ev *evaluator) scheduleResumeAt(t float64, id int) {
+	ev.push(aev{time: t, kind: aevResume, id: int32(id)})
+}
+
+// scheduleAux mirrors des.ScheduleAux.
+func (ev *evaluator) scheduleAux(delay float64, epoch uint64) {
+	ev.push(aev{time: ev.now + delay, kind: aevAux, epoch: epoch})
+	ev.aux++
+}
+
+// pendingReal mirrors des.Simulation.PendingReal.
+func (ev *evaluator) pendingReal() int { return len(ev.heap) - ev.aux }
+
+// discardAux mirrors des.Simulation.DiscardAux: drop every pending
+// auxiliary event in place and re-heapify.
+func (ev *evaluator) discardAux() {
+	if ev.aux == 0 {
+		return
+	}
+	a := ev.heap
+	keep := a[:0]
+	for i := range a {
+		if a[i].kind == aevAux {
+			continue
+		}
+		keep = append(keep, a[i])
+	}
+	for i := len(keep); i < len(a); i++ {
+		a[i] = aev{}
+	}
+	ev.heap = keep
+	ev.heapify()
+	ev.aux = 0
+}
+
+// absNow mirrors des.Simulation.AbsNow.
+func (ev *evaluator) absNow() float64 { return ev.base + ev.now }
+
+// rebase mirrors des.Simulation.Rebase plus the netsim rebase hook
+// (the only hook the DES stack registers).
+func (ev *evaluator) rebase() float64 {
+	shift := ev.now
+	if shift == 0 {
+		return 0
+	}
+	ev.base += shift
+	ev.now = 0
+	a := ev.heap
+	for i := range a {
+		a[i].time -= shift
+	}
+	ev.heapify()
+	if ev.flows == 0 {
+		ev.lastUpdate = 0
+	} else {
+		ev.lastUpdate -= shift
+	}
+	return shift
+}
+
+// advanceBase mirrors des.Simulation.AdvanceBase: iterated addition,
+// never multiplication, so a jump lands on the bit-identical base a
+// full simulation would reach.
+func (ev *evaluator) advanceBase(delta float64, rounds int) {
+	for i := 0; i < rounds; i++ {
+		ev.base += delta
+	}
+}
+
+// drive pops events to completion, mirroring des.Simulation.Run. A
+// drained queue with live actors is the stall the DES kernel reports
+// as a deadlock panic; here it surfaces as an error.
+func (ev *evaluator) drive() error {
+	for len(ev.heap) > 0 {
+		e := ev.pop()
+		if e.kind == aevAux {
+			ev.aux--
+		}
+		if e.time < ev.now {
+			return fmt.Errorf("analytic: time went backwards (%v < %v)", e.time, ev.now)
+		}
+		ev.now = e.time
+		switch e.kind {
+		case aevResume:
+			ev.resumeActor(int(e.id))
+		case aevActivate:
+			ev.activateFlow(e.flow)
+		case aevLoopback:
+			f := e.flow
+			ev.deliver(f)
+			ev.releaseFlow(f)
+		case aevAux:
+			if e.epoch == ev.epoch {
+				ev.advanceFlows()
+				ev.recompute()
+			}
+		}
+	}
+	if ev.live > 0 {
+		return fmt.Errorf("analytic: execution stalled: %d actor(s) parked with an empty event queue at t=%v (first error: %v)", ev.live, ev.now, ev.firstErr())
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Counter mailboxes
+
+// abox mirrors a des.Queue used as a mailbox: payloads never influence
+// timing, so items collapse to a count and readers to actor ids served
+// in arrival order.
+type abox struct {
+	items   int
+	readers []int32
+}
+
+// tryGet mirrors des.Queue.Get: take the head item when present,
+// otherwise register as a reader and report blocked. Like Get's
+// re-check loop, a woken caller must call tryGet again.
+func (ev *evaluator) tryGet(b *abox, id int) bool {
+	if b.items == 0 {
+		b.readers = append(b.readers, int32(id))
+		return false
+	}
+	b.items--
+	ev.pendingMsgs--
+	return true
+}
+
+// put mirrors des.Queue.Put: append and wake the oldest reader via a
+// zero-delay resume event. pendingMsgs mirrors Post.PendingMessages —
+// delivered-but-unconsumed messages across all mailboxes.
+func (ev *evaluator) put(b *abox) {
+	b.items++
+	ev.pendingMsgs++
+	if len(b.readers) > 0 {
+		r := b.readers[0]
+		b.readers = b.readers[1:]
+		ev.scheduleResume(0, int(r))
+	}
+}
+
+// boxAt returns the lazily created peer mailbox of the given traffic
+// class for messages arriving at rank `at` from rank `from`. The
+// (at, from) pair mirrors the DES per-(host, tag) mailboxes exactly
+// when hosts are pairwise distinct — validated at spec time.
+func (ev *evaluator) boxAt(ctl bool, at, from int) *abox {
+	arr := ev.dataBox
+	if ctl {
+		arr = ev.ctlBox
+	}
+	idx := at*ev.n + from
+	if arr[idx] == nil {
+		arr[idx] = &abox{}
+	}
+	return arr[idx]
+}
+
+// profileFor returns the adapted P2PSAP profile of a rank pair,
+// probing the zero-byte transfer time exactly as Protocol.Channel
+// does (path latency + 0/bottleneck = path latency).
+func (ev *evaluator) profileFor(a, b int) (*p2psap.Profile, error) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	idx := lo*ev.n + hi
+	if p := ev.pairProf[idx]; p != nil {
+		return p, nil
+	}
+	var lat float64
+	if ev.hosts[lo] == ev.hosts[hi] {
+		lat = loopbackLatency
+	} else {
+		rt, err := ev.m.route(ev.hosts[lo], ev.hosts[hi])
+		if err != nil {
+			return nil, fmt.Errorf("analytic: cannot probe %s<->%s: %w", ev.hosts[lo], ev.hosts[hi], err)
+		}
+		lat = rt.latency
+	}
+	p := p2psap.AdaptProfile(lat)
+	ev.pairProf[idx] = &p
+	return &p, nil
+}
+
+// checkPeer mirrors p2pdc.Worker.channel's range check.
+func (ev *evaluator) checkPeer(peer int) error {
+	if peer < 0 || peer >= ev.n {
+		return fmt.Errorf("analytic: rank %d out of range [0,%d)", peer, ev.n)
+	}
+	return nil
+}

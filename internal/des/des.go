@@ -234,6 +234,38 @@ func (s *Simulation) ScheduleAux(delay float64, fn func()) {
 	s.aux++
 }
 
+// DiscardAux removes every pending auxiliary event without running
+// it and returns the number removed. Auxiliary events are by contract
+// no-ops once their creator's state has been superseded (see
+// ScheduleAux); a layer that knows all of its pending aux events are
+// stale — the network when its last flow completes — can drop them
+// wholesale instead of paying a pop and a dispatch per event, plus a
+// time shift per event on every intervening Rebase. The caller must
+// own every aux event in the simulation: the queue does not track who
+// scheduled what.
+func (s *Simulation) DiscardAux() int {
+	if s.aux == 0 {
+		return 0
+	}
+	a := s.queue.a
+	keep := a[:0]
+	for _, e := range a {
+		if e.kind == evAux {
+			continue
+		}
+		keep = append(keep, e)
+	}
+	dropped := len(a) - len(keep)
+	// Zero the tail so dropped closures are collectable.
+	for i := len(keep); i < len(a); i++ {
+		a[i] = event{}
+	}
+	s.queue.a = keep
+	s.queue.reheap()
+	s.aux = 0
+	return dropped
+}
+
 // scheduleActivate registers a token handoff to p at Now()+delay
 // without allocating a closure.
 func (s *Simulation) scheduleActivate(delay float64, p *Process) {

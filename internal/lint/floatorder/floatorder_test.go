@@ -9,6 +9,7 @@ import (
 
 func TestFloatOrder(t *testing.T) {
 	linttest.Run(t, "testdata", floatorder.Analyzer,
+		"repro/internal/analytic",
 		"repro/internal/netsim",
 	)
 }

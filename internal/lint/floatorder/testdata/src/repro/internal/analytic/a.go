@@ -1,0 +1,64 @@
+package analytic
+
+// roundCost sums per-rank period costs in map iteration order.
+func roundCost(perRank map[int]float64) float64 {
+	var t float64
+	for _, c := range perRank {
+		t += c // want `float accumulation under map iteration order`
+	}
+	return t
+}
+
+// periodSum is order-fixed: the period slice iterates front to back.
+func periodSum(periods []float64) float64 {
+	var t float64
+	for _, p := range periods {
+		t += p
+	}
+	return t
+}
+
+// roundTally commutes exactly; only floats are order-sensitive.
+func roundTally(perRank map[int]int64) int64 {
+	var n int64
+	for _, v := range perRank {
+		n += v
+	}
+	return n
+}
+
+// sharedDeadline races the accumulator across goroutines — the
+// analytic tier is single-threaded by contract.
+func sharedDeadline(costs []float64) float64 {
+	var deadline float64
+	done := make(chan struct{})
+	go func() {
+		for _, c := range costs {
+			deadline += c // want `captured across goroutines`
+		}
+		close(done)
+	}()
+	<-done
+	return deadline
+}
+
+// localDeadline keeps the accumulator goroutine-local.
+func localDeadline(costs []float64, out chan<- float64) {
+	go func() {
+		var d float64
+		for _, c := range costs {
+			d += c
+		}
+		out <- d
+	}()
+}
+
+// annotated is asserted exact by its author.
+func annotated(perRank map[int]float64) float64 {
+	var t float64
+	for _, c := range perRank {
+		//dperfvet:allow floatorder costs are integral nanosecond counts below 2^52, addition is exact
+		t += c
+	}
+	return t
+}

@@ -27,12 +27,13 @@ import (
 // critical is the set of determinism-critical packages: the ones whose
 // output feeds predictions, serialized artifacts or the event queue.
 var critical = map[string]bool{
-	analysis.ModulePath + "/internal/des":    true,
-	analysis.ModulePath + "/internal/netsim": true,
-	analysis.ModulePath + "/internal/replay": true,
-	analysis.ModulePath + "/internal/trace":  true,
-	analysis.ModulePath + "/internal/interp": true,
-	analysis.ModulePath + "/dperf":           true,
+	analysis.ModulePath + "/internal/des":      true,
+	analysis.ModulePath + "/internal/netsim":   true,
+	analysis.ModulePath + "/internal/analytic": true,
+	analysis.ModulePath + "/internal/replay":   true,
+	analysis.ModulePath + "/internal/trace":    true,
+	analysis.ModulePath + "/internal/interp":   true,
+	analysis.ModulePath + "/dperf":             true,
 	// The CLIs print reports and tables users diff between runs; a
 	// map-ordered print loop makes byte-identical output a coin flip.
 	analysis.ModulePath + "/cmd/dperf":       true,

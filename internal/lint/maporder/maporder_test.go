@@ -9,6 +9,7 @@ import (
 
 func TestMapOrder(t *testing.T) {
 	linttest.Run(t, "testdata", maporder.Analyzer,
+		"repro/internal/analytic",
 		"repro/internal/des",
 		"repro/internal/overlay",
 	)

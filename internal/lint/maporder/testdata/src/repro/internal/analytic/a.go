@@ -1,0 +1,64 @@
+package analytic
+
+import "sort"
+
+// flowRates models the evaluator's per-flow rate table.
+type flowRates map[string]float64
+
+// periodCost accumulates per-flow costs in map order.
+func periodCost(rates flowRates) float64 {
+	total := 0.0
+	for _, r := range rates { // want `range over map accumulates floats`
+		total += 1.0 / r
+	}
+	return total
+}
+
+// flowIDs collects certificate keys without sorting.
+func flowIDs(certs map[string]int) []string {
+	var out []string
+	for id := range certs { // want `range over map appends per iteration`
+		out = append(out, id)
+	}
+	return out
+}
+
+// sortedFlowIDs is the allowed idiom: collect, then sort, then use.
+func sortedFlowIDs(certs map[string]int) []string {
+	ids := make([]string, 0, len(certs))
+	for id := range certs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+type queue struct{}
+
+func (queue) Push(t float64, fn func()) {}
+
+// seedEvents enqueues evaluator events in map order.
+func seedEvents(q queue, deadlines map[string]float64) {
+	for _, d := range deadlines { // want `range over map calls Push per iteration`
+		q.Push(d, nil)
+	}
+}
+
+// certHits is order-free: integer reductions commute exactly.
+func certHits(served map[string]int) int {
+	n := 0
+	for _, v := range served {
+		n += v
+	}
+	return n
+}
+
+// annotated is asserted order-free by its author.
+func annotated(rates flowRates) float64 {
+	t := 0.0
+	//dperfvet:ordered all rates are identical, so every ordering sums identically
+	for _, r := range rates {
+		t += r
+	}
+	return t
+}

@@ -25,6 +25,7 @@ import (
 var simulation = map[string]bool{
 	analysis.ModulePath + "/internal/des":       true,
 	analysis.ModulePath + "/internal/netsim":    true,
+	analysis.ModulePath + "/internal/analytic":  true,
 	analysis.ModulePath + "/internal/replay":    true,
 	analysis.ModulePath + "/internal/trace":     true,
 	analysis.ModulePath + "/internal/interp":    true,

@@ -100,6 +100,15 @@ type Network struct {
 	finished    []*Flow
 	rateMark    uint64
 	flowPool    []*Flow
+
+	// idleSkip (default on) discards the kernel's pending auxiliary
+	// events whenever the last flow completes: at that moment every
+	// queued completion estimate is stale (recompute bumped the epoch
+	// past the one each captured), so instead of popping them one by
+	// one as no-ops — and shifting each on every intervening Rebase —
+	// the network drops them wholesale. auxDiscarded counts the drops.
+	idleSkip     bool
+	auxDiscarded int64
 }
 
 // New creates a network bound to sim using provider for routing. The
@@ -113,6 +122,7 @@ func New(sim *des.Simulation, provider RouteProvider) *Network {
 		provider:   provider,
 		routeCache: make(map[[2]string]*Route),
 		flows:      make(map[*Flow]struct{}),
+		idleSkip:   true,
 	}
 	sim.OnRebase(func(shift float64) {
 		if len(n.flows) == 0 {
@@ -357,6 +367,9 @@ func (n *Network) recompute() {
 		}
 		if math.IsInf(next, 1) {
 			n.epoch++
+			if n.idleSkip && len(n.flows) == 0 {
+				n.auxDiscarded += int64(n.sim.DiscardAux())
+			}
 			return
 		}
 		if next <= timeQuantum {
@@ -469,6 +482,19 @@ func (n *Network) assignRates() {
 
 // ActiveFlows reports the number of flows currently sharing bandwidth.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// SetIdleSkip toggles idle aux discarding (default on). Turning it
+// off is the verification escape hatch: every stale completion
+// estimate is then popped and dispatched as a no-op instead of being
+// discarded when the network idles. Timings and results are identical
+// either way; only the kernel's event count (and, for a run whose
+// very last queued events are stale estimates, the final clock of
+// des.Run) can differ.
+func (n *Network) SetIdleSkip(on bool) { n.idleSkip = on }
+
+// AuxDiscarded reports how many stale auxiliary events idle skipping
+// has discarded.
+func (n *Network) AuxDiscarded() int64 { return n.auxDiscarded }
 
 // Reset rewinds the network's internal clock bookkeeping so it can be
 // reused on a kernel whose clock was itself reset (see des.Reset).

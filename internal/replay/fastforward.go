@@ -179,17 +179,41 @@ func (c *PeriodCache) store(k periodCacheKey, e *periodCacheEntry) {
 	}
 }
 
-// ffMinIterations is the smallest Repeat count worth managing: below
-// it the boundary bookkeeping costs more than a jump could save.
-const ffMinIterations = 4
+// FFMinIterations is the smallest Repeat count worth managing: below
+// it the boundary bookkeeping costs more than a jump could save. It is
+// exported because the analytic prediction tier (internal/analytic)
+// applies the identical qualification rule; the two engines must agree
+// on which loops are managed or their round accounting diverges.
+const FFMinIterations = 4
 
-// ffMaxPeriod bounds the steady-state period the detector looks for.
+// FFMaxPeriod bounds the steady-state period the detector looks for.
 // A fixed point is period 1, but the rebased round map can also
 // converge to a short exact limit cycle — the obstacle replay settles
 // into a period-3 orbit whose boundary offsets wobble by a couple of
 // ulps and then repeat bit-for-bit — so the detector matches cycles
 // up to this length (confirmed over two full periods before jumping).
-const ffMaxPeriod = 8
+// Exported for the analytic tier, which runs the same detector.
+const FFMaxPeriod = 8
+
+// Manageable reports whether a folded op is a Repeat the steady-state
+// engines manage when it appears at the top level of a rank's ops:
+// enough iterations to pay for the boundary bookkeeping, a leading
+// compute record (the parked state the boundary snapshot inspects),
+// and at least one collective per iteration (collectives couple the
+// ranks into a shared round and make the alignment key strictly
+// increasing). It is the shared qualification rule of the DES
+// fast-forward executor and the analytic tier's eligibility check.
+func Manageable(op trace.Op) bool {
+	if len(op.Body) == 0 || op.Count < FFMinIterations {
+		return false
+	}
+	lead := op.Body[0]
+	if len(lead.Body) != 0 || lead.Rec.Kind != trace.KindCompute {
+		return false
+	}
+	convs, bars := trace.Collectives(op.Body)
+	return convs+bars > 0
+}
 
 // ffController coordinates fast-forward across the ranks of one
 // replay. It is driven synchronously from rank processes (the DES
@@ -262,7 +286,7 @@ type repeatCtl struct {
 	st          []ffRankState
 	parkCounter uint64
 	// ring holds the snapshots of consecutive clean boundaries,
-	// oldest first, capped at 2*ffMaxPeriod. Any boundary that fails
+	// oldest first, capped at 2*FFMaxPeriod. Any boundary that fails
 	// a snapshot condition clears it: period detection is only sound
 	// over an unbroken run of boundaries.
 	ring    []ffBoundary
@@ -487,11 +511,11 @@ func (rc *repeatCtl) jumpRounds(st *ffRankState, done, p int, shifts []float64) 
 }
 
 // push appends a clean boundary snapshot to the ring, evicting the
-// oldest entry beyond 2*ffMaxPeriod. The signature is copied into the
+// oldest entry beyond 2*FFMaxPeriod. The signature is copied into the
 // entry's retained buffer.
 func (rc *repeatCtl) push(sig []ffSigEntry, shift float64) {
 	var entry ffBoundary
-	if len(rc.ring) == 2*ffMaxPeriod {
+	if len(rc.ring) == 2*FFMaxPeriod {
 		entry = rc.ring[0]
 		copy(rc.ring, rc.ring[1:])
 		rc.ring = rc.ring[:len(rc.ring)-1]
@@ -505,7 +529,7 @@ func (rc *repeatCtl) push(sig []ffSigEntry, shift float64) {
 // boundary signatures consist of the same p-signature cycle twice, or
 // 0 if no such cycle is confirmed yet.
 func (rc *repeatCtl) period() int {
-	for p := 1; p <= ffMaxPeriod; p++ {
+	for p := 1; p <= FFMaxPeriod; p++ {
 		if 2*p > len(rc.ring) {
 			return 0
 		}
@@ -524,13 +548,13 @@ func (rc *repeatCtl) period() int {
 	return 0
 }
 
-// computeDeadline accumulates the wakeup instant of n identical
+// ComputeDeadline accumulates the wakeup instant of n identical
 // compute records of ns nanoseconds starting at now — by iterated
 // addition, exactly as n individual sleeps would move the clock, so
 // the single aggregated wakeup lands on the bit-identical instant.
 // It is the one source of truth shared by the cursor path, the op
 // executor and the managed-loop leading compute.
-func computeDeadline(now, ns float64, n int) float64 {
+func ComputeDeadline(now, ns float64, n int) float64 {
 	t := now
 	d := ns / 1e9
 	for i := 0; i < n; i++ {
@@ -594,23 +618,10 @@ func (ex *opsExec) run(ops []trace.Op, top bool) error {
 }
 
 // maybeJoin checks whether a top-level Repeat qualifies for
-// fast-forward management and registers this rank with its controller.
-// Qualification: enough iterations to pay for the bookkeeping, a
-// leading compute record (the parked state the boundary snapshot
-// inspects), and at least one collective per iteration (collectives
-// both couple the ranks — without them there is no shared round — and
-// make the alignment key strictly increasing, so distinct loops never
-// collide on it).
+// fast-forward management (the shared Manageable rule) and registers
+// this rank with its controller.
 func (ex *opsExec) maybeJoin(op trace.Op) *repeatCtl {
-	if ex.ctl == nil || op.Count < ffMinIterations {
-		return nil
-	}
-	lead := op.Body[0]
-	if len(lead.Body) != 0 || lead.Rec.Kind != trace.KindCompute {
-		return nil
-	}
-	convs, bars := trace.Collectives(op.Body)
-	if convs+bars == 0 {
+	if ex.ctl == nil || !Manageable(op) {
 		return nil
 	}
 	return ex.ctl.join(ex.w.Rank(), ffRepKey{convs: ex.convs, bars: ex.bars, count: op.Count})
@@ -640,7 +651,7 @@ func (ex *opsExec) repeat(rc *repeatCtl, op trace.Op) error {
 // rest replays normally.
 func (ex *opsExec) runBody(rc *repeatCtl, rank int, body []trace.Op) error {
 	lead := body[0]
-	t := computeDeadline(ex.w.Now(), lead.Rec.NS, lead.Count)
+	t := ComputeDeadline(ex.w.Now(), lead.Rec.NS, lead.Count)
 	rc.parkUntil(rank, t)
 	ex.w.SleepUntil(t)
 	rc.woke(rank)
@@ -660,7 +671,7 @@ func (ex *opsExec) leaf(op trace.Op) error {
 		}
 		// Fast path: one kernel event for the whole run, at the
 		// bit-identical deadline n individual sleeps would reach.
-		ex.w.SleepUntil(computeDeadline(ex.w.Now(), r.NS, n))
+		ex.w.SleepUntil(ComputeDeadline(ex.w.Now(), r.NS, n))
 	case trace.KindSend:
 		for i := 0; i < n; i++ {
 			if err := ex.w.Send(r.Peer, r.Bytes, nil); err != nil {

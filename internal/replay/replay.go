@@ -247,7 +247,7 @@ func (s *Session) cursorApp(src trace.Source) p2pdc.App {
 				// Fast path: one kernel event for the whole run, at
 				// the bit-identical deadline n individual sleeps
 				// would reach.
-				w.SleepUntil(computeDeadline(w.Now(), r.NS, n))
+				w.SleepUntil(ComputeDeadline(w.Now(), r.NS, n))
 			case trace.KindSend:
 				for i := 0; i < n; i++ {
 					if err := w.Send(r.Peer, r.Bytes, nil); err != nil {

@@ -1,0 +1,341 @@
+// Two-probe affine binding fit. A strong-scaling workload divides a
+// fixed problem of S scale units over the world, so its per-rank
+// compute durations shrink as the world grows and Factor cannot emit a
+// world-parameterized template from one world alone (the binding
+// columns pin explicit ranks — PR 5's SelList auto-rejection).
+//
+// FitAffine lifts that limitation by modelling every float payload of
+// the role body as affine in the rank's scale share h(r) = S/w (+1 for
+// the first S mod w ranks): two interpretations at different world
+// sizes give two distinct h values per structural rank group, enough
+// to identify a + b*h by least squares. The fitted template binds
+// first/interior/last classes with parameter columns a and slope
+// columns b (Class.Slopes), re-binds at any world via AtWorld, and
+// records the fit's worst relative deviation per class as
+// Class.Residual — unlike Factor, the fit is approximate whenever
+// per-rank cost depends on strip position and not on h alone, and the
+// residual is the honest bound on that approximation.
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// AffineProbe is one probe interpretation: a folded trace set at one
+// world size.
+type AffineProbe struct {
+	World  int
+	Folded []*Folded
+}
+
+// affGroup indexes the structural rank groups the fit pools samples
+// over; they mirror the SelFirst/SelInterior/SelLast class selectors.
+const (
+	affFirst = iota
+	affInterior
+	affLast
+	affGroups
+)
+
+func affGroupOf(rank, world int) int {
+	switch {
+	case rank == 0:
+		return affFirst
+	case rank == world-1:
+		return affLast
+	}
+	return affInterior
+}
+
+// affSample is one observation of a float position: the rank's scale
+// share and the folded payload value.
+type affSample struct{ h, v float64 }
+
+// FitAffine fits a world-parameterized template with affine binding
+// classes from probe interpretations at two (or more) distinct world
+// sizes. units is the workload's total problem scale S. The first
+// probe provides the structural reference: its factored template must
+// consist of a single role (no role references), and every other
+// probe's folded ops must match that structure op for op once guards,
+// counts and peers are re-evaluated at the probe's world — any
+// structural divergence rejects the fit rather than mis-attributing
+// samples.
+func FitAffine(units int64, probes []AffineProbe) (*Template, error) {
+	if units < 1 {
+		return nil, fmt.Errorf("trace: affine fit needs a positive scale (got %d units)", units)
+	}
+	if len(probes) < 2 {
+		return nil, fmt.Errorf("trace: affine fit needs at least two probe worlds, got %d", len(probes))
+	}
+	seen := make([]int, 0, len(probes))
+	for _, p := range probes {
+		if p.World < 3 {
+			return nil, fmt.Errorf("trace: affine fit needs probe worlds of at least 3 ranks (got %d)", p.World)
+		}
+		if len(p.Folded) != p.World {
+			return nil, fmt.Errorf("trace: probe world %d has %d folded traces", p.World, len(p.Folded))
+		}
+		for _, w := range seen {
+			if w == p.World {
+				return nil, fmt.Errorf("trace: duplicate probe world %d", p.World)
+			}
+		}
+		seen = append(seen, p.World)
+	}
+
+	ref, err := Factor(probes[0].Folded)
+	if err != nil {
+		return nil, fmt.Errorf("trace: factoring reference probe: %w", err)
+	}
+	if len(ref.Roles) != 1 {
+		return nil, fmt.Errorf("trace: affine fit needs a single-role template, reference probe factored into %d roles", len(ref.Roles))
+	}
+
+	// Rewrite every float payload of the role body as a parameter
+	// reference; the parameter index doubles as the fit position id.
+	npos := 0
+	body, err := rewriteAffinePositions(ref.Roles[0], &npos)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sample every probe rank against the shared body.
+	samples := make([][][]affSample, affGroups)
+	for g := range samples {
+		samples[g] = make([][]affSample, npos)
+	}
+	for _, p := range probes {
+		for rank := 0; rank < p.World; rank++ {
+			g := affGroupOf(rank, p.World)
+			h := float64(ScaleShare(units, rank, p.World))
+			fc := affCursor{ops: p.Folded[rank].Ops}
+			err := walkAffine(body, &fc, rank, p.World, func(pos int, v float64) {
+				samples[g][pos] = append(samples[g][pos], affSample{h: h, v: v})
+			})
+			if err != nil {
+				return nil, fmt.Errorf("trace: probe world %d rank %d does not match the reference structure: %w", p.World, rank, err)
+			}
+			if fc.i != len(fc.ops) || fc.consumed != 0 {
+				return nil, fmt.Errorf("trace: probe world %d rank %d has trailing ops beyond the reference structure", p.World, rank)
+			}
+		}
+	}
+
+	sels := [affGroups]RankSel{affFirst: SelFirst, affInterior: SelInterior, affLast: SelLast}
+	classes := make([]Class, affGroups)
+	for g := range classes {
+		a, b, res := fitGroup(samples[g])
+		classes[g] = Class{Sel: sels[g], Params: a, Slopes: b, Residual: res}
+	}
+	fitted := &Template{
+		World:      probes[0].World,
+		Roles:      [][]TOp{body},
+		Classes:    classes,
+		ScaleUnits: units,
+	}
+	if err := fitted.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: fitted template invalid: %w", err)
+	}
+	if err := fitted.WorldParameterized(); err != nil {
+		return nil, err
+	}
+	return fitted, nil
+}
+
+// rewriteAffinePositions copies a role body, replacing the meaningful
+// float payload of every leaf (NS for compute, bytes for send/recv)
+// with a fresh parameter reference whose index is the fit position id.
+func rewriteAffinePositions(ops []TOp, npos *int) ([]TOp, error) {
+	out := make([]TOp, len(ops))
+	for i := range ops {
+		op := ops[i]
+		switch {
+		case op.Ref != 0:
+			return nil, fmt.Errorf("trace: affine fit does not support role references")
+		case len(op.Body) > 0:
+			body, err := rewriteAffinePositions(op.Body, npos)
+			if err != nil {
+				return nil, err
+			}
+			op.Body = body
+		default:
+			switch op.Kind {
+			case KindCompute:
+				op.NS = FParam(*npos)
+				*npos++
+			case KindSend, KindRecv:
+				op.Bytes = FParam(*npos)
+				*npos++
+			}
+		}
+		out[i] = op
+	}
+	return out, nil
+}
+
+// affCursor tracks consumption of one rank's folded ops during the
+// structural walk, including partial consumption of a folded leaf
+// whose merged count spans several template leaves.
+type affCursor struct {
+	ops      []Op
+	i        int
+	consumed int
+}
+
+// guardsActiveAt evaluates a guard list at an explicit (rank, world),
+// independent of any template's own world size.
+func guardsActiveAt(guards []Affine, rank, world int) (bool, error) {
+	for _, g := range guards {
+		v, err := g.Eval(rank, world)
+		if err != nil {
+			return false, err
+		}
+		if v <= 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// walkAffine advances fc through one rank's folded ops in lockstep
+// with the template body evaluated at (rank, world), reporting every
+// float payload it passes to sink. Counts, kinds and peers must match
+// exactly; float values are the fit targets and never rejected.
+func walkAffine(body []TOp, fc *affCursor, rank, world int, sink func(pos int, v float64)) error {
+	for i := range body {
+		top := &body[i]
+		ok, err := guardsActiveAt(top.Guard, rank, world)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		count, err := top.Count.Eval(rank, world)
+		if err != nil {
+			return err
+		}
+		if count < 0 {
+			return fmt.Errorf("trace: template count %d at rank %d", count, rank)
+		}
+		if count == 0 {
+			continue
+		}
+		if len(top.Body) > 0 {
+			if count == 1 {
+				// A single repetition is spliced inline by the folder.
+				if err := walkAffine(top.Body, fc, rank, world, sink); err != nil {
+					return err
+				}
+				continue
+			}
+			if fc.i >= len(fc.ops) || fc.consumed != 0 {
+				return fmt.Errorf("trace: expected a repeat of %d, folded ops exhausted", count)
+			}
+			fop := &fc.ops[fc.i]
+			if len(fop.Body) == 0 || int64(fop.Count) != count {
+				return fmt.Errorf("trace: expected a repeat of %d, got %s x%d", count, fop.Rec.Kind, fop.Count)
+			}
+			sub := affCursor{ops: fop.Body}
+			if err := walkAffine(top.Body, &sub, rank, world, sink); err != nil {
+				return err
+			}
+			if sub.i != len(sub.ops) || sub.consumed != 0 {
+				return fmt.Errorf("trace: repeat body longer than the reference structure")
+			}
+			fc.i++
+			continue
+		}
+		var wantPeer int64
+		if top.Kind == KindSend || top.Kind == KindRecv {
+			if wantPeer, err = top.Peer.Eval(rank, world); err != nil {
+				return err
+			}
+		}
+		pos := -1
+		switch top.Kind {
+		case KindCompute:
+			pos = top.NS.Param - 1
+		case KindSend, KindRecv:
+			pos = top.Bytes.Param - 1
+		}
+		for count > 0 {
+			if fc.i >= len(fc.ops) {
+				return fmt.Errorf("trace: folded ops exhausted before %s x%d", top.Kind, count)
+			}
+			fop := &fc.ops[fc.i]
+			if len(fop.Body) != 0 {
+				return fmt.Errorf("trace: expected %s x%d, got a repeat", top.Kind, count)
+			}
+			if fop.Rec.Kind != top.Kind {
+				return fmt.Errorf("trace: expected %s, got %s", top.Kind, fop.Rec.Kind)
+			}
+			if (top.Kind == KindSend || top.Kind == KindRecv) && int64(fop.Rec.Peer) != wantPeer {
+				return fmt.Errorf("trace: expected %s peer %d, got %d", top.Kind, wantPeer, fop.Rec.Peer)
+			}
+			if pos >= 0 {
+				v := fop.Rec.NS
+				if top.Kind != KindCompute {
+					v = fop.Rec.Bytes
+				}
+				sink(pos, v)
+			}
+			avail := int64(fop.Count - fc.consumed)
+			take := avail
+			if count < take {
+				take = count
+			}
+			count -= take
+			fc.consumed += int(take)
+			if fc.consumed == fop.Count {
+				fc.i++
+				fc.consumed = 0
+			}
+		}
+	}
+	return nil
+}
+
+// fitGroup least-squares fits a + b*h per position over one group's
+// samples and returns the parameter column, the slope column, and the
+// group's worst relative deviation. Positions with no samples (guarded
+// off for the whole group) or no scale variation fit as constants.
+func fitGroup(perPos [][]affSample) (params, slopes []float64, residual float64) {
+	params = make([]float64, len(perPos))
+	slopes = make([]float64, len(perPos))
+	for pos, ss := range perPos {
+		if len(ss) == 0 {
+			continue
+		}
+		var sumH, sumV float64
+		for _, s := range ss {
+			sumH += s.h
+			sumV += s.v
+		}
+		n := float64(len(ss))
+		meanH, meanV := sumH/n, sumV/n
+		var covHV, varH float64
+		for _, s := range ss {
+			covHV += (s.h - meanH) * (s.v - meanV)
+			varH += (s.h - meanH) * (s.h - meanH)
+		}
+		a, b := meanV, 0.0
+		if varH > 0 {
+			b = covHV / varH
+			a = meanV - b*meanH
+		}
+		params[pos], slopes[pos] = a, b
+		for _, s := range ss {
+			dev := math.Abs(a + b*s.h - s.v)
+			denom := math.Abs(s.v)
+			if denom < 1 {
+				denom = 1
+			}
+			if rel := dev / denom; rel > residual {
+				residual = rel
+			}
+		}
+	}
+	return params, slopes, residual
+}

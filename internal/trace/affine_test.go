@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// affineTestTrace builds one rank of a synthetic strong-scaling
+// workload whose every float payload is exactly affine in the rank's
+// scale share h: a warm-up compute, rounds of compute + guarded
+// line-neighbour exchange + convergence, and a trailing compute.
+func affineTestTrace(rank, world int, units int64, rounds int) *Trace {
+	h := float64(ScaleShare(units, rank, world))
+	t := &Trace{Rank: rank, Of: world}
+	t.Records = append(t.Records, Record{Kind: KindCompute, NS: 2e6 + 350*h})
+	for r := 0; r < rounds; r++ {
+		t.Records = append(t.Records, Record{Kind: KindCompute, NS: 1e6 + 500*h})
+		if rank < world-1 {
+			t.Records = append(t.Records, Record{Kind: KindSend, Peer: rank + 1, Bytes: 640 + 8*h})
+		}
+		if rank > 0 {
+			t.Records = append(t.Records, Record{Kind: KindRecv, Peer: rank - 1, Bytes: 640 + 8*h})
+		}
+		t.Records = append(t.Records, Record{Kind: KindConv})
+	}
+	t.Records = append(t.Records, Record{Kind: KindCompute, NS: 5e5 + 125*h})
+	return t
+}
+
+func affineTestProbe(world int, units int64, rounds int) AffineProbe {
+	p := AffineProbe{World: world}
+	for r := 0; r < world; r++ {
+		p.Folded = append(p.Folded, Fold(affineTestTrace(r, world, units, rounds)))
+	}
+	return p
+}
+
+// TestFitAffineExact fits two probes of exactly affine data and
+// asserts the fitted template reproduces direct generation at an
+// unseen world size to float precision, with near-zero residuals.
+func TestFitAffineExact(t *testing.T) {
+	const units, rounds = 1200, 20
+	probes := []AffineProbe{
+		affineTestProbe(4, units, rounds),
+		affineTestProbe(6, units, rounds),
+	}
+	tpl, err := FitAffine(units, probes)
+	if err != nil {
+		t.Fatalf("FitAffine: %v", err)
+	}
+	if tpl.ScaleUnits != units {
+		t.Fatalf("ScaleUnits = %d, want %d", tpl.ScaleUnits, units)
+	}
+	for _, cls := range tpl.Classes {
+		if cls.Slopes == nil {
+			t.Fatalf("class sel=%d carries no slopes", cls.Sel)
+		}
+		if cls.Residual > 1e-9 {
+			t.Fatalf("class sel=%d residual %g on exactly affine data", cls.Sel, cls.Residual)
+		}
+	}
+	for _, world := range []int{3, 5, 8, 12} {
+		at, err := tpl.AtWorld(world)
+		if err != nil {
+			t.Fatalf("AtWorld(%d): %v", world, err)
+		}
+		for rank := 0; rank < world; rank++ {
+			ops, err := at.InstantiateRank(rank)
+			if err != nil {
+				t.Fatalf("world %d rank %d: InstantiateRank: %v", world, rank, err)
+			}
+			got, err := (&Folded{Rank: rank, Of: world, Ops: ops}).Unfold()
+			if err != nil {
+				t.Fatalf("world %d rank %d: Unfold: %v", world, rank, err)
+			}
+			want := affineTestTrace(rank, world, units, rounds)
+			if len(got.Records) != len(want.Records) {
+				t.Fatalf("world %d rank %d: %d records, want %d", world, rank, len(got.Records), len(want.Records))
+			}
+			for i, g := range got.Records {
+				w := want.Records[i]
+				if g.Kind != w.Kind || g.Peer != w.Peer {
+					t.Fatalf("world %d rank %d rec %d: got %v, want %v", world, rank, i, g, w)
+				}
+				if !affineClose(g.NS, w.NS) || !affineClose(g.Bytes, w.Bytes) {
+					t.Fatalf("world %d rank %d rec %d: got %v, want %v", world, rank, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+func affineClose(a, b float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= 1e-9*math.Max(m, 1)
+}
+
+// TestFitAffineResidual asserts the fit reports, rather than hides,
+// deviation from the affine model: perturbing one interior compute
+// value leaves the fit usable but pushes the interior class residual
+// above the injected relative error's order of magnitude.
+func TestFitAffineResidual(t *testing.T) {
+	const units, rounds = 1200, 20
+	probes := []AffineProbe{
+		affineTestProbe(4, units, rounds),
+		affineTestProbe(6, units, rounds),
+	}
+	// Perturb rank 2's per-round compute in the 6-rank probe by 5%.
+	perturbed := affineTestTrace(2, 6, units, rounds)
+	for i := range perturbed.Records {
+		r := &perturbed.Records[i]
+		if r.Kind == KindCompute && r.NS > 9e5 && r.NS < 2e6 {
+			r.NS *= 1.05
+		}
+	}
+	probes[1].Folded[2] = Fold(perturbed)
+	tpl, err := FitAffine(units, probes)
+	if err != nil {
+		t.Fatalf("FitAffine: %v", err)
+	}
+	var interior *Class
+	for i := range tpl.Classes {
+		if tpl.Classes[i].Sel == SelInterior {
+			interior = &tpl.Classes[i]
+		}
+	}
+	if interior == nil {
+		t.Fatal("no interior class")
+	}
+	if interior.Residual < 0.01 {
+		t.Fatalf("interior residual %g, want >= 0.01 after 5%% perturbation", interior.Residual)
+	}
+}
+
+// TestFitAffineStructureMismatch asserts a probe whose op structure
+// diverges from the reference is rejected instead of mis-sampled.
+func TestFitAffineStructureMismatch(t *testing.T) {
+	const units, rounds = 1200, 8
+	probes := []AffineProbe{
+		affineTestProbe(4, units, rounds),
+		affineTestProbe(6, units, rounds),
+	}
+	broken := affineTestTrace(3, 6, units, rounds)
+	broken.Records = append(broken.Records, Record{Kind: KindBarrier})
+	probes[1].Folded[3] = Fold(broken)
+	if _, err := FitAffine(units, probes); err == nil {
+		t.Fatal("FitAffine accepted a structurally divergent probe")
+	}
+}
+
+// TestFitAffineInputValidation covers the cheap rejections.
+func TestFitAffineInputValidation(t *testing.T) {
+	p4 := affineTestProbe(4, 1200, 4)
+	p6 := affineTestProbe(6, 1200, 4)
+	cases := []struct {
+		name   string
+		units  int64
+		probes []AffineProbe
+	}{
+		{"no scale", 0, []AffineProbe{p4, p6}},
+		{"one probe", 1200, []AffineProbe{p4}},
+		{"duplicate worlds", 1200, []AffineProbe{p4, p4}},
+		{"tiny world", 1200, []AffineProbe{affineTestProbe(2, 1200, 4), p6}},
+		{"rank count mismatch", 1200, []AffineProbe{{World: 5, Folded: p4.Folded}, p6}},
+	}
+	for _, tc := range cases {
+		if _, err := FitAffine(tc.units, tc.probes); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+// TestAffineTemplateBinaryRoundTrip asserts the slopes arm of the
+// dptb v2 stream round-trips a fitted template exactly, including the
+// scale-units trailer.
+func TestAffineTemplateBinaryRoundTrip(t *testing.T) {
+	const units, rounds = 1200, 10
+	tpl, err := FitAffine(units, []AffineProbe{
+		affineTestProbe(4, units, rounds),
+		affineTestProbe(6, units, rounds),
+	})
+	if err != nil {
+		t.Fatalf("FitAffine: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tpl.WriteTemplate(&buf); err != nil {
+		t.Fatalf("WriteTemplate: %v", err)
+	}
+	back, err := ReadTemplate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTemplate: %v", err)
+	}
+	if !reflect.DeepEqual(tpl, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, tpl)
+	}
+	if back.ScaleUnits != units {
+		t.Fatalf("ScaleUnits = %d after round trip", back.ScaleUnits)
+	}
+}
+
+// TestAffineValidate covers the new validation rules of the arm.
+func TestAffineValidate(t *testing.T) {
+	base := func() *Template {
+		return &Template{
+			World: 4,
+			Roles: [][]TOp{{{Count: Affine{C0: 1}, Kind: KindCompute, NS: FParam(0)}}},
+			Classes: []Class{
+				{Sel: SelFirst, Params: []float64{10}, Slopes: []float64{2}},
+				{Sel: SelInterior, Params: []float64{10}, Slopes: []float64{2}},
+				{Sel: SelLast, Params: []float64{10}, Slopes: []float64{2}},
+			},
+			ScaleUnits: 8,
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base template invalid: %v", err)
+	}
+
+	tpl := base()
+	tpl.Classes[0].Slopes = []float64{1, 2}
+	if err := tpl.Validate(); err == nil {
+		t.Error("slope arity mismatch accepted")
+	}
+	tpl = base()
+	tpl.Classes[1].Slopes = []float64{math.NaN()}
+	if err := tpl.Validate(); err == nil {
+		t.Error("NaN slope accepted")
+	}
+	tpl = base()
+	tpl.Classes[1].Residual = -1
+	if err := tpl.Validate(); err == nil {
+		t.Error("negative residual accepted")
+	}
+	tpl = base()
+	tpl.ScaleUnits = 0
+	if err := tpl.Validate(); err == nil {
+		t.Error("slopes without scale units accepted")
+	}
+	tpl = base()
+	tpl.ScaleUnits = -1
+	if err := tpl.Validate(); err == nil {
+		t.Error("negative scale units accepted")
+	}
+}
+
+// TestAffineEffectiveParams pins the binding semantics: the effective
+// parameter column at rank r is params + slopes*h(r) with h the
+// ceiling-first scale share.
+func TestAffineEffectiveParams(t *testing.T) {
+	tpl := &Template{
+		World: 4,
+		Roles: [][]TOp{{{Count: Affine{C0: 1}, Kind: KindCompute, NS: FParam(0)}}},
+		Classes: []Class{
+			{Sel: SelFirst, Params: []float64{100}, Slopes: []float64{3}},
+			{Sel: SelInterior, Params: []float64{100}, Slopes: []float64{3}},
+			{Sel: SelLast, Params: []float64{100}, Slopes: []float64{3}},
+		},
+		ScaleUnits: 10, // world 4: shares 3,3,2,2
+	}
+	if err := tpl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := []float64{109, 109, 106, 106}
+	for rank, w := range want {
+		ops, err := tpl.InstantiateRank(rank)
+		if err != nil {
+			t.Fatalf("InstantiateRank(%d): %v", rank, err)
+		}
+		if len(ops) != 1 || ops[0].Rec.Kind != KindCompute {
+			t.Fatalf("rank %d: unexpected ops %+v", rank, ops)
+		}
+		if ops[0].Rec.NS != w {
+			t.Fatalf("rank %d: NS = %g, want %g", rank, ops[0].Rec.NS, w)
+		}
+	}
+}
