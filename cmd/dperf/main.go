@@ -12,6 +12,12 @@
 //	dperf -sweep [-sweep-platforms grid5000,xdsl,lan] [-sweep-ranks 2,4,8]
 //	      [-sweep-schemes sync,async] [-sweep-workers N]
 //	      [-sweep-format table|json|csv] [-sweep-out file]
+//	dperf -scan
+//
+// -scan runs the symbolic scan smoke demo: a fixed grid over the
+// capacity-planning ghost-exchange family served through guarded
+// evaluation tapes (straight-line formula replay with guard fallback),
+// cross-checked bit for bit against the full analytic evaluator.
 //
 // -save-traces persists the platform-independent trace set; a later
 // run with -load-traces skips analysis and benchmarking entirely and
@@ -84,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceStats   = fs.Bool("trace-stats", false, "print trace-set statistics (records vs folded ops, per-format sizes, binding-class fit quality) instead of predicting")
 		noFF         = fs.Bool("no-fastforward", false, "simulate every folded iteration round instead of fast-forwarding steady-state rounds")
 		predictMode  = fs.String("predict-mode", "des", "prediction tier: des (replay engine), auto (analytic when certified, DES fallback) or analytic (forced, fails when ineligible)")
+		scan         = fs.Bool("scan", false, "run the symbolic guarded-tape scan smoke demo and exit")
 		n            = fs.Int64("n", 0, "override grid dimension N")
 		rounds       = fs.Int64("rounds", 0, "override the iteration round count")
 
@@ -120,6 +127,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *emitTraces != "" && *traceFormat == "json" {
 		return fmt.Errorf("-trace-format json applies to -save-traces; -emit-traces supports text or bin")
+	}
+
+	// The -scan smoke path is self-contained: its family, grid and
+	// output are fixed, so any other explicitly set flag would be
+	// silently ignored — reject them instead.
+	if *scan {
+		var badFlag error
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name != "scan" {
+				badFlag = fmt.Errorf("-%s has no effect with -scan: the scan demo fixes its family and grid", f.Name)
+			}
+		})
+		if badFlag != nil {
+			return badFlag
+		}
+		return runScan(stdout)
 	}
 
 	// Reject flag combinations that would otherwise be silently

@@ -38,6 +38,14 @@ func TestRunBadFlags(t *testing.T) {
 		{"-trace-format", "text", "-save-traces", "set.json"},
 		{"-trace-format", "json", "-emit-traces", "dir"},
 		{"-sweep", "-trace-stats"},
+		{"-predict-mode", "quantum"},
+		{"-scan", "-sweep"},
+		{"-scan", "-load-traces", "set.json"},
+		{"-scan", "-save-traces", "set.json"},
+		{"-scan", "-emit-traces", "dir"},
+		{"-scan", "-emit-instrumented"},
+		{"-scan", "-trace-stats"},
+		{"-scan", "-predict-mode", "analytic"},
 	} {
 		if _, err := runCLI(t, append(args, fast...)...); err == nil {
 			t.Errorf("args %v: expected an error", args)
@@ -254,5 +262,47 @@ func TestRunFastForwardFlag(t *testing.T) {
 	}
 	if pick(ff) != pick(plain) {
 		t.Fatalf("fast-forward changed the printed prediction: %q vs %q", pick(ff), pick(plain))
+	}
+}
+
+// TestRunBadPredictMode: an unknown -predict-mode must fail with a
+// usage error before any pipeline stage runs, naming the valid modes.
+func TestRunBadPredictMode(t *testing.T) {
+	_, err := runCLI(t, "-predict-mode", "heuristic")
+	if err == nil {
+		t.Fatal("unknown -predict-mode accepted")
+	}
+	if !strings.Contains(err.Error(), `unknown predict mode "heuristic"`) ||
+		!strings.Contains(err.Error(), "des, auto or analytic") {
+		t.Fatalf("unhelpful predict-mode error: %v", err)
+	}
+}
+
+// TestRunScanSmoke: the -scan demo runs the fixed guarded-tape scan,
+// its region/fallback fingerprint is deterministic, and every point is
+// cross-checked bit for bit in-process (a divergence fails the run).
+func TestRunScanSmoke(t *testing.T) {
+	out, err := runCLI(t, "-scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"symbolic scan: ghost-exchange family, 2 peers, N=256, 40 rounds",
+		"grid: 3 bandwidths x 4 latencies x 2 speeds = 24 points",
+		"tape replayed 15 points, 9 guard fallbacks, 9 tape regions",
+		"bit-identity: 24/24 points match the full analytic evaluation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scan output missing %q:\n%s", want, out)
+		}
+	}
+	// The fingerprint is a pure function of the fixed grid: a second
+	// run must print byte-identical output.
+	again, err := runCLI(t, "-scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Fatalf("scan output is not deterministic:\n%s\nvs\n%s", out, again)
 	}
 }

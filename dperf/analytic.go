@@ -94,6 +94,9 @@ type Predictor struct {
 	plats  map[platKey]*Platform
 	models map[*platform.Platform]*analytic.Model
 	certs  map[string]*certEntry
+	// tapes caches keyed scan families' compiled guard regions (see
+	// Scan); unkeyed scans use private sets and never touch it.
+	tapes map[string]*tapeSet
 }
 
 // certEntry is one certified configuration. Its own lock serializes
@@ -114,6 +117,7 @@ func NewPredictor() *Predictor {
 		plats:  make(map[platKey]*Platform),
 		models: make(map[*platform.Platform]*analytic.Model),
 		certs:  make(map[string]*certEntry),
+		tapes:  make(map[string]*tapeSet),
 	}
 }
 

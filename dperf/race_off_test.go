@@ -1,0 +1,8 @@
+//go:build !race
+
+package dperf_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; its instrumentation slows the hot paths ~20×, so absolute
+// throughput floors only apply without it.
+const raceEnabled = false

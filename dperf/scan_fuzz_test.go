@@ -1,0 +1,118 @@
+package dperf_test
+
+import (
+	"testing"
+
+	"repro/dperf"
+	"repro/internal/capfamily"
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+)
+
+// splitmix64 is a tiny deterministic PRNG for deriving fuzz
+// rectangles: every random choice is a pure function of the fuzz
+// input, so any failure reproduces from the corpus entry alone.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit returns a float in [0, 1).
+func (s *splitmix64) unit() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// lerp maps f in [0,1) onto [lo, hi].
+func lerp(lo, hi, f float64) float64 { return lo + (hi-lo)*f }
+
+// FuzzScanGuardFallback is the guard-violation fuzz harness: each
+// input derives a randomized grid rectangle in (bandwidth, latency,
+// speed) space — wide rectangles straddle profile thresholds and
+// control-flow boundaries, forcing guard fallbacks; narrow ones stay
+// inside one tape region — and asserts that Scan serves every sampled
+// point bit-identically to the full analytic evaluator, fallback or
+// replay.
+func FuzzScanGuardFallback(f *testing.F) {
+	f.Add(uint64(1), false)
+	f.Add(uint64(2), true)
+	f.Add(uint64(0xdeadbeef), true)
+	f.Add(uint64(12345), false)
+	f.Add(uint64(0xfeedface), true)
+	f.Fuzz(func(t *testing.T, seed uint64, wide bool) {
+		rng := splitmix64(seed)
+		const w, n, rounds = 2, 256, 24
+
+		// Rectangle corner, log-ish spread over the procurement ranges.
+		bwLo := lerp(40*platform.Mbps, 2*platform.Gbps, rng.unit())
+		latLo := lerp(60e-6, 1.2e-3, rng.unit())
+		spLo := lerp(1.5e9, 3.5e9, rng.unit())
+		// Narrow rectangles mostly replay; wide ones cross region
+		// boundaries (including the 0.5 ms / 5 ms profile thresholds)
+		// and force fallbacks.
+		spread := 0.02
+		if wide {
+			spread = 4.0
+		}
+		bwHi := bwLo * (1 + spread*rng.unit())
+		latHi := latLo * (1 + spread*rng.unit())
+		spHi := spLo * (1 + spread*rng.unit())
+
+		const k = 3 // k^3 sampled points per rectangle
+		pts := make([]float64, 0, k*k*k*3)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				for l := 0; l < k; l++ {
+					pts = append(pts,
+						lerp(bwLo, bwHi, float64(i)/(k-1)),
+						lerp(latLo, latHi, float64(j)/(k-1)),
+						lerp(spLo, spHi, float64(l)/(k-1)),
+					)
+				}
+			}
+		}
+
+		plat, err := capfamily.Star(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fam := dperf.ScanFamily{
+			Platform:  plat,
+			NumParams: capfamily.NumParams,
+			Build:     capfamily.Family(plat, w, n, rounds, p2psap.Synchronous),
+		}
+		got := make([]dperf.EngineResult, len(pts)/3)
+		stats, err := dperf.Scan(fam, pts, func(i int, res *dperf.EngineResult) {
+			got[i] = *res
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Replayed+stats.Fallbacks != stats.Points || stats.Points != len(got) {
+			t.Fatalf("inconsistent stats %+v for %d points", *stats, len(got))
+		}
+		if stats.Fallbacks == 0 {
+			t.Fatal("scan recorded no tape at all")
+		}
+		for i := range got {
+			bw, lat, sp := pts[i*3], pts[i*3+1], pts[i*3+2]
+			want, err := capfamily.Evaluate(w, n, rounds, p2psap.Synchronous, bw, lat, sp)
+			if err != nil {
+				t.Fatalf("full evaluation at point %d: %v", i, err)
+			}
+			if got[i].PredictedSeconds != want.PredictedSeconds ||
+				got[i].ScatterSeconds != want.ScatterSeconds ||
+				got[i].ComputeSeconds != want.ComputeSeconds ||
+				got[i].GatherSeconds != want.GatherSeconds ||
+				got[i].RoundsSimulated != want.RoundsSimulated ||
+				got[i].RoundsFastForwarded != want.RoundsFastForwarded {
+				t.Fatalf("scan diverged from full evaluation at bw=%g lat=%g speed=%g (point %d, %d fallbacks):\nscan %+v\nfull %+v",
+					bw, lat, sp, i, stats.Fallbacks, got[i], *want)
+			}
+		}
+	})
+}

@@ -7,6 +7,14 @@
 // tier in microseconds, with no DES run on the prediction path; a
 // sampled DES fast-forward replay cross-checks the tier bit for bit.
 //
+// On top of the coarse grid, the symbolic stage refines each winning
+// cell through guarded evaluation tapes (dperf.Scan): a dense local
+// scan around the frontier point replays a recorded straight-line
+// formula instead of re-running the analytic kernel, with guard
+// fallbacks re-recording wherever the control flow changes, and a
+// dual-number gradient search (Tape.Grad) walks the bandwidth axis to
+// the exact break-even NIC.
+//
 //	go run ./examples/capacity
 package main
 
@@ -16,101 +24,21 @@ import (
 	"math"
 	"time"
 
+	"repro/dperf"
 	"repro/internal/analytic"
+	"repro/internal/capfamily"
 	"repro/internal/p2psap"
 	"repro/internal/platform"
-	"repro/internal/proximity"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
 const (
-	rounds       = 300  // iterative rounds per run
-	flopsPerCell = 50.0 // update cost: compute-led rounds, as in the paper
-	clusterPeers = 4    // the Stage-1 target to beat
+	rounds       = 300 // iterative rounds per run
+	clusterPeers = 4   // the Stage-1 target to beat
 	refN         = 3072
-	refSpeed     = 3e9 // Bordeplage-grade desktops
+	refSpeed     = capfamily.RefSpeed // Bordeplage-grade desktops
 )
-
-// ghostSource builds the iterative line-topology kernel at problem
-// size N on w peers of the given speed: each round computes the
-// rank's strip (N^2/w cells, slightly skewed so the steady state is
-// not trivially symmetric), exchanges 8N-byte ghost rows with its
-// line neighbours and joins the convergence test. The Repeat folding
-// is what makes the source analytic-eligible.
-func ghostSource(w, n int, speed float64) trace.FoldedSource {
-	ghost := 8 * float64(n)
-	fs := make([]*trace.Folded, w)
-	for r := 0; r < w; r++ {
-		cells := float64(n) * float64(n) / float64(w)
-		skew := 1 + 0.02*float64(r)/float64(w)
-		ns := flopsPerCell * cells * skew / speed * 1e9
-		body := []trace.Op{
-			{Count: 1, Rec: trace.Record{Kind: trace.KindCompute, NS: ns}},
-		}
-		if r > 0 {
-			body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindSend, Peer: r - 1, Bytes: ghost}})
-		}
-		if r < w-1 {
-			body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindSend, Peer: r + 1, Bytes: ghost}})
-		}
-		if r > 0 {
-			body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindRecv, Peer: r - 1, Bytes: ghost}})
-		}
-		if r < w-1 {
-			body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindRecv, Peer: r + 1, Bytes: ghost}})
-		}
-		body = append(body, trace.Op{Count: 1, Rec: trace.Record{Kind: trace.KindConv}})
-		fs[r] = &trace.Folded{Rank: r, Of: w, Ops: []trace.Op{
-			{Count: 1, Rec: trace.Record{Kind: trace.KindCompute, NS: ns / 10}},
-			{Count: 1, Rec: trace.Record{Kind: trace.KindConv}},
-			{Count: rounds, Body: body},
-			{Count: 1, Rec: trace.Record{Kind: trace.KindCompute, NS: 1e3}},
-		}}
-	}
-	return fs
-}
-
-// candidate builds a star LAN: w desktops behind one switch, each on
-// a drop link of the given bandwidth/latency, plus the submitting
-// frontend on a fast link.
-func candidate(w int, bw, lat float64) (*platform.Platform, error) {
-	p := platform.New(fmt.Sprintf("star-%d-%g-%g", w, bw, lat))
-	if err := p.AddRouter("switch"); err != nil {
-		return nil, err
-	}
-	base := proximity.MustParseAddr("10.20.0.0")
-	for i := 0; i < w; i++ {
-		name := fmt.Sprintf("peer-%02d", i)
-		if err := p.AddHost(name, proximity.Addr(uint32(base)+uint32(i)+1), refSpeed); err != nil {
-			return nil, err
-		}
-		if err := p.Connect(name, "switch", fmt.Sprintf("drop-%02d", i), bw, lat); err != nil {
-			return nil, err
-		}
-	}
-	if err := p.AddHost("frontend", proximity.MustParseAddr("192.168.100.1"), refSpeed); err != nil {
-		return nil, err
-	}
-	p.Frontend = "frontend"
-	if err := p.Connect("frontend", "switch", "uplink", 1*platform.Gbps, 100e-6); err != nil {
-		return nil, err
-	}
-	return p, nil
-}
-
-func specFor(plat *platform.Platform, w, n int, scheme p2psap.Scheme, src trace.Source) analytic.Spec {
-	strip := 8 * float64(n) * float64(n) / float64(w)
-	return analytic.Spec{
-		Platform:     plat,
-		Hosts:        plat.Hosts()[:w],
-		Submitter:    plat.Frontend,
-		Scheme:       scheme,
-		ScatterBytes: strip,
-		GatherBytes:  strip,
-		Source:       src,
-	}
-}
 
 // logspace returns k points log-spaced over [lo, hi].
 func logspace(lo, hi float64, k int) []float64 {
@@ -118,6 +46,15 @@ func logspace(lo, hi float64, k int) []float64 {
 	for i := range out {
 		f := float64(i) / float64(k-1)
 		out[i] = lo * math.Pow(hi/lo, f)
+	}
+	return out
+}
+
+// linspace returns k points evenly spaced over [lo, hi].
+func linspace(lo, hi float64, k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(k-1)
 	}
 	return out
 }
@@ -169,8 +106,8 @@ func main() {
 	}
 	target := make(map[int]float64, len(master))
 	for _, n := range master {
-		src := ghostSource(clusterPeers, n, platform.NodeSpeed)
-		res, err := clusterModel.Evaluate(specFor(clusterPlat, clusterPeers, n, p2psap.Synchronous, src))
+		src := capfamily.Source(clusterPeers, n, rounds, platform.NodeSpeed)
+		res, err := clusterModel.Evaluate(capfamily.Spec(clusterPlat, clusterPeers, n, p2psap.Synchronous, src))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -189,13 +126,17 @@ func main() {
 		for _, i := range pp.idx {
 			for _, s := range speeds {
 				k := srcKey{pp.peers, master[i], s}
-				sources[k] = ghostSource(pp.peers, master[i], s)
+				sources[k] = capfamily.Source(pp.peers, master[i], rounds, s)
 			}
 		}
 	}
 
-	// The scan. One analytic model per candidate platform; every point
-	// is a full closed-form evaluation — no DES anywhere on this path.
+	// The coarse scan. One analytic model per candidate platform; every
+	// point is a full closed-form evaluation — no DES anywhere on this
+	// path. (The grid's 15% log spacing hops control-flow regions at
+	// nearly every step, which is exactly the regime where tape replay
+	// cannot amortize; the symbolic stage below picks up where the
+	// spacing becomes dense.)
 	type frontierVal struct {
 		bw, lat, t float64
 	}
@@ -205,7 +146,7 @@ func main() {
 	for _, bw := range bws {
 		for _, lat := range lats {
 			for _, pp := range plan {
-				plat, err := candidate(pp.peers, bw, lat)
+				plat, err := capfamily.Concrete(pp.peers, bw, lat)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -218,7 +159,7 @@ func main() {
 					for _, scheme := range schemes {
 						for _, i := range pp.idx {
 							n := master[i]
-							spec := specFor(plat, pp.peers, n, scheme, sources[srcKey{pp.peers, n, s}])
+							spec := capfamily.Spec(plat, pp.peers, n, scheme, sources[srcKey{pp.peers, n, s}])
 							spec.Hosts = hosts
 							res, err := model.Evaluate(spec)
 							if err != nil {
@@ -262,6 +203,124 @@ func main() {
 		}
 	}
 
+	// Symbolic refinement: around each frontier winner, a dense local
+	// grid (±2% bandwidth, ±2% latency, 3 machine grades) runs through
+	// guarded evaluation tapes via dperf.Scan — recorded straight-line
+	// replay where the control flow is stable, guard-fallback recording
+	// where it is not. The per-cell region and fallback counts are a
+	// deterministic fingerprint of the family's control-flow geometry:
+	// the 2-peer cell sits in a wide region and almost every point
+	// replays; the 4- and 8-peer cells at this scale are guard-dense
+	// (flow residues sit near epsilon thresholds) and fall back
+	// per point, each fallback answering bit-identically via a fresh
+	// recording.
+	fmt.Println("\nsymbolic refinement (guarded tape scan around each frontier point):")
+	predictor := dperf.NewPredictor()
+	for _, pp := range plan {
+		fv, ok := frontier[pp.peers]
+		if !ok {
+			continue
+		}
+		plat, err := capfamily.Star(pp.peers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fam := dperf.ScanFamily{
+			Platform:  plat,
+			NumParams: capfamily.NumParams,
+			Build:     capfamily.Family(plat, pp.peers, refN, rounds, p2psap.Synchronous),
+			Key:       fmt.Sprintf("refine-%d", pp.peers),
+		}
+		var pts []float64
+		for _, bw := range linspace(fv.bw*0.98, fv.bw*1.02, 12) {
+			for _, lat := range linspace(fv.lat*0.98, fv.lat*1.02, 6) {
+				for _, s := range []float64{2.5e9, 3e9, 3.5e9} {
+					pts = append(pts, bw, lat, s)
+				}
+			}
+		}
+		best := math.Inf(1)
+		stats, err := predictor.Scan(fam, pts, func(i int, res *dperf.EngineResult) {
+			if res.PredictedSeconds < best {
+				best = res.PredictedSeconds
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Spot-check one refined point against the un-taped evaluator:
+		// tape replay must be bit-identical, not merely close.
+		check, err := capfamily.Evaluate(pp.peers, refN, rounds, p2psap.Synchronous, pts[0], pts[1], pts[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		var first dperf.EngineResult
+		if _, err := predictor.Scan(fam, pts[:capfamily.NumParams], func(_ int, res *dperf.EngineResult) {
+			first = *res
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if first.PredictedSeconds != check.PredictedSeconds {
+			log.Fatalf("tape scan diverged from full evaluation: %v vs %v", first.PredictedSeconds, check.PredictedSeconds)
+		}
+		fmt.Printf("  %d peers: %d points — %d replayed, %d guard fallbacks, %d tape regions; best %.3f s\n",
+			pp.peers, stats.Points, stats.Replayed, stats.Fallbacks, stats.Regions, best)
+	}
+
+	// Gradient capacity search: the tape's dual-number replay gives
+	// exact ∂t/∂bandwidth, so Newton iteration walks the smallest
+	// winning cell's bandwidth axis to the break-even NIC where the
+	// desktops exactly match the cluster — no grid, a handful of
+	// replays.
+	gw := 0
+	for _, pp := range plan {
+		if _, ok := frontier[pp.peers]; ok {
+			gw = pp.peers
+			break
+		}
+	}
+	if fv, ok := frontier[gw]; ok {
+		plat, err := capfamily.Star(gw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		build := capfamily.Family(plat, gw, refN, rounds, p2psap.Synchronous)
+		point := []float64{fv.bw, fv.lat, refSpeed}
+		tape, err := analytic.CompileTape(plat, point, build)
+		if err != nil {
+			log.Fatal(err)
+		}
+		goal := target[refN]
+		steps := 0
+		for ; steps < 12; steps++ {
+			g, ok := tape.Grad(point)
+			if !ok {
+				// Left the recorded region: re-record at the current
+				// point and continue — the gradient walk's guard
+				// fallback.
+				if tape, err = analytic.CompileTape(plat, point, build); err != nil {
+					log.Fatal(err)
+				}
+				if g, ok = tape.Grad(point); !ok {
+					log.Fatal("fresh tape rejects its own record point")
+				}
+			}
+			resid := g.Res.PredictedSeconds - goal
+			if math.Abs(resid) < 1e-6*goal || g.Grad[capfamily.ParamBandwidth] == 0 {
+				break
+			}
+			point[capfamily.ParamBandwidth] -= resid / g.Grad[capfamily.ParamBandwidth]
+		}
+		final, err := capfamily.Evaluate(gw, refN, rounds, p2psap.Synchronous,
+			point[0], point[1], point[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ngradient capacity search (dual-number tape replay):\n")
+		fmt.Printf("  %d peers match the cluster at %.1f Mbps NICs after %d Newton steps: %.6f s vs target %.6f s\n",
+			gw, point[0]/platform.Mbps, steps, final.PredictedSeconds, goal)
+	}
+
 	// DES spot-check: replay a handful of scanned points (and the
 	// cluster target) through the fast-forward DES engine; the
 	// analytic tier must agree bit for bit.
@@ -284,13 +343,13 @@ func main() {
 		plat := c.plat
 		if plat == nil {
 			var err error
-			plat, err = candidate(c.peers, c.bw, 300e-6)
+			plat, err = capfamily.Concrete(c.peers, c.bw, 300e-6)
 			if err != nil {
 				log.Fatal(err)
 			}
 		}
-		src := ghostSource(c.peers, refN, c.speed)
-		spec := specFor(plat, c.peers, refN, c.scheme, src)
+		src := capfamily.Source(c.peers, refN, rounds, c.speed)
+		spec := capfamily.Spec(plat, c.peers, refN, c.scheme, src)
 		ares, err := analytic.Evaluate(spec)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,962 @@
+// The generic evaluation engine: the analytic evaluator re-expressed
+// over an abstract float type. Instantiated at float64 it performs
+// exactly the arithmetic of the concrete evaluator (exec.go/fluid.go/
+// kernel.go) — the same operations on the same operands in the same
+// order, asserted by a differential test — and instantiated at the
+// tape recorder's symbolic values it becomes a *recording* evaluation:
+// every float operation lands on a flat SSA tape over the free
+// platform parameters and every parameter-dependent comparison is
+// captured as a guard (tape.go).
+//
+// The one deliberate divergence from the concrete kernel is the event
+// queue. Events are ordered by (time, seq), a strict total order with
+// unique sequence numbers, so *any* correct priority queue yields the
+// identical pop sequence; the queue's internal comparisons never feed
+// arithmetic. The concrete kernel uses a 4-ary heap (fastest for plain
+// evaluation); this engine keeps a sorted array with binary-search
+// insertion, which performs far fewer comparisons per event — and
+// under recording every comparison is a guard on the tape, so fewer
+// comparisons mean shorter tapes and wider guard regions.
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// arith is the abstract float64 of the generic engine. Every
+// arithmetic operation and every comparison the evaluator performs on
+// simulated quantities goes through it; the float64 instantiation
+// (f64) compiles to the raw operations, the recording instantiation
+// (*recorder, tape.go) additionally emits tape instructions and
+// guards.
+type arith[V comparable] interface {
+	// Const injects a literal. Implementations intern constants, so
+	// repeated injection of the same literal is cheap.
+	Const(c float64) V
+	// FromInt mirrors float64(n) for control-flow integers (flow
+	// counts); n is region-constant under recording.
+	FromInt(n int) V
+
+	Add(a, b V) V
+	Sub(a, b V) V
+	Mul(a, b V) V
+	Div(a, b V) V
+
+	// Comparisons. Under recording each evaluation emits a guard
+	// pinning the observed outcome (unless both operands are
+	// constants, which fold).
+	Less(a, b V) bool   // a < b
+	LessEq(a, b V) bool // a <= b
+	Eq(a, b V) bool     // a == b
+	// Cmp is the three-way float comparison (-1: a < b, 0: a == b,
+	// +1: otherwise, including unordered). Under recording it emits a
+	// single guard per comparison where the Less/Eq pair the event
+	// queue would otherwise perform emits two.
+	Cmp(a, b V) int
+	IsNaN(a V) bool
+	IsInfPos(a V) bool // math.IsInf(a, 1)
+	// BitsEq is math.Float64bits(a) == math.Float64bits(b) — the
+	// steady-state signature comparison, which distinguishes -0/+0
+	// where == does not.
+	BitsEq(a, b V) bool
+
+	// Float reads the concrete value (under recording: the value at
+	// the record point). Used only for error messages and reports,
+	// never to feed results back into the evaluation.
+	Float(a V) float64
+}
+
+// gop is the generic mirror of trace.Op: the op tree with NS/Bytes
+// lifted into the abstract value domain.
+type gop[V comparable] struct {
+	count int
+	kind  trace.Kind
+	peer  int
+	ns    V
+	bytes V
+	body  []gop[V]
+}
+
+// convOps lifts a concrete op list into the value domain.
+func convOps[V comparable, A arith[V]](ar A, ops []trace.Op) []gop[V] {
+	out := make([]gop[V], len(ops))
+	for i, op := range ops {
+		out[i] = gop[V]{
+			count: op.Count,
+			kind:  op.Rec.Kind,
+			peer:  op.Rec.Peer,
+			ns:    ar.Const(op.Rec.NS),
+			bytes: ar.Const(op.Rec.Bytes),
+			body:  convOps[V](ar, op.Body),
+		}
+	}
+	return out
+}
+
+// gManageable is replay.Manageable over the generic op tree: the
+// qualification rule deciding which top-level Repeats run the
+// steady-state boundary protocol. Structure only — no float reads.
+func gManageable[V comparable](op gop[V]) bool {
+	if len(op.body) == 0 || op.count < replay.FFMinIterations {
+		return false
+	}
+	lead := op.body[0]
+	if len(lead.body) != 0 || lead.kind != trace.KindCompute {
+		return false
+	}
+	return gHasCollective(op.body)
+}
+
+// gHasCollective mirrors the convs+bars > 0 test of trace.Collectives
+// (zero-count ops are skipped there exactly as here).
+func gHasCollective[V comparable](ops []gop[V]) bool {
+	for _, op := range ops {
+		if op.count <= 0 {
+			continue
+		}
+		if len(op.body) > 0 {
+			if gHasCollective(op.body) {
+				return true
+			}
+			continue
+		}
+		if op.kind == trace.KindConv || op.kind == trace.KindBarrier {
+			return true
+		}
+	}
+	return false
+}
+
+// galink / garoute mirror alink / aroute with abstract bandwidth and
+// latency.
+type galink[V comparable] struct {
+	name      string
+	bandwidth V
+	idx       int
+}
+
+type garoute[V comparable] struct {
+	links   []*galink[V]
+	latency V
+}
+
+// gmodel is the platform-bound half of the generic evaluator: link
+// records and a route cache whose latencies are summed edge by edge in
+// path order, exactly as Model.route does. Routing itself (the edge
+// sequence) comes from platform.Path, which orders by hop count with
+// latency only as a tie-break; families scanned symbolically must have
+// value-independent routes (unique shortest-hop paths, as in the star
+// and cluster topologies), which keeps the edge sequence a constant of
+// the region.
+type gmodel[V comparable] struct {
+	plat   *platform.Platform
+	edges  []platform.Edge
+	links  map[string]*galink[V]
+	nlink  int
+	routes map[[2]string]*garoute[V]
+
+	// latOver carries per-link latency overrides (symbolic scans bind
+	// free latency parameters here); nil entries fall back to the
+	// platform's concrete edge latency.
+	latOver map[string]V
+}
+
+// newGModel builds the generic network model for a platform. bwOver
+// and latOver override the named links' bandwidth and latency with
+// abstract values (typically expressions over free parameters); every
+// other link keeps its concrete platform value as a constant.
+func newGModel[V comparable, A arith[V]](ar A, plat *platform.Platform, bwOver, latOver map[string]V) (*gmodel[V], error) {
+	if plat == nil {
+		return nil, fmt.Errorf("analytic: nil platform")
+	}
+	m := &gmodel[V]{
+		plat:    plat,
+		edges:   plat.Edges(),
+		links:   make(map[string]*galink[V]),
+		routes:  make(map[[2]string]*garoute[V]),
+		latOver: latOver,
+	}
+	for _, e := range m.edges {
+		if _, ok := m.links[e.LinkName]; ok {
+			return nil, fmt.Errorf("analytic: duplicate link %q", e.LinkName)
+		}
+		bw, ok := bwOver[e.LinkName]
+		if !ok {
+			bw = ar.Const(e.Bandwidth)
+		}
+		m.links[e.LinkName] = &galink[V]{name: e.LinkName, bandwidth: bw, idx: m.nlink}
+		m.nlink++
+	}
+	for name := range bwOver {
+		if _, ok := m.links[name]; !ok {
+			return nil, fmt.Errorf("analytic: bandwidth override for unknown link %q", name)
+		}
+	}
+	for name := range latOver {
+		if _, ok := m.links[name]; !ok {
+			return nil, fmt.Errorf("analytic: latency override for unknown link %q", name)
+		}
+	}
+	return m, nil
+}
+
+// constAdder is the slice of arith the route builder needs; gmodel
+// carries only V, so route takes the ops as an interface value (cold
+// path — routes are cached).
+type constAdder[V any] interface {
+	Const(float64) V
+	Add(a, b V) V
+}
+
+// route resolves and caches the directed route between two hosts,
+// accumulating the path latency in path order.
+func (m *gmodel[V]) route(ar constAdder[V], src, dst string) (*garoute[V], error) {
+	key := [2]string{src, dst}
+	if r, ok := m.routes[key]; ok {
+		return r, nil
+	}
+	path, err := m.plat.Path(src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("analytic: no route %s -> %s: %w", src, dst, err)
+	}
+	r := &garoute[V]{latency: ar.Const(0)}
+	for _, ei := range path {
+		e := &m.edges[ei]
+		l := m.links[e.LinkName]
+		if l == nil {
+			return nil, fmt.Errorf("analytic: link %q not in model", e.LinkName)
+		}
+		r.links = append(r.links, l)
+		lat, ok := m.latOver[e.LinkName]
+		if !ok {
+			lat = ar.Const(e.Latency)
+		}
+		r.latency = ar.Add(r.latency, lat)
+	}
+	m.routes[key] = r
+	return r, nil
+}
+
+// gspec is the resolved input of one generic evaluation.
+type gspec[V comparable] struct {
+	hosts        []string
+	submitter    string
+	scheme       p2psap.Scheme
+	scatterBytes V
+	gatherBytes  V
+	ranks        [][]gop[V]
+}
+
+// gresult mirrors Result with abstract values.
+type gresult[V comparable] struct {
+	predicted V
+	scatter   V
+	compute   V
+	gather    V
+
+	roundsSimulated     int64
+	roundsFastForwarded int64
+	jumps               int64
+}
+
+// gprof mirrors p2psap.Profile in the value domain. The fields are
+// constants of the adapted profile; only the *selection* depends on
+// path latency (adaptProfile), which is where the guard lands.
+type gprof[V comparable] struct {
+	frame V
+	send  V
+	recv  V
+}
+
+// Event kinds, as in kernel.go.
+const (
+	gevResume uint8 = iota
+	gevActivate
+	gevLoopback
+	gevAux
+)
+
+type gaev[V comparable] struct {
+	time  V
+	seq   uint64
+	kind  uint8
+	id    int32
+	flow  *gaflow[V]
+	epoch uint64
+}
+
+type gaflow[V comparable] struct {
+	remaining  V
+	rate       V
+	route      *garoute[V]
+	done       bool
+	assigned   bool
+	box        *gbox
+	gatherRank int32
+}
+
+type glinkState[V comparable] struct {
+	link     *galink[V]
+	residual V
+	nflows   int
+	mark     uint64
+}
+
+// gbox mirrors abox: counter mailboxes with readers woken in arrival
+// order.
+type gbox struct {
+	items   int
+	readers []int32
+}
+
+// gev is the complete state of one generic evaluation.
+type gev[V comparable, A arith[V]] struct {
+	ar A
+	m  *gmodel[V]
+
+	n         int
+	hosts     []string
+	submitter string
+	scheme    p2psap.Scheme
+
+	scatterBytes V
+	gatherBytes  V
+
+	// Interned constants of the kernel.
+	zero      V
+	cNS       V // 1e9
+	cLoopback V // netsim loopback latency
+	cQuantum  V // netsim completion quantum
+	cRemEps   V // netsim remaining-epsilon
+	cInf      V // +Inf
+	cConv     V // convergence control payload bytes
+
+	// Event queue: sorted descending by (time, seq) pop order, so the
+	// next event sits at the back. See the package comment for why a
+	// sorted array replaces the concrete kernel's 4-ary heap.
+	q    []gaev[V]
+	seq  uint64
+	now  V
+	base V
+	aux  int
+	live int
+
+	// Fluid network.
+	flows       int
+	flowOrder   []*gaflow[V]
+	lastUpdate  V
+	epoch       uint64
+	linkStates  []glinkState[V]
+	activeLinks []*glinkState[V]
+	finished    []*gaflow[V]
+	rateMark    uint64
+
+	// Mailboxes.
+	pendingMsgs int
+	scatterBox  []gbox
+	gatherBox   gbox
+	dataBox     []*gbox
+	ctlBox      []*gbox
+	pairProf    []*gprof[V]
+
+	// p2pdc bookkeeping.
+	scatterEnd  V
+	computeEnd  V
+	computeDone int
+	workerTimes []V
+	errs        []error
+
+	workers   []gworker[V, A]
+	subPhase  int
+	subGot    int
+	wdPhase   int
+	wdPending bool
+
+	ctl gctl[V, A]
+}
+
+// newGev validates the generic spec against the model and builds the
+// evaluator. The structural checks mirror Model.validateSpec; the
+// float checks on deployment bytes run through the arith so the
+// recording instantiation guards them.
+func newGev[V comparable, A arith[V]](ar A, m *gmodel[V], sp *gspec[V]) (*gev[V, A], error) {
+	n := len(sp.ranks)
+	if n == 0 {
+		return nil, fmt.Errorf("analytic: no traces")
+	}
+	if len(sp.hosts) != n {
+		return nil, fmt.Errorf("analytic: %d hosts for %d traces", len(sp.hosts), n)
+	}
+	if nd := m.plat.Node(sp.submitter); nd == nil || nd.Router {
+		return nil, fmt.Errorf("analytic: unknown submitter host %q", sp.submitter)
+	}
+	seen := make(map[string]bool, n)
+	for _, h := range sp.hosts {
+		if nd := m.plat.Node(h); nd == nil || nd.Router {
+			return nil, fmt.Errorf("analytic: unknown host %q", h)
+		}
+		if seen[h] {
+			return nil, fmt.Errorf("analytic: host %q used by two ranks; the analytic tier needs pairwise-distinct hosts", h)
+		}
+		seen[h] = true
+	}
+	zero := ar.Const(0)
+	if ar.Less(sp.scatterBytes, zero) || ar.IsNaN(sp.scatterBytes) || ar.Less(sp.gatherBytes, zero) || ar.IsNaN(sp.gatherBytes) {
+		return nil, fmt.Errorf("analytic: invalid deployment bytes scatter=%v gather=%v", ar.Float(sp.scatterBytes), ar.Float(sp.gatherBytes))
+	}
+	ev := &gev[V, A]{
+		ar:           ar,
+		m:            m,
+		n:            n,
+		hosts:        sp.hosts,
+		submitter:    sp.submitter,
+		scheme:       sp.scheme,
+		scatterBytes: sp.scatterBytes,
+		gatherBytes:  sp.gatherBytes,
+		zero:         zero,
+		cNS:          ar.Const(1e9),
+		cLoopback:    ar.Const(loopbackLatency),
+		cQuantum:     ar.Const(timeQuantum),
+		cRemEps:      ar.Const(1e-9),
+		cInf:         ar.Const(math.Inf(1)),
+		cConv:        ar.Const(convBytes),
+		now:          zero,
+		base:         zero,
+		lastUpdate:   zero,
+		scatterEnd:   zero,
+		computeEnd:   zero,
+		linkStates:   make([]glinkState[V], m.nlink),
+		scatterBox:   make([]gbox, n),
+		dataBox:      make([]*gbox, n*n),
+		ctlBox:       make([]*gbox, n*n),
+		pairProf:     make([]*gprof[V], n*n),
+		workerTimes:  make([]V, n),
+		errs:         make([]error, n),
+		workers:      make([]gworker[V, A], n),
+	}
+	for i := range ev.workerTimes {
+		ev.workerTimes[i] = zero
+	}
+	ev.ctl = gctl[V, A]{ev: ev, n: n, reps: make(map[arepKey]*grepCtl[V, A])}
+	for i := range ev.workers {
+		w := &ev.workers[i]
+		w.ev = ev
+		w.rank = i
+		w.host = sp.hosts[i]
+		w.ops = sp.ranks[i]
+	}
+	return ev, nil
+}
+
+// run mirrors evaluator.run: seed submitter, workers in rank order,
+// watchdog, all at t=0, and drive to completion.
+func (ev *gev[V, A]) run() (*gresult[V], error) {
+	ev.live = ev.n + 2
+	ev.scheduleResume(ev.zero, ev.n)
+	for i := 0; i < ev.n; i++ {
+		ev.scheduleResume(ev.zero, i)
+	}
+	ev.scheduleResume(ev.zero, ev.n+1)
+	if err := ev.drive(); err != nil {
+		return nil, err
+	}
+	if ev.computeDone != ev.n {
+		return nil, fmt.Errorf("analytic: only %d of %d workers finished", ev.computeDone, ev.n)
+	}
+	if err := ev.firstErr(); err != nil {
+		return nil, err
+	}
+	ar := ev.ar
+	total := ev.absNow()
+	res := &gresult[V]{
+		predicted:           total,
+		scatter:             ev.scatterEnd,
+		compute:             ar.Sub(ev.computeEnd, ev.scatterEnd),
+		gather:              ar.Sub(total, ev.computeEnd),
+		roundsSimulated:     ev.ctl.roundsSim,
+		roundsFastForwarded: ev.ctl.roundsFF,
+		jumps:               ev.ctl.jumps,
+	}
+	if ar.Less(res.gather, ev.zero) {
+		res.gather = ev.zero
+	}
+	return res, nil
+}
+
+func (ev *gev[V, A]) firstErr() error {
+	for _, err := range ev.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Event queue
+
+// popsBefore reports whether x pops before y in the (time, seq) total
+// order. The time comparisons run through the arith (guards under
+// recording); the seq tie-break is control-flow.
+func (ev *gev[V, A]) popsBefore(x, y *gaev[V]) bool {
+	switch ev.ar.Cmp(x.time, y.time) {
+	case -1:
+		return true
+	case 1:
+		return false
+	}
+	return x.seq < y.seq
+}
+
+// push schedules an event. The sequence counter advances exactly once
+// per call, mirroring des.Simulation scheduling, which keeps event
+// identity — and therefore every tie-break — in lockstep with the
+// concrete kernel.
+func (ev *gev[V, A]) push(e gaev[V]) {
+	ev.seq++
+	e.seq = ev.seq
+	// Binary-search the insertion point: q is sorted descending by pop
+	// order, so everything popping after e stays to its left.
+	idx := sort.Search(len(ev.q), func(i int) bool {
+		return !ev.popsBefore(&e, &ev.q[i])
+	})
+	ev.q = append(ev.q, gaev[V]{})
+	copy(ev.q[idx+1:], ev.q[idx:])
+	ev.q[idx] = e
+}
+
+// pop removes and returns the next event (the back of the array).
+func (ev *gev[V, A]) pop() gaev[V] {
+	n := len(ev.q) - 1
+	e := ev.q[n]
+	ev.q[n] = gaev[V]{}
+	ev.q = ev.q[:n]
+	return e
+}
+
+// resortQueue re-establishes the descending order after a uniform time
+// shift — float subtraction can collapse nearby times and flip a seq
+// tie-break, exactly as the concrete kernel's post-shift reheap can.
+// Insertion sort: adaptive (the array stays nearly sorted), stable in
+// the comparisons it performs, and cheap in guards.
+func (ev *gev[V, A]) resortQueue() {
+	q := ev.q
+	for i := 1; i < len(q); i++ {
+		e := q[i]
+		j := i - 1
+		for j >= 0 && ev.popsBefore(&q[j], &e) {
+			q[j+1] = q[j]
+			j--
+		}
+		q[j+1] = e
+	}
+}
+
+func (ev *gev[V, A]) scheduleResume(delay V, id int) {
+	ev.push(gaev[V]{time: ev.ar.Add(ev.now, delay), kind: gevResume, id: int32(id)})
+}
+
+func (ev *gev[V, A]) scheduleResumeAt(t V, id int) {
+	ev.push(gaev[V]{time: t, kind: gevResume, id: int32(id)})
+}
+
+func (ev *gev[V, A]) scheduleAux(delay V, epoch uint64) {
+	ev.push(gaev[V]{time: ev.ar.Add(ev.now, delay), kind: gevAux, epoch: epoch})
+	ev.aux++
+}
+
+func (ev *gev[V, A]) pendingReal() int { return len(ev.q) - ev.aux }
+
+// discardAux drops every pending auxiliary event in place. The filter
+// preserves the sorted order, so no re-sort (and no guards) needed.
+func (ev *gev[V, A]) discardAux() {
+	if ev.aux == 0 {
+		return
+	}
+	q := ev.q
+	keep := q[:0]
+	for i := range q {
+		if q[i].kind == gevAux {
+			continue
+		}
+		keep = append(keep, q[i])
+	}
+	for i := len(keep); i < len(q); i++ {
+		q[i] = gaev[V]{}
+	}
+	ev.q = keep
+	ev.aux = 0
+}
+
+func (ev *gev[V, A]) absNow() V { return ev.ar.Add(ev.base, ev.now) }
+
+// rebase mirrors des.Simulation.Rebase plus the netsim rebase hook.
+func (ev *gev[V, A]) rebase() V {
+	ar := ev.ar
+	shift := ev.now
+	if ar.Eq(shift, ev.zero) {
+		return ev.zero
+	}
+	ev.base = ar.Add(ev.base, shift)
+	ev.now = ev.zero
+	q := ev.q
+	for i := range q {
+		q[i].time = ar.Sub(q[i].time, shift)
+	}
+	ev.resortQueue()
+	if ev.flows == 0 {
+		ev.lastUpdate = ev.zero
+	} else {
+		ev.lastUpdate = ar.Sub(ev.lastUpdate, shift)
+	}
+	return shift
+}
+
+// advanceBase mirrors des.Simulation.AdvanceBase: iterated addition,
+// never multiplication, so a jump lands on the bit-identical base a
+// full simulation would reach.
+func (ev *gev[V, A]) advanceBase(delta V, rounds int) {
+	for i := 0; i < rounds; i++ {
+		ev.base = ev.ar.Add(ev.base, delta)
+	}
+}
+
+// drive pops events to completion.
+func (ev *gev[V, A]) drive() error {
+	for len(ev.q) > 0 {
+		e := ev.pop()
+		if e.kind == gevAux {
+			ev.aux--
+		}
+		if ev.ar.Less(e.time, ev.now) {
+			return fmt.Errorf("analytic: time went backwards (%v < %v)", ev.ar.Float(e.time), ev.ar.Float(ev.now))
+		}
+		ev.now = e.time
+		switch e.kind {
+		case gevResume:
+			ev.resumeActor(int(e.id))
+		case gevActivate:
+			ev.activateFlow(e.flow)
+		case gevLoopback:
+			f := e.flow
+			ev.deliver(f)
+		case gevAux:
+			if e.epoch == ev.epoch {
+				ev.advanceFlows()
+				ev.recompute()
+			}
+		}
+	}
+	if ev.live > 0 {
+		return fmt.Errorf("analytic: execution stalled: %d actor(s) parked with an empty event queue at t=%v (first error: %v)", ev.live, ev.ar.Float(ev.now), ev.firstErr())
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Counter mailboxes
+
+func (ev *gev[V, A]) tryGet(b *gbox, id int) bool {
+	if b.items == 0 {
+		b.readers = append(b.readers, int32(id))
+		return false
+	}
+	b.items--
+	ev.pendingMsgs--
+	return true
+}
+
+func (ev *gev[V, A]) put(b *gbox) {
+	b.items++
+	ev.pendingMsgs++
+	if len(b.readers) > 0 {
+		r := b.readers[0]
+		b.readers = b.readers[1:]
+		ev.scheduleResume(ev.zero, int(r))
+	}
+}
+
+func (ev *gev[V, A]) boxAt(ctl bool, at, from int) *gbox {
+	arr := ev.dataBox
+	if ctl {
+		arr = ev.ctlBox
+	}
+	idx := at*ev.n + from
+	if arr[idx] == nil {
+		arr[idx] = &gbox{}
+	}
+	return arr[idx]
+}
+
+// adaptProfile mirrors p2psap.AdaptProfile: the profile *fields* are
+// constants; the selection thresholds on path latency are where a
+// symbolic scan's guards land, so crossing a profile boundary starts a
+// new tape region.
+func (ev *gev[V, A]) adaptProfile(lat V) gprof[V] {
+	ar := ev.ar
+	var p p2psap.Profile
+	switch {
+	case ar.Less(lat, ar.Const(0.5e-3)):
+		p = p2psap.ClusterProfile
+	case ar.Less(lat, ar.Const(5e-3)):
+		p = p2psap.LANProfile
+	default:
+		p = p2psap.WANProfile
+	}
+	return gprof[V]{frame: ar.Const(p.FrameBytes), send: ar.Const(p.SendOverhead), recv: ar.Const(p.RecvOverhead)}
+}
+
+// profileFor mirrors evaluator.profileFor: probe the zero-byte
+// transfer time (path latency) and adapt.
+func (ev *gev[V, A]) profileFor(a, b int) (*gprof[V], error) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	idx := lo*ev.n + hi
+	if p := ev.pairProf[idx]; p != nil {
+		return p, nil
+	}
+	var lat V
+	if ev.hosts[lo] == ev.hosts[hi] {
+		lat = ev.cLoopback
+	} else {
+		rt, err := ev.m.route(ev.ar, ev.hosts[lo], ev.hosts[hi])
+		if err != nil {
+			return nil, fmt.Errorf("analytic: cannot probe %s<->%s: %w", ev.hosts[lo], ev.hosts[hi], err)
+		}
+		lat = rt.latency
+	}
+	p := ev.adaptProfile(lat)
+	ev.pairProf[idx] = &p
+	return &p, nil
+}
+
+func (ev *gev[V, A]) checkPeer(peer int) error {
+	if peer < 0 || peer >= ev.n {
+		return fmt.Errorf("analytic: rank %d out of range [0,%d)", peer, ev.n)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Fluid network (port of fluid.go into the value domain)
+
+func (ev *gev[V, A]) deliver(f *gaflow[V]) {
+	if f.box != nil {
+		ev.put(f.box)
+	}
+	if f.gatherRank >= 0 {
+		w := &ev.workers[f.gatherRank]
+		if w.gatherWaiting {
+			w.gatherWaiting = false
+			ev.scheduleResume(ev.zero, int(f.gatherRank))
+		} else {
+			w.gatherPending = true
+		}
+	}
+}
+
+func (ev *gev[V, A]) startFlow(src, dst string, bytes V, box *gbox, gatherRank int) error {
+	ar := ev.ar
+	if ar.Less(bytes, ev.zero) || ar.IsNaN(bytes) {
+		return fmt.Errorf("analytic: invalid flow size %v", ar.Float(bytes))
+	}
+	f := &gaflow[V]{remaining: bytes, rate: ev.zero, box: box, gatherRank: int32(gatherRank)}
+	if src == dst {
+		f.done = true
+		ev.push(gaev[V]{time: ar.Add(ev.now, ev.cLoopback), kind: gevLoopback, flow: f})
+		return nil
+	}
+	rt, err := ev.m.route(ar, src, dst)
+	if err != nil {
+		return err
+	}
+	f.route = rt
+	ev.push(gaev[V]{time: ar.Add(ev.now, rt.latency), kind: gevActivate, flow: f})
+	return nil
+}
+
+func (ev *gev[V, A]) activateFlow(f *gaflow[V]) {
+	ev.advanceFlows()
+	if ev.ar.LessEq(f.remaining, ev.zero) {
+		f.done = true
+		ev.deliver(f)
+		return
+	}
+	ev.flows++
+	ev.flowOrder = append(ev.flowOrder, f)
+	ev.recompute()
+}
+
+func (ev *gev[V, A]) advanceFlows() {
+	ar := ev.ar
+	dt := ar.Sub(ev.now, ev.lastUpdate)
+	if ar.Less(ev.zero, dt) {
+		for _, f := range ev.flowOrder {
+			if !f.done {
+				f.remaining = ar.Sub(f.remaining, ar.Mul(f.rate, dt))
+				if ar.Less(f.remaining, ev.cRemEps) {
+					f.remaining = ev.zero
+				}
+			}
+		}
+	}
+	ev.lastUpdate = ev.now
+}
+
+func (ev *gev[V, A]) finishCompleted() {
+	ar := ev.ar
+	finished := ev.finished[:0]
+	for _, f := range ev.flowOrder {
+		if !f.done && ar.LessEq(f.remaining, ev.zero) {
+			f.done = true
+			finished = append(finished, f)
+			ev.flows--
+		}
+	}
+	if len(finished) > 0 {
+		keep := ev.flowOrder[:0]
+		for _, f := range ev.flowOrder {
+			if !f.done {
+				keep = append(keep, f)
+			}
+		}
+		ev.flowOrder = keep
+	}
+	for _, f := range finished {
+		ev.deliver(f)
+	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	ev.finished = finished[:0]
+}
+
+func (ev *gev[V, A]) recompute() {
+	ar := ev.ar
+	for {
+		ev.finishCompleted()
+		ev.assignRates()
+		next := ev.cInf
+		for _, f := range ev.flowOrder {
+			if ar.Less(ev.zero, f.rate) {
+				t := ar.Div(f.remaining, f.rate)
+				if ar.Less(t, next) {
+					next = t
+				}
+			}
+		}
+		if ar.IsInfPos(next) {
+			ev.epoch++
+			if ev.flows == 0 {
+				ev.discardAux()
+			}
+			return
+		}
+		if ar.LessEq(next, ev.cQuantum) {
+			for _, f := range ev.flowOrder {
+				if ar.Less(ev.zero, f.rate) && ar.LessEq(f.remaining, ar.Mul(f.rate, ev.cQuantum)) {
+					f.remaining = ev.zero
+				}
+			}
+			continue
+		}
+		ev.epoch++
+		ev.scheduleAux(next, ev.epoch)
+		return
+	}
+}
+
+// assignRates mirrors fluid.go's progressive filling: flow order for
+// assignment, link states sorted by name for bottleneck selection.
+func (ev *gev[V, A]) assignRates() {
+	ar := ev.ar
+	ev.rateMark++
+	mark := ev.rateMark
+	active := ev.activeLinks[:0]
+	unassigned := 0
+	for _, f := range ev.flowOrder {
+		if f.done {
+			continue
+		}
+		f.rate = ev.zero
+		f.assigned = false
+		unassigned++
+		for _, l := range f.route.links {
+			st := &ev.linkStates[l.idx]
+			if st.mark != mark {
+				st.mark = mark
+				st.link = l
+				st.residual = l.bandwidth
+				st.nflows = 0
+				active = append(active, st)
+			}
+			st.nflows++
+		}
+	}
+	// Sort by link name. Link names are unique, so this insertion sort
+	// realizes the same strict total order as fluid.go's
+	// slices.SortFunc — and performs no float comparisons.
+	for i := 1; i < len(active); i++ {
+		e := active[i]
+		j := i - 1
+		for j >= 0 && active[j].link.name > e.link.name {
+			active[j+1] = active[j]
+			j--
+		}
+		active[j+1] = e
+	}
+	ev.activeLinks = active
+
+	for unassigned > 0 {
+		var bottleneck *glinkState[V]
+		fair := ev.cInf
+		for _, st := range active {
+			if st.nflows == 0 {
+				continue
+			}
+			f := ar.Div(st.residual, ar.FromInt(st.nflows))
+			if ar.Less(f, fair) {
+				fair = f
+				bottleneck = st
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for _, f := range ev.flowOrder {
+			if f.done || f.assigned {
+				continue
+			}
+			crosses := false
+			for _, l := range f.route.links {
+				if l == bottleneck.link {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = fair
+			f.assigned = true
+			unassigned--
+			for _, l := range f.route.links {
+				st := &ev.linkStates[l.idx]
+				st.residual = ar.Sub(st.residual, fair)
+				if ar.Less(st.residual, ev.zero) {
+					st.residual = ev.zero
+				}
+				st.nflows--
+			}
+		}
+	}
+}

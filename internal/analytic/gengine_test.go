@@ -1,0 +1,132 @@
+package analytic
+
+import (
+	"testing"
+
+	"repro/internal/p2psap"
+	"repro/internal/platform"
+)
+
+// requireSameResult asserts bit-for-bit equality of two results
+// (struct equality compares every float64 by value; the tests feed
+// only non-NaN results, where == is bit equality).
+func requireSameResult(t *testing.T, label string, generic, concrete *Result) {
+	t.Helper()
+	if *generic != *concrete {
+		t.Fatalf("%s: generic engine diverged from concrete evaluator:\ngeneric  %+v\nconcrete %+v", label, generic, concrete)
+	}
+}
+
+// TestGenericEngineMatchesConcrete is the anti-drift differential: the
+// generic engine instantiated at float64 must reproduce Model.Evaluate
+// bit for bit across platforms, rank counts, schemes, deployment
+// shapes and the perturbed (fallback-exercising) fixture. This is what
+// licenses the tape recorder: a tape records the generic engine's
+// operation sequence, and this test pins that sequence to the
+// concrete evaluator's.
+func TestGenericEngineMatchesConcrete(t *testing.T) {
+	type cfg struct {
+		label   string
+		plat    func(int) (*platform.Platform, error)
+		ranks   int
+		scheme  p2psap.Scheme
+		scatter float64
+		gather  float64
+		src     func() Spec
+	}
+	run := func(label string, spec Spec) {
+		t.Helper()
+		m, err := NewModel(spec.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		concrete, err := m.Evaluate(spec)
+		if err != nil {
+			t.Fatalf("%s: concrete: %v", label, err)
+		}
+		generic, err := evaluateGeneric(m, spec)
+		if err != nil {
+			t.Fatalf("%s: generic: %v", label, err)
+		}
+		requireSameResult(t, label, generic, concrete)
+	}
+
+	for _, ranks := range []int{2, 4, 8} {
+		plat, err := platform.Cluster(ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range []p2psap.Scheme{p2psap.Synchronous, p2psap.Asynchronous} {
+			run("cluster", specFor(t, plat, ranks, scheme, 8192, 4096, steadySrc(ranks, 40)))
+		}
+	}
+	for _, ranks := range []int{2, 6} {
+		plat, err := platform.LAN(ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run("lan", specFor(t, plat, ranks, p2psap.Synchronous, 4096, 4096, steadySrc(ranks, 24)))
+	}
+	{
+		plat, err := platform.Cluster(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run("perturbed", specFor(t, plat, 4, p2psap.Synchronous, 2048, 2048, perturbedSrc(4)))
+		run("no-deployment", specFor(t, plat, 2, p2psap.Synchronous, 0, 0, steadySrc(2, 12)))
+	}
+}
+
+// TestGenericEngineValidation: the generic engine applies the same
+// spec preconditions as the concrete evaluator.
+func TestGenericEngineValidation(t *testing.T) {
+	plat, err := platform.Cluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := specFor(t, plat, 2, p2psap.Synchronous, 0, 0, steadySrc(2, 12))
+
+	dup := base
+	dup.Hosts = []string{base.Hosts[0], base.Hosts[0]}
+	if _, err := evaluateGeneric(m, dup); err == nil {
+		t.Fatal("duplicate hosts accepted")
+	}
+
+	badSub := base
+	badSub.Submitter = "no-such-host"
+	if _, err := evaluateGeneric(m, badSub); err == nil {
+		t.Fatal("unknown submitter accepted")
+	}
+
+	neg := base
+	neg.ScatterBytes = -1
+	if _, err := evaluateGeneric(m, neg); err == nil {
+		t.Fatal("negative scatter bytes accepted")
+	}
+}
+
+// BenchmarkGenericEvaluateF64 measures the float64 instantiation of
+// the generic engine against BenchmarkEvaluate's concrete baseline
+// (same 16-host/8-rank/40-round configuration).
+func BenchmarkGenericEvaluateF64(b *testing.B) {
+	plat, err := platform.Cluster(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewModel(plat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := specFor(b, plat, 8, p2psap.Synchronous, 1e6, 1e6, steadySrc(8, 40))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evaluateGeneric(m, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package analytic
+
+// Tape-compiler shapes: the recorder's const pool and CSE tables are
+// maps, and the replay engine runs lane-major slices. Accumulating
+// tape floats in map order is the same byte-identity bug as in the
+// costing paths.
+
+// constPoolSum folds the recorder's constant pool in map iteration
+// order — the folded value would differ run to run.
+func constPoolSum(consts map[uint64]float64) float64 {
+	var t float64
+	for _, c := range consts {
+		t += c // want `float accumulation under map iteration order`
+	}
+	return t
+}
+
+// replayLanes is the batch replay shape: lane-major register slices,
+// iteration order fixed by the instruction stream.
+func replayLanes(regs []float64, lanes int) float64 {
+	var t float64
+	for l := 0; l < lanes; l++ {
+		t += regs[l]
+	}
+	return t
+}
+
+// recordAsync races tape recording against the caller — replay must
+// stay single-goroutine per tape.
+func recordAsync(costs []float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	go func() {
+		for _, c := range costs {
+			total += c // want `captured across goroutines`
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}

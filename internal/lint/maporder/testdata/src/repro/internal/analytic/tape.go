@@ -1,0 +1,54 @@
+package analytic
+
+import (
+	"maps"
+	"slices"
+)
+
+// Tape-compiler shapes: guard dedup and const pooling use maps keyed
+// by operand registers; anything appended to the tape from a map range
+// permutes the instruction stream run to run.
+
+type tinstr struct {
+	op   uint8
+	a, b int32
+}
+
+// emitConsts appends the const pool to the tape in map iteration
+// order — the compiled tape would differ byte for byte between runs.
+func emitConsts(tape []tinstr, pool map[int32]float64) []tinstr {
+	for reg := range pool { // want `range over map`
+		tape = append(tape, tinstr{op: 0, a: reg})
+	}
+	return tape
+}
+
+// emitConstsSorted is the fix: a fixed register order makes the tape a
+// pure function of the recorded evaluation.
+func emitConstsSorted(tape []tinstr, pool map[int32]float64) []tinstr {
+	for _, reg := range slices.Sorted(maps.Keys(pool)) {
+		tape = append(tape, tinstr{op: 0, a: reg})
+	}
+	return tape
+}
+
+// guardSeen is the dedup-lookup shape: collecting keys for a sort
+// right after is the recognized sorted-keys idiom.
+func guardSeen(seen map[uint64]bool) []uint64 {
+	keys := make([]uint64, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// countGuards is order-free: integer counting commutes exactly.
+func countGuards(seen map[uint64]bool) int {
+	n := 0
+	//dperfvet:ordered integer count, order-free
+	for range seen {
+		n++
+	}
+	return n
+}

@@ -10,6 +10,7 @@ import (
 func TestSimPurity(t *testing.T) {
 	linttest.Run(t, "testdata", simpurity.Analyzer,
 		"repro/internal/netsim",
+		"repro/internal/analytic",
 		"repro/dperf",
 	)
 }

@@ -1,0 +1,47 @@
+// Package analytic (fixture): the tape compiler and replay engine are
+// inside the simulation purity scope — a tape evaluation must be a
+// pure function of (platform, point, family), so wall-clock reads,
+// ambient environment and stray goroutines are forbidden.
+package analytic
+
+import (
+	"os"
+	"time"
+)
+
+type tape struct {
+	instrs []uint64
+	outs   [4]float64
+}
+
+// replayTimed stamps the replay with wall-clock time — predictions
+// would embed the machine's clock.
+func replayTimed(t *tape) float64 {
+	start := time.Now()   // want `wall-clock time.Now`
+	_ = time.Since(start) // want `wall-clock time.Since`
+	return t.outs[0]
+}
+
+// compileTuned gates guard generation on an environment variable —
+// the compiled tape would depend on ambient state.
+func compileTuned(t *tape) bool {
+	return os.Getenv("TAPE_GUARDS") != "" // want `os.Getenv`
+}
+
+// replayAsync replays on a stray goroutine; tape replay is
+// single-threaded by contract (concurrent callers hold their own
+// tapes).
+func replayAsync(t *tape, out chan<- float64) {
+	go func() { // want `go statement`
+		out <- t.outs[0]
+	}()
+}
+
+// replayPure is the contract: straight-line replay, no ambient inputs.
+func replayPure(t *tape, params []float64) float64 {
+	acc := 0.0
+	for _, in := range t.instrs {
+		acc += float64(in)
+	}
+	return acc + t.outs[0]
+}
