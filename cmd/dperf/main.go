@@ -89,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceFormat  = fs.String("trace-format", "", "trace output format: json or bin for -save-traces, text or bin for -emit-traces")
 		traceStats   = fs.Bool("trace-stats", false, "print trace-set statistics (records vs folded ops, per-format sizes, binding-class fit quality) instead of predicting")
 		noFF         = fs.Bool("no-fastforward", false, "simulate every folded iteration round instead of fast-forwarding steady-state rounds")
+		replayWork   = fs.Int("replay-workers", 1, "partition each DES replay across this many workers (conservative windowed parallel simulation; predictions are bit-identical to the serial engine)")
 		predictMode  = fs.String("predict-mode", "des", "prediction tier: des (replay engine), auto (analytic when certified, DES fallback) or analytic (forced, fails when ineligible)")
 		scan         = fs.Bool("scan", false, "run the symbolic guarded-tape scan smoke demo and exit")
 		n            = fs.Int64("n", 0, "override grid dimension N")
@@ -110,6 +111,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *replayWork < 1 {
+		return fmt.Errorf("-replay-workers must be >= 1, got %d", *replayWork)
 	}
 
 	// Validate the trace-format flags up front: a typo must not cost a
@@ -190,7 +194,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var badFlag error
 		fs.Visit(func(f *flag.Flag) {
 			switch {
-			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats" || f.Name == "no-fastforward" || f.Name == "predict-mode":
+			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats" || f.Name == "no-fastforward" || f.Name == "predict-mode" || f.Name == "replay-workers":
 			case *sweep && strings.HasPrefix(f.Name, "sweep"):
 			default:
 				badFlag = fmt.Errorf("-%s has no effect with -load-traces: the trace set fixes the workload, peers and level", f.Name)
@@ -207,10 +211,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return printTraceStats(stdout, ts)
 		}
 		if *sweep {
-			return runSweep(fs, ts, stdout, !*noFF, mode,
+			return runSweep(fs, ts, stdout, !*noFF, mode, *replayWork,
 				*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 		}
-		pred, err := ts.Predict(dperf.WithPlatform(kind), dperf.WithFastForward(!*noFF), dperf.WithPredictMode(mode))
+		pred, err := ts.Predict(dperf.WithPlatform(kind), dperf.WithFastForward(!*noFF),
+			dperf.WithPredictMode(mode), dperf.WithReplayWorkers(*replayWork))
 		if err != nil {
 			return err
 		}
@@ -259,7 +264,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *sweep {
-		return runSweep(fs, a, stdout, !*noFF, mode,
+		return runSweep(fs, a, stdout, !*noFF, mode, *replayWork,
 			*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 	}
 
@@ -320,7 +325,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	// Stage 4: replay on the target platform.
-	pred, err := ts.Predict(dperf.WithFastForward(!*noFF), dperf.WithPredictMode(mode))
+	pred, err := ts.Predict(dperf.WithFastForward(!*noFF), dperf.WithPredictMode(mode),
+		dperf.WithReplayWorkers(*replayWork))
 	if err != nil {
 		return err
 	}
@@ -399,7 +405,7 @@ func printTraceStats(w io.Writer, ts *dperf.TraceSet) error {
 // runSweep expands the sweep flags into a dperf.Space, runs the sweep
 // and writes the requested output format.
 func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer, fastForward bool,
-	mode dperf.PredictMode, plats, ranks, schemes string, workers int, format, outPath string) error {
+	mode dperf.PredictMode, replayWorkers int, plats, ranks, schemes string, workers int, format, outPath string) error {
 	// Validate the output side first: a typo in -sweep-format or an
 	// unwritable -sweep-out must not cost a full sweep.
 	switch format {
@@ -456,7 +462,8 @@ func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer, fastFor
 		}
 	}
 
-	opts := []dperf.SweepOption{dperf.SweepOptions(dperf.WithFastForward(fastForward), dperf.WithPredictMode(mode))}
+	opts := []dperf.SweepOption{dperf.SweepOptions(dperf.WithFastForward(fastForward),
+		dperf.WithPredictMode(mode), dperf.WithReplayWorkers(replayWorkers))}
 	if workers > 0 {
 		opts = append(opts, dperf.SweepWorkers(workers))
 	}
@@ -510,6 +517,10 @@ func printPrediction(w io.Writer, pred *dperf.Prediction) {
 	if pred.RoundsFastForwarded > 0 {
 		fmt.Fprintf(w, "  fast-forward: %d rounds simulated, %d fast-forwarded\n",
 			pred.RoundsSimulated, pred.RoundsFastForwarded)
+	}
+	if pred.ReplayWorkers > 1 {
+		fmt.Fprintf(w, "  parallel replay: %d workers, %d windows\n",
+			pred.ReplayWorkers, pred.ReplayWindows)
 	}
 	if pred.Tier == dperf.TierAnalytic {
 		fmt.Fprintf(w, "  tier: analytic (closed-form, no DES on the prediction path)\n")

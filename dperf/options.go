@@ -13,14 +13,15 @@ type config struct {
 	// ranksSet distinguishes an explicit WithRanks value from the
 	// default, so an explicit nonpositive count fails downstream
 	// instead of being silently replaced.
-	ranksSet    bool
-	kind        Kind
-	custom      *Platform
-	scheme      Scheme
-	engine      Engine
-	fastForward bool
-	predictMode PredictMode
-	predictor   *Predictor
+	ranksSet      bool
+	kind          Kind
+	custom        *Platform
+	scheme        Scheme
+	engine        Engine
+	replayWorkers int
+	fastForward   bool
+	predictMode   PredictMode
+	predictor     *Predictor
 }
 
 // normalized fills unset fields with the documented defaults: level
@@ -34,7 +35,11 @@ func (c config) normalized() config {
 		c.kind = KindCluster
 	}
 	if c.engine == nil {
-		c.engine = DefaultEngine()
+		if c.replayWorkers > 1 {
+			c.engine = ParallelReplayEngine(c.replayWorkers)
+		} else {
+			c.engine = DefaultEngine()
+		}
 	}
 	return c
 }
@@ -102,6 +107,17 @@ func WithScheme(s Scheme) Option { return func(c *config) { c.scheme = s } }
 // WithEngine replaces the replay engine (default: the in-process
 // replay/p2pdc/netsim stack).
 func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithReplayWorkers partitions each DES replay across n workers
+// (default 1: the serial engine). Each worker simulates a contiguous
+// block of ranks on its own event kernel; the workers advance in
+// conservative time windows sized by the platform's minimum route
+// latency and exchange boundary flows at window barriers. Predictions
+// are bit-identical to the serial engine at every worker count — the
+// knob trades memory (one network replica per worker) for wall-clock
+// speed on large heterogeneous replays that fast-forward cannot skip.
+// Ignored when WithEngine installs a custom engine.
+func WithReplayWorkers(n int) Option { return func(c *config) { c.replayWorkers = n } }
 
 // WithFastForward toggles steady-state fast-forward replay (default
 // off): once the rounds of a folded Repeat loop reach an exactly

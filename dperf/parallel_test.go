@@ -1,0 +1,128 @@
+package dperf_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/dperf"
+)
+
+// normalizedJSON marshals a prediction with its execution-strategy
+// metadata cleared: the engine label and the parallel worker/window
+// counters legitimately differ between the serial and parallel
+// engines (and between worker counts), while everything else — every
+// timing, every round statistic — must not.
+func normalizedJSON(t *testing.T, p *dperf.Prediction) []byte {
+	t.Helper()
+	q := *p
+	q.Engine = ""
+	q.ReplayWorkers = 0
+	q.ReplayWindows = 0
+	b, err := json.Marshal(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelReplayGrid is the parallel engine's property grid:
+// rank counts spanning 2–16 (including an odd count, so partitions
+// are uneven), every optimization level, both schemes and fast-forward
+// off/on, each replayed at 1, 2 and 4 workers. Every prediction must
+// serialize byte-identically to the serial engine's. (FFVerify is a
+// replay-layer mode not exposed through the facade; the three-mode ×
+// worker-count product is covered by the internal/replay tests.)
+func TestParallelReplayGrid(t *testing.T) {
+	w := smallObstacle()
+	levels := []dperf.Level{dperf.O0, dperf.O1, dperf.O2, dperf.O3}
+	for _, ranks := range []int{2, 3, 5, 8, 16} {
+		for _, level := range levels {
+			a, err := dperf.New(w, dperf.WithRanks(ranks), dperf.WithLevel(level)).Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts, err := a.Traces()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, scheme := range []dperf.Scheme{dperf.Synchronous, dperf.Asynchronous} {
+				for _, ff := range []bool{false, true} {
+					opts := []dperf.Option{dperf.WithScheme(scheme), dperf.WithFastForward(ff)}
+					serial, err := ts.Predict(opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := normalizedJSON(t, serial)
+					for _, workers := range []int{1, 2, 4} {
+						got, err := ts.Predict(append(opts, dperf.WithReplayWorkers(workers))...)
+						if err != nil {
+							t.Fatalf("r%d %s %v ff=%v w%d: %v", ranks, level, scheme, ff, workers, err)
+						}
+						if !bytes.Equal(normalizedJSON(t, got), want) {
+							t.Fatalf("r%d %s %v ff=%v w%d: prediction diverged\nserial   %s\nparallel %s",
+								ranks, level, scheme, ff, workers, want, normalizedJSON(t, got))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEngineConcurrentSweeps drives two sweeps concurrently
+// through one shared parallel engine value (exactly what -race is
+// for: the engine contract requires concurrent Replay/ReplayAll
+// safety) and checks both against a serial-engine sweep.
+func TestParallelEngineConcurrentSweeps(t *testing.T) {
+	a, err := dperf.New(smallObstacle()).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := dperf.Space{
+		Platforms: []dperf.Kind{dperf.KindCluster, dperf.KindLAN},
+		Ranks:     []int{2, 3, 4},
+		Schemes:   []dperf.Scheme{dperf.Synchronous, dperf.Asynchronous},
+	}
+	ref, err := dperf.Sweep(a, space, dperf.SweepWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := dperf.ParallelReplayEngine(2)
+	results := make([]*dperf.SweepResult, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = dperf.Sweep(a, space,
+				dperf.SweepWorkers(4), dperf.SweepOptions(dperf.WithEngine(shared)))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, sr := range results {
+		if errs[i] != nil {
+			t.Fatalf("sweep %d: %v", i, errs[i])
+		}
+		if len(sr.Results) != len(ref.Results) {
+			t.Fatalf("sweep %d: %d results, want %d", i, len(sr.Results), len(ref.Results))
+		}
+		for j := range sr.Results {
+			got, want := sr.Results[j].Prediction, ref.Results[j].Prediction
+			if (got == nil) != (want == nil) {
+				t.Fatalf("sweep %d point %d: prediction presence mismatch", i, j)
+			}
+			if got == nil {
+				continue
+			}
+			if !bytes.Equal(normalizedJSON(t, got), normalizedJSON(t, want)) {
+				t.Fatalf("sweep %d point %d diverged from serial sweep:\nserial   %s\nparallel %s",
+					i, j, normalizedJSON(t, want), normalizedJSON(t, got))
+			}
+		}
+	}
+}

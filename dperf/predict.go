@@ -23,6 +23,12 @@ type Prediction struct {
 	// (both zero unless WithFastForward(true) engaged).
 	RoundsSimulated     int64 `json:"rounds_simulated,omitempty"`
 	RoundsFastForwarded int64 `json:"rounds_fast_forwarded,omitempty"`
+	// ReplayWorkers / ReplayWindows report how the parallel replay
+	// engine executed (zero for the serial engine). Execution-strategy
+	// metadata only: the predicted times above are bit-identical at
+	// any worker count.
+	ReplayWorkers int `json:"replay_workers,omitempty"`
+	ReplayWindows int `json:"replay_windows,omitempty"`
 	// Tier reports which prediction tier produced the result: TierDES
 	// (the replay engine) or TierAnalytic (the closed-form evaluator).
 	Tier string `json:"tier,omitempty"`
@@ -83,6 +89,8 @@ func (cfg config) newPrediction(ts *TraceSet, label string, res *EngineResult) *
 		Gather:              res.GatherSeconds,
 		RoundsSimulated:     res.RoundsSimulated,
 		RoundsFastForwarded: res.RoundsFastForwarded,
+		ReplayWorkers:       res.ReplayWorkers,
+		ReplayWindows:       res.ReplayWindows,
 		Tier:                TierDES,
 		TraceSet:            ts,
 	}

@@ -346,6 +346,55 @@ func (s *Simulation) RunUntil(limit float64) float64 {
 	return s.now
 }
 
+// RunWindow executes events with time strictly below limit and
+// returns the number dispatched. It is the driving primitive of
+// partitioned (multi-kernel) simulation: unlike Run, an empty queue
+// with live processes is not a deadlock — the missing wakeups arrive
+// later as cross-partition injections scheduled at or after the
+// window boundary (conservative synchronization guarantees no
+// injection ever lands inside a window already simulated). The clock
+// is left at the last dispatched event, never advanced to the limit,
+// so the final Now() of a partitioned run is the time of its last
+// real event, exactly as in a monolithic run.
+func (s *Simulation) RunWindow(limit float64) int {
+	if s.running {
+		panic("des: nested Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	dispatched := 0
+	for s.queue.len() > 0 {
+		if s.queue.a[0].time >= limit {
+			return dispatched
+		}
+		e := s.queue.pop()
+		if e.kind == evAux {
+			s.aux--
+		}
+		if e.time < s.now {
+			panic("des: time went backwards")
+		}
+		s.now = e.time
+		if s.Trace != nil {
+			s.Trace(s.now, "event")
+		}
+		s.dispatch(e)
+		dispatched++
+	}
+	return dispatched
+}
+
+// PeekTime returns the time of the earliest pending event, if any.
+// Window drivers use it to skip empty stretches: when every partition
+// agrees nothing happens before t, the next window can open at t
+// instead of grinding through vacant lookahead steps.
+func (s *Simulation) PeekTime() (float64, bool) {
+	if s.queue.len() == 0 {
+		return 0, false
+	}
+	return s.queue.a[0].time, true
+}
+
 // Reset rewinds the clock, epoch base and event sequence to zero so
 // the simulation can host another run whose timings are bit-identical
 // to a fresh kernel's (replaying at a large clock offset changes

@@ -11,5 +11,6 @@ func TestFloatOrder(t *testing.T) {
 	linttest.Run(t, "testdata", floatorder.Analyzer,
 		"repro/internal/analytic",
 		"repro/internal/netsim",
+		"repro/internal/replay",
 	)
 }

@@ -1,0 +1,49 @@
+package replay
+
+import "sync"
+
+// Fixtures for the barrier-parallel window idiom: worker goroutines
+// may not accumulate into shared floats; per-partition results are
+// reduced in a fixed order after the barrier.
+
+type kern struct{}
+
+func (kern) RunWindow(limit float64) float64 { return limit }
+
+// sharedSum races window workers into one float: the scheduler
+// permutes (and races) the addition sequence.
+func sharedSum(kernels []kern, limit float64) float64 {
+	total := 0.0
+	var wg sync.WaitGroup
+	for _, k := range kernels {
+		wg.Add(1)
+		k := k
+		go func() {
+			defer wg.Done()
+			total += k.RunWindow(limit) // want `float accumulation into a variable captured across goroutines`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// partialSums is the sanctioned idiom: each worker owns one slot, and
+// the reduction after the barrier runs in partition-index order.
+func partialSums(kernels []kern, limit float64) float64 {
+	partial := make([]float64, len(kernels))
+	var wg sync.WaitGroup
+	for i, k := range kernels {
+		wg.Add(1)
+		i, k := i, k
+		go func() {
+			defer wg.Done()
+			partial[i] = k.RunWindow(limit)
+		}()
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}

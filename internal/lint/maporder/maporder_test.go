@@ -12,5 +12,6 @@ func TestMapOrder(t *testing.T) {
 		"repro/internal/analytic",
 		"repro/internal/des",
 		"repro/internal/overlay",
+		"repro/internal/replay",
 	)
 }

@@ -1,0 +1,67 @@
+package replay
+
+import "sort"
+
+// Fixtures for the cross-partition merge idiom: boundary records from
+// several partitions must be merged in one deterministic order, never
+// in map iteration order.
+
+type flowStart struct {
+	StartedAt float64
+	Seq       uint64
+}
+
+type boundary struct {
+	part int
+	rec  flowStart
+}
+
+type kernel struct{}
+
+func (kernel) ScheduleAt(t float64, fn func()) {}
+
+// mergeFromMap drains per-partition mailboxes keyed by partition id:
+// map order leaks straight into the injection sequence.
+func mergeFromMap(mailboxes map[int][]flowStart) []boundary {
+	var merged []boundary
+	for part, recs := range mailboxes { // want `range over map appends per iteration`
+		for _, rec := range recs {
+			merged = append(merged, boundary{part: part, rec: rec})
+		}
+	}
+	return merged
+}
+
+// injectFromMap schedules ghost flows in map order — the same bug one
+// layer down.
+func injectFromMap(k kernel, mailboxes map[int][]flowStart) {
+	for _, recs := range mailboxes { // want `range over map calls ScheduleAt per iteration`
+		for _, rec := range recs {
+			k.ScheduleAt(rec.StartedAt, nil)
+		}
+	}
+}
+
+// mergeOrdered is the sanctioned idiom: partition mailboxes are a
+// slice indexed by partition id, drained in index order, then sorted
+// by (start time, origin partition, origin sequence) so the injection
+// order is a pure function of the records.
+func mergeOrdered(pending [][]flowStart) []boundary {
+	var merged []boundary
+	for part, recs := range pending {
+		for _, rec := range recs {
+			merged = append(merged, boundary{part: part, rec: rec})
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		ra, rb := &merged[a], &merged[b]
+		if ra.rec.StartedAt != rb.rec.StartedAt {
+			return ra.rec.StartedAt < rb.rec.StartedAt
+		}
+		if ra.part != rb.part {
+			return ra.part < rb.part
+		}
+		return ra.rec.Seq < rb.rec.Seq
+	})
+	return merged
+}

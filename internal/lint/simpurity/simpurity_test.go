@@ -11,6 +11,7 @@ func TestSimPurity(t *testing.T) {
 	linttest.Run(t, "testdata", simpurity.Analyzer,
 		"repro/internal/netsim",
 		"repro/internal/analytic",
+		"repro/internal/replay",
 		"repro/dperf",
 	)
 }

@@ -1,0 +1,36 @@
+package replay
+
+import "sync"
+
+// Fixtures for barrier-parallel window execution: a bare go statement
+// in a simulation package is flagged; the sanctioned fan-out carries
+// an annotation arguing schedule-independence.
+
+type kern struct{}
+
+func (kern) RunWindow(limit float64) {}
+
+// bareFanOut launches kernels without justifying determinism.
+func bareFanOut(kernels []kern, limit float64) {
+	for _, k := range kernels {
+		k := k
+		go k.RunWindow(limit) // want `go statement in a simulation package`
+	}
+}
+
+// barrierFanOut is the sanctioned idiom: independent kernels between
+// barriers, a wait before any state is merged, and the reason on
+// record.
+func barrierFanOut(kernels []kern, limit float64) {
+	var wg sync.WaitGroup
+	for _, k := range kernels {
+		wg.Add(1)
+		k := k
+		//dperfvet:allow simpurity kernels are independent between barriers; the barrier wait and deterministic merge order make results schedule-independent
+		go func() {
+			defer wg.Done()
+			k.RunWindow(limit)
+		}()
+	}
+	wg.Wait()
+}

@@ -31,16 +31,93 @@ type boxKey struct {
 	host, tag string
 }
 
+// FlowStart is the boundary record of one message send, exchanged
+// between the kernels of a partitioned replay. The owning partition
+// records every non-loopback send; every other partition injects the
+// record as a ghost flow (see Network.InjectArrival) so flow-level
+// bandwidth sharing stays a bit-identical global computation, and the
+// partition owning the destination host additionally delivers the
+// message into its local mailbox at the flow's completion.
+type FlowStart struct {
+	Src, Dst string
+	Tag      string
+	Bytes    float64 // on-wire size, framing included
+	Payload  interface{}
+	// StartedAt is the virtual send instant in the originating kernel.
+	StartedAt float64
+	// Seq orders same-instant records from one partition (the
+	// originating kernel's send order); the merge across partitions is
+	// (StartedAt, partition, Seq).
+	Seq uint64
+}
+
 // Post is the message-passing layer over the flow simulator. A Post is
 // bound to one Network; mailboxes are created on demand.
 type Post struct {
 	net   *Network
 	boxes map[boxKey]*mailbox
+
+	// Partition mode (see SetPartition): local filters delivery to the
+	// hosts this kernel owns, onStart observes every non-loopback send
+	// for the boundary exchange, sendSeq orders the records.
+	local   func(host string) bool
+	onStart func(FlowStart)
+	sendSeq uint64
 }
 
 // NewPost creates the message layer for a network.
 func NewPost(n *Network) *Post {
 	return &Post{net: n, boxes: make(map[boxKey]*mailbox)}
+}
+
+// SetPartition switches the message layer into (or out of) partition
+// mode. With a non-nil local predicate, a completed transfer is
+// delivered into its destination mailbox only when the destination
+// host is local — the kernel owning that host performs the delivery
+// from its own injected copy of the flow — and every non-loopback
+// send is reported to onStart for the boundary exchange. Passing
+// (nil, nil) restores monolithic behaviour. The send sequence counter
+// restarts on every call so records from successive runs are ordered
+// from zero.
+func (po *Post) SetPartition(local func(host string) bool, onStart func(FlowStart)) {
+	po.local = local
+	po.onStart = onStart
+	po.sendSeq = 0
+}
+
+// deliver places a completed message in its destination mailbox,
+// unless partition mode routes that delivery to another kernel.
+func (po *Post) deliver(msg *Message) {
+	if po.local != nil && !po.local(msg.To) {
+		return
+	}
+	po.box(msg.To, msg.Tag).q.Put(msg)
+}
+
+// record reports a send to the boundary exchange. Loopback transfers
+// never leave their partition (they do not consume link bandwidth and
+// both endpoints are one host), so they are not recorded.
+func (po *Post) record(src, dst, tag string, bytes float64, payload interface{}) {
+	if po.onStart == nil || src == dst {
+		return
+	}
+	po.sendSeq++
+	po.onStart(FlowStart{
+		Src: src, Dst: dst, Tag: tag, Bytes: bytes, Payload: payload,
+		StartedAt: po.net.sim.Now(), Seq: po.sendSeq,
+	})
+}
+
+// InjectRemote replays another partition's FlowStart record in this
+// kernel: the flow participates in bandwidth sharing from its exact
+// remote activation instant, and — when this partition owns the
+// destination host — delivers the message on completion.
+func (po *Post) InjectRemote(rec FlowStart) error {
+	msg := &Message{From: rec.Src, To: rec.Dst, Tag: rec.Tag, Bytes: rec.Bytes, Payload: rec.Payload, SentAt: rec.StartedAt}
+	return po.net.InjectArrival(rec.Src, rec.Dst, rec.Bytes, rec.StartedAt, func() {
+		msg.DeliveredAt = po.net.sim.Now()
+		po.deliver(msg)
+	})
 }
 
 // Net returns the underlying network.
@@ -63,8 +140,11 @@ func (po *Post) SendAsync(src, dst, tag string, bytes float64, payload interface
 	msg := &Message{From: src, To: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: po.net.sim.Now()}
 	_, err := po.net.StartFlowTransient(src, dst, bytes, func() {
 		msg.DeliveredAt = po.net.sim.Now()
-		po.box(dst, tag).q.Put(msg)
+		po.deliver(msg)
 	})
+	if err == nil {
+		po.record(src, dst, tag, bytes, payload)
+	}
 	return err
 }
 
@@ -75,12 +155,13 @@ func (po *Post) Send(p *des.Process, src, dst, tag string, bytes float64, payloa
 	msg := &Message{From: src, To: dst, Tag: tag, Bytes: bytes, Payload: payload, SentAt: po.net.sim.Now()}
 	_, err := po.net.StartFlowTransient(src, dst, bytes, func() {
 		msg.DeliveredAt = po.net.sim.Now()
-		po.box(dst, tag).q.Put(msg)
+		po.deliver(msg)
 		c.Signal()
 	})
 	if err != nil {
 		return err
 	}
+	po.record(src, dst, tag, bytes, payload)
 	c.Wait(p)
 	return nil
 }

@@ -267,6 +267,42 @@ func (n *Network) startFlow(src, dst string, bytes float64, onDone func(), poole
 	return f, nil
 }
 
+// InjectArrival schedules a flow that was started elsewhere — by
+// another partition's kernel in a partitioned replay. The flow joins
+// bandwidth sharing at startedAt + route latency, computed with the
+// same float operation the local send path performs, so a partition
+// replaying a remote partition's flow record reproduces the exact
+// activation instant the originating kernel computed. onDone (may be
+// nil) runs at completion: the partition owning the destination host
+// delivers the message there; every other partition injects the flow
+// purely for its bandwidth footprint, keeping max–min fair rates a
+// bit-identical global computation in all kernels. startedAt must not
+// precede the current virtual time (conservative window
+// synchronization guarantees records arrive before their activation).
+func (n *Network) InjectArrival(src, dst string, bytes, startedAt float64, onDone func()) error {
+	hs, hd := n.hosts[src], n.hosts[dst]
+	if hs == nil || hd == nil {
+		return fmt.Errorf("netsim: unknown host in injected flow %s -> %s", src, dst)
+	}
+	if bytes < 0 || math.IsNaN(bytes) {
+		return fmt.Errorf("netsim: invalid injected flow size %v", bytes)
+	}
+	if src == dst {
+		return fmt.Errorf("netsim: loopback flow %s -> %s cannot be injected (loopbacks never leave their partition)", src, dst)
+	}
+	route, err := n.routeBetween(hs, hd)
+	if err != nil {
+		return err
+	}
+	f := n.newFlow()
+	f.Src, f.Dst, f.Bytes, f.remaining, f.onDone, f.pooled = hs, hd, bytes, bytes, onDone, true
+	f.route = route
+	// Same arithmetic as the local path: Schedule(route.Latency) at
+	// now = startedAt enqueues at fl(startedAt + Latency).
+	n.sim.ScheduleAt(startedAt+route.Latency, func() { n.activateFlow(f) })
+	return nil
+}
+
 // loopbackLatency is the fixed cost of a same-host transfer.
 const loopbackLatency = 1e-6
 
@@ -478,6 +514,25 @@ func (n *Network) assignRates() {
 			}
 		}
 	}
+}
+
+// RouteLatency resolves (and caches) the route between two hosts and
+// returns its end-to-end propagation latency; zero for a loopback
+// pair. The parallel replay engine derives its conservative window
+// lookahead from the minimum over all used host pairs.
+func (n *Network) RouteLatency(src, dst string) (float64, error) {
+	hs, hd := n.hosts[src], n.hosts[dst]
+	if hs == nil || hd == nil {
+		return 0, fmt.Errorf("netsim: unknown host in route %s -> %s", src, dst)
+	}
+	if src == dst {
+		return 0, nil
+	}
+	r, err := n.routeBetween(hs, hd)
+	if err != nil {
+		return 0, err
+	}
+	return r.Latency, nil
 }
 
 // ActiveFlows reports the number of flows currently sharing bandwidth.

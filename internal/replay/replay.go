@@ -58,6 +58,11 @@ type Result struct {
 	// FF reports what the fast-forward engine did (all zero when
 	// Spec.FastForward is FFOff or the source is not op-structured).
 	FF FFStats
+	// Par reports how the parallel engine executed the replay (zero
+	// for plain Session runs; Workers==1 marks a serial fallback).
+	// Execution-strategy metadata only: every timing above is
+	// bit-identical at any worker count.
+	Par ParStats
 }
 
 // Run replays the traces once and returns the predicted time. It is
@@ -103,6 +108,14 @@ func RunSource(spec Spec, src trace.Source) (*Result, error) {
 // A Session is not safe for concurrent use; use one session per
 // goroutine (they may share the platform, whose route computation is
 // internally synchronized).
+//
+// ParallelEngine extends this reuse contract to partitioned replay:
+// it holds one such environment per partition, rewinds all of them
+// between runs, marks the whole partition set dirty after a failed
+// run so the next use rebuilds it (a stalled partition leaves
+// processes parked exactly as it does here —
+// TestParallelFailedRunReapsGoroutines pins the teardown), and is
+// likewise single-goroutine.
 type Session struct {
 	plat *platform.Platform
 	env  *p2pdc.Environment
@@ -203,7 +216,7 @@ func (s *Session) run(spec Spec, src trace.Source) (*Result, error) {
 		}
 	}
 	if app == nil {
-		app = s.cursorApp(src)
+		app = cursorApp(src)
 	}
 	runSpec := p2pdc.RunSpec{
 		Submitter:    spec.Submitter,
@@ -231,9 +244,9 @@ func (s *Session) run(spec Spec, src trace.Source) (*Result, error) {
 	return out, nil
 }
 
-// cursorApp is the record-run replay loop shared by the legacy path
-// and non-op-structured sources.
-func (s *Session) cursorApp(src trace.Source) p2pdc.App {
+// cursorApp is the record-run replay loop shared by the legacy path,
+// non-op-structured sources and the parallel engine's partitions.
+func cursorApp(src trace.Source) p2pdc.App {
 	return func(w *p2pdc.Worker) error {
 		cur := src.Cursor(w.Rank())
 		for cur.Next() {

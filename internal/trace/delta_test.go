@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// chainEncode runs one parameter vector through a writer-side chain.
+func chainEncode(vals []float64) []byte {
+	var c floatChain
+	var b []byte
+	for _, v := range vals {
+		b = c.append(b, v)
+	}
+	return b
+}
+
+// chainDecode decodes n values with a reader-side chain.
+func chainDecode(t *testing.T, b []byte, n int) []float64 {
+	t.Helper()
+	br := newTestReader(b)
+	var c floatChain
+	out := make([]float64, n)
+	for i := range out {
+		v, err := c.read(br, "test")
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestDeltaChainRoundTrip: every fd arm — plain integral, delta up and
+// down, raw, sixths — reproduces its value bit for bit, including arms
+// that do not advance the chain state interleaved with ones that do.
+func TestDeltaChainRoundTrip(t *testing.T) {
+	vecs := [][]float64{
+		{0},
+		{1e9, 1e9 + 1, 1e9 - 1, 1e9 + 1000, 2e9, 5},
+		{12345678, 0.5, 12345679, 1e6 / 3, 12345680}, // raw/sixths arms leave the chain alone
+		{1 << 61, (1 << 61) + 7, 3, (1 << 62) - 1},
+		{math.Pi, 1e300, 2, 4, 1e-300, 6},
+		{7.65e7, 7.65e7, 7.65e7}, // zero deltas (1 byte plain vs 2 byte delta: plain wins)
+	}
+	for _, vals := range vecs {
+		enc := chainEncode(vals)
+		got := chainDecode(t, enc, len(vals))
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("vector %v: value %d round-tripped %v -> %v", vals, i, vals[i], got[i])
+			}
+		}
+	}
+}
+
+// TestDeltaChainNoWinByteIdentical: vectors the delta arm cannot
+// shrink must encode byte-identically to the plain f2 stream — the
+// arm is a pure win, never a format change for existing data shapes.
+func TestDeltaChainNoWinByteIdentical(t *testing.T) {
+	vecs := [][]float64{
+		{1, 2, 3, 60, 63},            // one-byte plain values: a delta never beats them
+		{0.5, 1.5, 2.5},              // raw arm only
+		{1e6 / 3, 2e6 / 3, 7.65e7},   // sixths arm only
+		{5, 5, 5, 5},                 // zero deltas still cost marker+varint
+		{100, 1 << 40, 200, 1 << 50}, // jumps as large as the values
+	}
+	for _, vals := range vecs {
+		var plain []byte
+		for _, v := range vals {
+			plain = appendFloat2(plain, v)
+		}
+		if enc := chainEncode(vals); !bytes.Equal(enc, plain) {
+			t.Fatalf("vector %v: chain encoding % x differs from plain f2 % x", vals, enc, plain)
+		}
+	}
+}
+
+// TestDeltaParamsShrinkAndRoundTrip: a heterogeneous compute binding —
+// many distinct whole-nanosecond durations wandering around the same
+// magnitude, exactly what non-foldable traces produce — must get
+// strictly smaller under the delta arm and survive a full
+// WriteTemplate/ReadTemplate round trip bit for bit.
+func TestDeltaParamsShrinkAndRoundTrip(t *testing.T) {
+	const n = 64
+	params := make([]float64, n)
+	v, seed := int64(1_000_000_000), uint64(99)
+	for i := range params {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v += int64(seed%20000) - 10000 // ±10µs walk, whole ns
+		params[i] = float64(v)
+	}
+	var plain []byte
+	for _, p := range params {
+		plain = appendFloat2(plain, p)
+	}
+	enc := chainEncode(params)
+	if len(enc) >= len(plain) {
+		t.Fatalf("delta arm did not shrink a heterogeneous vector: %d >= %d bytes", len(enc), len(plain))
+	}
+
+	ops := make([]TOp, n)
+	for i := range ops {
+		ops[i] = TOp{Count: AffineConst(1), Kind: KindCompute, NS: FParam(i)}
+	}
+	tpl := &Template{
+		World: 2,
+		Roles: [][]TOp{ops},
+		Classes: []Class{
+			{Sel: SelFirst, Role: 0, Params: params},
+			{Sel: SelLast, Role: 0, Params: params},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tpl.WriteTemplate(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTemplate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range tpl.Classes {
+		for i, p := range tpl.Classes[ci].Params {
+			if math.Float64bits(back.Classes[ci].Params[i]) != math.Float64bits(p) {
+				t.Fatalf("class %d param %d round-tripped %v -> %v", ci, i, p, back.Classes[ci].Params[i])
+			}
+		}
+	}
+	// Re-encoding the decoded template must reproduce the stream
+	// byte for byte: the chain state is a pure function of the values.
+	var again bytes.Buffer
+	if err := back.WriteTemplate(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+		t.Fatal("delta-encoded template did not re-encode byte-identically")
+	}
+}

@@ -80,12 +80,34 @@ func FuzzReadTemplate(f *testing.F) {
 			{Sel: SelLast, Role: 1, Params: []float64{3.5}},
 		},
 	}))
+	// A heterogeneous compute binding: distinct whole-ns durations that
+	// the fd delta arm compresses, so mutation reaches marker 5.
+	hetero := func() *Template {
+		ops := make([]TOp, 16)
+		params := make([]float64, 16)
+		for i := range ops {
+			ops[i] = TOp{Count: AffineConst(1), Kind: KindCompute, NS: FParam(i)}
+			params[i] = 1e9 + float64(i*i*977)
+		}
+		return &Template{
+			World: 2,
+			Roles: [][]TOp{ops},
+			Classes: []Class{
+				{Sel: SelFirst, Role: 0, Params: params},
+				{Sel: SelLast, Role: 0, Params: params},
+			},
+		}
+	}()
+	f.Add(seed(hetero))
 	// Hostile seeds: truncated bindings, a self reference, an
-	// overflowing affine coefficient.
+	// overflowing affine coefficient, fd deltas with no previous value
+	// and leaving the integral range.
 	whole := seed(strip)
 	f.Add(whole[:len(whole)-2])
 	f.Add(newTB(4, 1).u(1).u(7).u(0).u(1).u(1).bytes())
 	f.Add(newTB(4, 1).u(1).u(1).u(1).v(1 << 50).v(0).v(0).bytes())
+	f.Add(newTB(4, 0).u(1).u(1).u(0).u(1).u(5).v(3).bytes())
+	f.Add(newTB(4, 0).u(1).u(1).u(0).u(2).u(2).u(5).v(-5).bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tpl, err := ReadTemplate(bytes.NewReader(data))
 		if err != nil {

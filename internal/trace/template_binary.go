@@ -23,7 +23,7 @@
 //	         | ref: uvarint(role+1), strictly lower-numbered role
 //	class   := uvarint(sel [| 8]) [sel=list: uvarint(n) uvarint(rank)^n,
 //	           strictly increasing] uvarint(role)
-//	           uvarint(nparams) f2^nparams
+//	           uvarint(nparams) fd^nparams
 //	           [sel bit 3 set: f2(slope)^nparams f2(residual)]
 //	trailer := uvarint(scale_units) — present only when some class
 //	           carries slopes (affine compute bindings; see
@@ -35,6 +35,9 @@
 //	f2      := uvarint u: u even -> u/2
 //	         | u=1 -> 8 IEEE-754 bytes, little endian
 //	         | u=3 -> uvarint k, value k/6
+//	fd      := f2
+//	         | u=5 -> varint(d), value = previous integral value in
+//	           the same parameter vector + d (delta arm)
 //
 // The f2 sixths arm exists because compute durations are integral or
 // half-integral cycle counts at a 3 GHz virtual clock — k/6
@@ -42,6 +45,19 @@
 // to 9 raw bytes. The encoder uses it only when float64(k)/6
 // reproduces the value bit for bit, so f2 round trips exactly like v1
 // floats. v1 streams are untouched; the arm is a v2-only addition.
+//
+// Class parameter vectors use fd: f2 plus a delta-from-previous arm.
+// When a parameter and the last integral parameter before it in the
+// same vector are both non-negative integers, the signed difference
+// is written instead of the value whenever its varint is strictly
+// shorter. Heterogeneous (non-foldable) compute payloads — many
+// distinct whole-nanosecond durations of similar magnitude in one
+// binding vector — are the target: each 4–5 byte duration shrinks to
+// a 1–3 byte delta. Both arms reproduce the value bit for bit, and
+// the encoder falls back to the plain arm whenever the delta does not
+// win, so vectors the arm cannot shrink encode byte-identically to
+// the original v2 stream. Readers predating the arm reject marker 5
+// cleanly as a bad float marker.
 //
 // Decoding enforces the same sanity limits as the v1 reader plus the
 // template-specific ones (role references must point at
@@ -108,6 +124,12 @@ func readFloat2(br *bufio.Reader, what string) (float64, error) {
 	if u&1 == 0 {
 		return float64(u >> 1), nil
 	}
+	return readFloat2Arm(br, u, what)
+}
+
+// readFloat2Arm decodes the odd-marker f2 arms with the marker
+// already consumed.
+func readFloat2Arm(br *bufio.Reader, u uint64, what string) (float64, error) {
 	switch u {
 	case 1:
 		var raw [8]byte
@@ -126,6 +148,85 @@ func readFloat2(br *bufio.Reader, what string) (float64, error) {
 		return float64(k) / 6, nil
 	}
 	return 0, fmt.Errorf("trace: bad float marker %d in %s", u, what)
+}
+
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(d int64) int {
+	ux := uint64(d) << 1
+	if d < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}
+
+// floatChain threads the fd delta arm's state — the last integral
+// value — through one class parameter vector. Writer and reader walk
+// a vector with matching chains: a value carried by the plain
+// integral arm or the delta arm advances the state on both sides,
+// while the raw and sixths arms (which the writer never uses for
+// integral values) leave it untouched.
+type floatChain struct {
+	prev  uint64
+	valid bool
+}
+
+// append encodes v with the f2 arms plus the delta arm, taking the
+// delta only when its encoding is strictly shorter than the plain
+// integral arm — ties keep the original v2 bytes.
+func (c *floatChain) append(b []byte, v float64) []byte {
+	if v >= 0 && v < (1<<62) && v == math.Trunc(v) && !math.Signbit(v) {
+		u := uint64(v)
+		if c.valid {
+			if d := int64(u - c.prev); 1+varintLen(d) < uvarintLen(u<<1) {
+				c.prev = u
+				b = binary.AppendUvarint(b, 5)
+				return binary.AppendVarint(b, d)
+			}
+		}
+		c.prev, c.valid = u, true
+		return binary.AppendUvarint(b, u<<1)
+	}
+	return appendFloat2(b, v)
+}
+
+func (c *floatChain) read(br *bufio.Reader, what string) (float64, error) {
+	u, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("trace: reading %s: %w", what, err)
+	}
+	if u&1 == 0 {
+		v := u >> 1
+		if v < 1<<62 {
+			c.prev, c.valid = v, true
+		}
+		return float64(v), nil
+	}
+	if u == 5 {
+		if !c.valid {
+			return 0, fmt.Errorf("trace: %s delta with no previous integral value", what)
+		}
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: reading %s delta: %w", what, err)
+		}
+		// Unsigned wraparound sends both overflow and underflow far
+		// above the integral arm's 2^62 ceiling.
+		v := c.prev + uint64(d)
+		if v >= 1<<62 {
+			return 0, fmt.Errorf("trace: %s delta %d leaves the integral range", what, d)
+		}
+		c.prev = v
+		return float64(v), nil
+	}
+	return readFloat2Arm(br, u, what)
 }
 
 // top flag bits.
@@ -237,8 +338,9 @@ func (t *Template) WriteTemplate(w io.Writer) error {
 		}
 		b = binary.AppendUvarint(b, uint64(c.Role))
 		b = binary.AppendUvarint(b, uint64(len(c.Params)))
+		var pc floatChain
 		for _, p := range c.Params {
-			b = appendFloat2(b, p)
+			b = pc.append(b, p)
 		}
 		if c.Slopes != nil {
 			for _, s := range c.Slopes {
@@ -497,8 +599,9 @@ func readTemplateBody(br *bufio.Reader) (*Template, error) {
 		if err != nil {
 			return nil, err
 		}
+		var pc floatChain
 		for i := int64(0); i < nparams; i++ {
-			v, err := readFloat2(br, "class parameter")
+			v, err := pc.read(br, "class parameter")
 			if err != nil {
 				// A short read here is the classic truncated-bindings
 				// hostile input; surface it as such.

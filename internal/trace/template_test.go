@@ -530,6 +530,8 @@ func TestTemplateHostileInputs(t *testing.T) {
 		"no coverage":         newTB(4, 1).u(0).u(0).bytes(), // no classes at all
 		"double coverage":     newTB(4, 0).u(2).u(1).u(0).u(0).u(1).u(0).u(0).bytes(),
 		"param underflow":     newTB(4, 1).u(1).u(1).u(8).u(1).u(3).u(3).u(1).u(0).u(0).u(2).u(0).u(0).u(3).u(0).u(0).bytes(),
+		"delta first param":   newTB(4, 0).u(1).u(1).u(0).u(1).u(5).v(3).bytes(),       // fd delta with no previous value
+		"delta out of range":  newTB(4, 0).u(1).u(1).u(0).u(2).u(2).u(5).v(-5).bytes(), // 1 + (-5) leaves the integral range
 	}
 	for name, data := range cases {
 		if _, err := ReadTemplate(bytes.NewReader(data)); err == nil {
