@@ -9,6 +9,7 @@
 //	      [-emit-instrumented] [-emit-traces dir]
 //	      [-save-traces set.json] [-load-traces set.json]
 //	      [-trace-format text|json|bin] [-trace-stats] [-no-fastforward]
+//	      [-json]
 //	dperf -sweep [-sweep-platforms grid5000,xdsl,lan] [-sweep-ranks 2,4,8]
 //	      [-sweep-schemes sync,async] [-sweep-workers N]
 //	      [-sweep-format table|json|csv] [-sweep-out file]
@@ -32,6 +33,11 @@
 // -load-traces auto-detects every format — v1 per-rank and v2
 // template containers, JSON, a single binary trace or template file,
 // or a directory of per-rank files.
+//
+// -json (with -load-traces) prints the prediction as its serialized
+// JSON form instead of the text report — byte-identical to what the
+// dperfd service returns for the same artifact and spec, which is how
+// CI diffs the two.
 //
 // -trace-stats inspects a trace set instead of predicting from it:
 // raw vs folded record counts, the template factoring with its
@@ -91,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noFF         = fs.Bool("no-fastforward", false, "simulate every folded iteration round instead of fast-forwarding steady-state rounds")
 		replayWork   = fs.Int("replay-workers", 1, "partition each DES replay across this many workers (conservative windowed parallel simulation; predictions are bit-identical to the serial engine)")
 		predictMode  = fs.String("predict-mode", "des", "prediction tier: des (replay engine), auto (analytic when certified, DES fallback) or analytic (forced, fails when ineligible)")
+		jsonOut      = fs.Bool("json", false, "print the prediction as its serialized JSON form (exactly the bytes dperfd serves) instead of the text report")
 		scan         = fs.Bool("scan", false, "run the symbolic guarded-tape scan smoke demo and exit")
 		n            = fs.Int64("n", 0, "override grid dimension N")
 		rounds       = fs.Int64("rounds", 0, "override the iteration round count")
@@ -176,6 +183,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// -json prints nothing but the serialized prediction, so it only
+	// composes with the modes whose output IS one prediction.
+	if *jsonOut {
+		switch {
+		case *sweep:
+			return fmt.Errorf("-json has no effect with -sweep: use -sweep-format json")
+		case *traceStats:
+			return fmt.Errorf("-json has no effect with -trace-stats")
+		case *loadTraces == "":
+			return fmt.Errorf("-json requires -load-traces: it prints the bare serialized prediction replayed from a stored set")
+		}
+	}
+
+	// FF_DEBUG streams the fast-forward controller's decisions to
+	// stderr. The simulation packages never read the environment (the
+	// determinism contract bans it); the CLI maps the variable to the
+	// explicit WithFFDebug option here, at the process boundary.
+	var ffDebug io.Writer
+	if os.Getenv("FF_DEBUG") != "" {
+		ffDebug = stderr
+	}
+
 	level, err := dperf.ParseLevel(*levelName)
 	if err != nil {
 		return err
@@ -194,7 +223,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		var badFlag error
 		fs.Visit(func(f *flag.Flag) {
 			switch {
-			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats" || f.Name == "no-fastforward" || f.Name == "predict-mode" || f.Name == "replay-workers":
+			case f.Name == "load-traces" || f.Name == "platform" || f.Name == "trace-stats" || f.Name == "no-fastforward" || f.Name == "predict-mode" || f.Name == "replay-workers" || f.Name == "json":
 			case *sweep && strings.HasPrefix(f.Name, "sweep"):
 			default:
 				badFlag = fmt.Errorf("-%s has no effect with -load-traces: the trace set fixes the workload, peers and level", f.Name)
@@ -211,13 +240,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return printTraceStats(stdout, ts)
 		}
 		if *sweep {
-			return runSweep(fs, ts, stdout, !*noFF, mode, *replayWork,
+			return runSweep(fs, ts, stdout, !*noFF, mode, *replayWork, ffDebug,
 				*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 		}
-		pred, err := ts.Predict(dperf.WithPlatform(kind), dperf.WithFastForward(!*noFF),
-			dperf.WithPredictMode(mode), dperf.WithReplayWorkers(*replayWork))
+		opts := []dperf.Option{dperf.WithPlatform(kind), dperf.WithFastForward(!*noFF),
+			dperf.WithPredictMode(mode), dperf.WithReplayWorkers(*replayWork)}
+		if ffDebug != nil {
+			opts = append(opts, dperf.WithFFDebug(ffDebug))
+		}
+		pred, err := ts.Predict(opts...)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return pred.WriteJSON(stdout)
 		}
 		fmt.Fprintf(stdout, "replayed stored trace set %q (%d ranks, level %s) on %s:\n",
 			ts.Workload, ts.Ranks, ts.Level, kind)
@@ -264,7 +300,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *sweep {
-		return runSweep(fs, a, stdout, !*noFF, mode, *replayWork,
+		return runSweep(fs, a, stdout, !*noFF, mode, *replayWork, ffDebug,
 			*sweepPlats, *sweepRanks, *sweepSchms, *sweepWork, *sweepFormat, *sweepOut)
 	}
 
@@ -325,8 +361,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	// Stage 4: replay on the target platform.
-	pred, err := ts.Predict(dperf.WithFastForward(!*noFF), dperf.WithPredictMode(mode),
-		dperf.WithReplayWorkers(*replayWork))
+	predOpts := []dperf.Option{dperf.WithFastForward(!*noFF), dperf.WithPredictMode(mode),
+		dperf.WithReplayWorkers(*replayWork)}
+	if ffDebug != nil {
+		predOpts = append(predOpts, dperf.WithFFDebug(ffDebug))
+	}
+	pred, err := ts.Predict(predOpts...)
 	if err != nil {
 		return err
 	}
@@ -405,7 +445,8 @@ func printTraceStats(w io.Writer, ts *dperf.TraceSet) error {
 // runSweep expands the sweep flags into a dperf.Space, runs the sweep
 // and writes the requested output format.
 func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer, fastForward bool,
-	mode dperf.PredictMode, replayWorkers int, plats, ranks, schemes string, workers int, format, outPath string) error {
+	mode dperf.PredictMode, replayWorkers int, ffDebug io.Writer,
+	plats, ranks, schemes string, workers int, format, outPath string) error {
 	// Validate the output side first: a typo in -sweep-format or an
 	// unwritable -sweep-out must not cost a full sweep.
 	switch format {
@@ -462,8 +503,12 @@ func runSweep(fs *flag.FlagSet, src dperf.TraceSource, stdout io.Writer, fastFor
 		}
 	}
 
-	opts := []dperf.SweepOption{dperf.SweepOptions(dperf.WithFastForward(fastForward),
-		dperf.WithPredictMode(mode), dperf.WithReplayWorkers(replayWorkers))}
+	baseOpts := []dperf.Option{dperf.WithFastForward(fastForward),
+		dperf.WithPredictMode(mode), dperf.WithReplayWorkers(replayWorkers)}
+	if ffDebug != nil {
+		baseOpts = append(baseOpts, dperf.WithFFDebug(ffDebug))
+	}
+	opts := []dperf.SweepOption{dperf.SweepOptions(baseOpts...)}
 	if workers > 0 {
 		opts = append(opts, dperf.SweepWorkers(workers))
 	}

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/dperf"
 )
 
 // runCLI invokes the command with discardable stderr and returns
@@ -338,5 +341,90 @@ func TestRunScanSmoke(t *testing.T) {
 	}
 	if out != again {
 		t.Fatalf("scan output is not deterministic:\n%s\nvs\n%s", out, again)
+	}
+}
+
+// TestRunJSONOutput: -json prints exactly the serialized prediction —
+// the same bytes the dperfd service returns — and composes only with
+// the replay-only mode whose output is one prediction.
+func TestRunJSONOutput(t *testing.T) {
+	set := filepath.Join(t.TempDir(), "set.json")
+	if _, err := runCLI(t, append(fast, "-save-traces", set, "-peers", "2")...); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-load-traces", set, "-platform", "lan", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The output is the library's serialized form, nothing else.
+	ts, err := dperf.LoadTraceSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := ts.Predict(dperf.WithPlatform(dperf.KindLAN), dperf.WithFastForward(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := pred.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if out != want.String() {
+		t.Fatalf("-json output is not the serialized prediction:\n got: %s\nwant: %s", out, want.String())
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if decoded["dperf_prediction_version"] != float64(1) || decoded["engine"] != "replay" {
+		t.Fatalf("-json output missing version/engine fields: %s", out)
+	}
+
+	// Modes whose output is not one prediction reject the flag.
+	for _, args := range [][]string{
+		{"-json"},
+		{"-json", "-sweep"},
+		{"-json", "-load-traces", set, "-trace-stats"},
+	} {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+// TestRunFFDebugEnv: FF_DEBUG streams fast-forward diagnostics to
+// stderr via the CLI's env→option mapping, and — being observational —
+// never changes the prediction output.
+func TestRunFFDebugEnv(t *testing.T) {
+	// The binary container keeps the folded Repeat loops fast-forward
+	// needs; the flat JSON set would replay every round.
+	set := filepath.Join(t.TempDir(), "set.bin")
+	if _, err := runCLI(t, "-n", "64", "-rounds", "40", "-peers", "4",
+		"-save-traces", set, "-trace-format", "bin"); err != nil {
+		t.Fatal(err)
+	}
+
+	var quiet, quietErr bytes.Buffer
+	if err := run([]string{"-load-traces", set}, &quiet, &quietErr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(quietErr.String(), "ff: ") {
+		t.Fatalf("fast-forward diagnostics leaked without FF_DEBUG:\n%s", quietErr.String())
+	}
+
+	t.Setenv("FF_DEBUG", "1")
+	var noisy, noisyErr bytes.Buffer
+	if err := run([]string{"-load-traces", set}, &noisy, &noisyErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(noisy.String(), "fast-forward:") {
+		t.Fatalf("replay did not fast-forward, diagnostics untestable:\n%s", noisy.String())
+	}
+	if !strings.Contains(noisyErr.String(), "ff: ") {
+		t.Fatalf("FF_DEBUG produced no diagnostics on stderr:\n%s", noisyErr.String())
+	}
+	if quiet.String() != noisy.String() {
+		t.Fatalf("FF_DEBUG changed the prediction output:\n%s\nvs\n%s", quiet.String(), noisy.String())
 	}
 }

@@ -1,6 +1,7 @@
 package dperf
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/p2psap"
@@ -8,6 +9,20 @@ import (
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
+
+// PeriodCache shares detected steady-state periods across replays: a
+// cache hit replays a previously proven fast-forward jump decision
+// instead of re-deriving it, and by construction never changes results
+// or round statistics. Sweep builds one per call automatically; a
+// long-running caller (a prediction server) creates one with
+// NewPeriodCache and installs it with WithPeriodCache so the warmth
+// survives across independent Predict and Sweep calls. Safe for
+// concurrent use.
+type PeriodCache = replay.PeriodCache
+
+// NewPeriodCache returns an empty steady-state period cache for
+// WithPeriodCache.
+func NewPeriodCache() *PeriodCache { return replay.NewPeriodCache() }
 
 // EngineSpec is everything a replay engine needs to turn a
 // platform-independent trace set into a platform-specific prediction.
@@ -41,6 +56,10 @@ type EngineSpec struct {
 	// fills both in, and an empty key disables the cache.
 	Periods   *replay.PeriodCache
 	PeriodKey string
+	// Debug, when non-nil, receives the fast-forward engine's boundary
+	// and jump diagnostics. Observational only: it never reaches a
+	// prediction.
+	Debug io.Writer
 }
 
 // EngineResult is a replay outcome: t_predicted plus its phase
@@ -140,6 +159,7 @@ func replaySpec(spec EngineSpec) replay.Spec {
 		FastForward:  mode,
 		Periods:      spec.Periods,
 		PeriodKey:    spec.PeriodKey,
+		Debug:        spec.Debug,
 	}
 }
 

@@ -1,6 +1,8 @@
 package dperf
 
 import (
+	"io"
+
 	"repro/internal/platform"
 )
 
@@ -22,6 +24,8 @@ type config struct {
 	fastForward   bool
 	predictMode   PredictMode
 	predictor     *Predictor
+	periods       *PeriodCache
+	ffDebug       io.Writer
 }
 
 // normalized fills unset fields with the documented defaults: level
@@ -118,6 +122,31 @@ func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 // speed on large heterogeneous replays that fast-forward cannot skip.
 // Ignored when WithEngine installs a custom engine.
 func WithReplayWorkers(n int) Option { return func(c *config) { c.replayWorkers = n } }
+
+// WithPeriodCache shares a steady-state period cache across calls:
+// replays with bit-identical dynamics (same platform identity, scheme,
+// ranks, deployment bytes and trace source) reuse each other's proven
+// fast-forward jumps instead of re-deriving them. Sweep already builds
+// a per-call cache when none is installed; installing one here extends
+// the warmth across independent Predict and Sweep calls — the shape a
+// long-running prediction server needs. The cache is stats-neutral by
+// construction: predictions are bit-identical whether it is cold, warm
+// or absent. Pair it with a shared *Predictor (WithPredictor) so
+// built-in platforms keep a stable identity across calls; without one,
+// each Predict resolves a fresh platform pointer and the cache cannot
+// hit.
+func WithPeriodCache(pc *PeriodCache) Option {
+	return func(c *config) { c.periods = pc }
+}
+
+// WithFFDebug streams the fast-forward engine's boundary-rejection and
+// jump diagnostics to w (nil: silent, the default). Observational
+// only — diagnostics can never reach a prediction. This replaces the
+// old process-wide FF_DEBUG environment gate, which was frozen at init
+// time; the dperf CLI maps FF_DEBUG to this option itself.
+func WithFFDebug(w io.Writer) Option {
+	return func(c *config) { c.ffDebug = w }
+}
 
 // WithFastForward toggles steady-state fast-forward replay (default
 // off): once the rounds of a folded Repeat loop reach an exactly

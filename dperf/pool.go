@@ -1,0 +1,154 @@
+package dperf
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+	"repro/internal/replay"
+)
+
+// SessionPool is a replay engine for long-running concurrent callers:
+// it keeps per-platform replay.Session instances hot and hands each
+// Replay an exclusive session, so the realized network, route caches
+// and mailboxes survive across independent requests instead of being
+// rebuilt per call. Install it with WithEngine, alongside a shared
+// *Predictor (for stable platform identity — the pool keys sessions by
+// *Platform) and usually a shared PeriodCache.
+//
+// Sessions self-heal: a failed replay marks its session dirty and the
+// next checkout rebuilds the environment, so a poisoned request never
+// contaminates a later one. Pooling is execution strategy only —
+// predictions are bit-identical to DefaultEngine for every input.
+//
+// SessionPool is safe for concurrent use; concurrent replays against
+// one platform each get their own session, and all of them return to
+// the pool for reuse.
+type SessionPool struct {
+	mu   sync.Mutex
+	idle map[*platform.Platform][]*replay.Session
+}
+
+// NewSessionPool returns an empty session pool.
+func NewSessionPool() *SessionPool {
+	return &SessionPool{idle: make(map[*platform.Platform][]*replay.Session)}
+}
+
+// Name implements Engine. The pool reports the same label as
+// DefaultEngine: it IS the in-process replay engine, merely reusing
+// sessions across calls, and the label is serialized into predictions —
+// a distinct name would make pooled server responses differ from CLI
+// output for identical inputs, breaking the bit-identity contract.
+func (p *SessionPool) Name() string { return "replay" }
+
+// checkout hands the caller an exclusive session for the platform,
+// reusing an idle one when available.
+func (p *SessionPool) checkout(plat *platform.Platform) (*replay.Session, error) {
+	p.mu.Lock()
+	if ss := p.idle[plat]; len(ss) > 0 {
+		s := ss[len(ss)-1]
+		p.idle[plat] = ss[:len(ss)-1]
+		p.mu.Unlock()
+		return s, nil
+	}
+	p.mu.Unlock()
+	//dperfvet:allow sessionreuse pooled: constructed only on pool shortfall, then recycled via checkin for the pool's lifetime
+	return replay.NewSession(plat)
+}
+
+// checkin returns a session to the idle pool. Sessions come back even
+// after a failed run: the session marked itself dirty and rebuilds on
+// its next use.
+func (p *SessionPool) checkin(plat *platform.Platform, s *replay.Session) {
+	p.mu.Lock()
+	p.idle[plat] = append(p.idle[plat], s)
+	p.mu.Unlock()
+}
+
+// Idle reports how many sessions are parked in the pool across all
+// platforms.
+func (p *SessionPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ss := range p.idle {
+		n += len(ss)
+	}
+	return n
+}
+
+// CloseIdle tears down every idle session's simulation environment and
+// empties the pool, releasing the realized networks. In-flight
+// sessions are unaffected and return to the (now empty) pool when
+// their replays finish. Returns the number of sessions closed.
+func (p *SessionPool) CloseIdle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ss := range p.idle {
+		for _, s := range ss {
+			s.Close()
+			n++
+		}
+	}
+	p.idle = make(map[*platform.Platform][]*replay.Session)
+	return n
+}
+
+// Replay implements Engine with a pooled session.
+func (p *SessionPool) Replay(spec EngineSpec) (*EngineResult, error) {
+	s, err := p.checkout(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.RunSource(replaySpec(spec), spec.Source)
+	p.checkin(spec.Platform, s)
+	if err != nil {
+		return nil, err
+	}
+	return engineResult(res), nil
+}
+
+// heldSession pairs a checked-out session with its platform for the
+// duration of one batch.
+type heldSession struct {
+	plat *platform.Platform
+	s    *replay.Session
+}
+
+// ReplayAll implements BatchEngine: specs in one batch targeting the
+// same platform share one checked-out session, and every session goes
+// back to the pool when the batch ends.
+func (p *SessionPool) ReplayAll(specs []EngineSpec) []ReplayOutcome {
+	var held []heldSession
+	out := make([]ReplayOutcome, len(specs))
+	for i, spec := range specs {
+		start := time.Now()
+		var s *replay.Session
+		for _, h := range held {
+			if h.plat == spec.Platform {
+				s = h.s
+				break
+			}
+		}
+		if s == nil {
+			var err error
+			s, err = p.checkout(spec.Platform)
+			if err != nil {
+				out[i] = ReplayOutcome{Err: err, Cost: time.Since(start)}
+				continue
+			}
+			held = append(held, heldSession{plat: spec.Platform, s: s})
+		}
+		res, err := s.RunSource(replaySpec(spec), spec.Source)
+		if err != nil {
+			out[i] = ReplayOutcome{Err: err, Cost: time.Since(start)}
+			continue
+		}
+		out[i] = ReplayOutcome{Result: engineResult(res), Cost: time.Since(start)}
+	}
+	for _, h := range held {
+		p.checkin(h.plat, h.s)
+	}
+	return out
+}

@@ -1,7 +1,9 @@
 package dperf
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 )
 
 // Prediction is a complete dPerf result for one configuration.
@@ -38,6 +40,24 @@ type Prediction struct {
 	TraceSet *TraceSet `json:"-"`
 }
 
+// predictionVersion guards the serialized prediction format.
+const predictionVersion = 1
+
+type predictionJSON struct {
+	Version int `json:"dperf_prediction_version"`
+	*Prediction
+}
+
+// WriteJSON serializes the prediction, indented, with a format version
+// header. This is the canonical machine rendering: the dperf CLI's
+// -json flag and the dperfd server both emit exactly these bytes, so
+// "bit-identical predictions" is checkable with a byte comparison.
+func (p *Prediction) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(predictionJSON{Version: predictionVersion, Prediction: p})
+}
+
 // engineSpec resolves the configuration against the trace set into
 // the spec handed to the replay engine, plus the platform label used
 // in reports.
@@ -62,7 +82,7 @@ func (cfg config) engineSpecOn(ts *TraceSet, plat *Platform, label string) (Engi
 	if err != nil {
 		return EngineSpec{}, "", err
 	}
-	return EngineSpec{
+	spec := EngineSpec{
 		Platform:     plat,
 		Hosts:        hosts,
 		Submitter:    plat.Frontend,
@@ -71,7 +91,16 @@ func (cfg config) engineSpecOn(ts *TraceSet, plat *Platform, label string) (Engi
 		GatherBytes:  ts.GatherBytes,
 		Source:       ts.Source(),
 		FastForward:  cfg.fastForward,
-	}, label, nil
+		Debug:        cfg.ffDebug,
+	}
+	if cfg.periods != nil {
+		// A caller-installed period cache (WithPeriodCache) keys exactly
+		// like a sweep's per-call cache; Sweep overwrites both fields
+		// with its own cache when none was installed.
+		spec.Periods = cfg.periods
+		spec.PeriodKey = periodKey(&spec, ts)
+	}
+	return spec, label, nil
 }
 
 // newPrediction assembles the public result from an engine outcome.
@@ -110,10 +139,12 @@ func (ts *TraceSet) Predict(opts ...Option) (*Prediction, error) {
 		err       error
 		predictor *Predictor
 	)
-	if cfg.predictMode != PredictDES {
+	if cfg.predictMode != PredictDES || cfg.predictor != nil {
 		// Resolve the platform through the predictor so a shared
 		// predictor sees a stable *Platform identity across calls —
-		// certificate-cache hits depend on it.
+		// certificate-cache, period-cache and session-pool hits all key
+		// on it. A caller-installed predictor provides that identity
+		// even in pure DES mode.
 		predictor = cfg.predictorOrNew()
 		if ts.Source().Ranks() == 0 {
 			return nil, fmt.Errorf("dperf: empty trace set")

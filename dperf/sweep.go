@@ -443,8 +443,13 @@ func Sweep(src TraceSource, space Space, opts ...SweepOption) (*SweepResult, err
 	// identity) replay each other's proven fast-forward jumps instead
 	// of re-deriving them. The cache is stats-neutral by construction,
 	// so results stay byte-identical regardless of worker count or
-	// which configuration warmed it.
-	periods := replay.NewPeriodCache()
+	// which configuration warmed it. A caller-installed cache
+	// (SweepOptions(WithPeriodCache(...))) is reused instead, extending
+	// the warmth across independent sweeps.
+	periods := base.periods
+	if periods == nil {
+		periods = replay.NewPeriodCache()
+	}
 
 	// Serial resolution phase: trace sets once per distinct rank
 	// count, platforms once per distinct (kind, size), shared across
@@ -546,7 +551,15 @@ func Sweep(src TraceSource, space Space, opts ...SweepOption) (*SweepResult, err
 			cached, hit := platCache[key]
 			if !hit {
 				var err error
-				cached, _, err = cfg.platformFor(ts.Ranks)
+				if base.predictor != nil {
+					// A shared predictor owns platform identity: routing
+					// resolution through it lets its certificate cache —
+					// and any period cache or session pool keyed on
+					// *Platform — stay warm across independent sweeps.
+					cached, _, err = base.predictor.platformFor(&cfg, ts.Ranks)
+				} else {
+					cached, _, err = cfg.platformFor(ts.Ranks)
+				}
 				if err != nil {
 					fail(err)
 					continue

@@ -2,7 +2,9 @@ package dperf_test
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/dperf"
@@ -260,5 +262,69 @@ func TestLoadTraceSetRejectsCorrupt(t *testing.T) {
 	data := append(append([]byte{}, buf.Bytes()...), 0x00)
 	if _, err := dperf.ReadTraceSetBinary(bytes.NewReader(data)); err == nil {
 		t.Fatal("trailing garbage: no error")
+	}
+}
+
+// TestLoadTraceSetErrorContext: a hostile artifact must fail with the
+// artifact's name AND the byte offset where decoding stopped — the
+// triage contract for both the CLI (paths) and the dperfd store
+// (upload digests), which share this parser.
+func TestLoadTraceSetErrorContext(t *testing.T) {
+	a, err := dperf.New(smallObstacle(), dperf.WithRanks(2)).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := a.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var binBuf, jsBuf bytes.Buffer
+	if err := ts.WriteBinary(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.WriteJSON(&jsBuf); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	wantBoth := func(what string, err error, name string) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: no error", what)
+		}
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("%s: error does not name the artifact %q: %v", what, name, err)
+		}
+		if !strings.Contains(err.Error(), "byte offset") {
+			t.Fatalf("%s: error does not report the byte offset: %v", what, err)
+		}
+	}
+
+	// Truncated binary from disk: path + offset.
+	binPath := filepath.Join(dir, "cut.bin")
+	if err := os.WriteFile(binPath, binBuf.Bytes()[:binBuf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = dperf.LoadTraceSet(binPath)
+	wantBoth("truncated binary load", err, "cut.bin")
+
+	// Mid-stream JSON corruption from disk: path + decoder offset.
+	js := append([]byte{}, jsBuf.Bytes()...)
+	js[len(js)/3] = 0x01
+	jsPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(jsPath, js, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = dperf.LoadTraceSet(jsPath)
+	wantBoth("corrupt JSON load", err, "bad.json")
+
+	// In-memory admission carries the caller's label the same way.
+	_, err = dperf.ReadTraceSetData("upload-42", binBuf.Bytes()[:16])
+	wantBoth("truncated binary admission", err, "upload-42")
+
+	// Unrecognized bytes name the artifact even without an offset.
+	if _, err := dperf.ReadTraceSetData("upload-43", []byte("zzzz")); err == nil ||
+		!strings.Contains(err.Error(), "upload-43") {
+		t.Fatalf("garbage admission error lacks the label: %v", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"maps"
@@ -252,6 +253,23 @@ func (ts *TraceSet) Source() trace.Source {
 	return trace.SliceSource(ts.Traces)
 }
 
+// Prepare finalizes the set for concurrent sharing: it resolves the
+// replay representation Source will hand out, so later Source calls
+// are read-only. A TraceSet's lazy conversions (Flat, Folded,
+// Template, Stats) are unsynchronized; a server admitting a set must
+// call Prepare — and perform any inspection such as Stats — once,
+// before the set is shared across concurrent Predict/Sweep calls.
+// After that the set is effectively immutable and replays freely:
+// source cursors are independent. It also rejects empty sets at
+// admission rather than at first prediction.
+func (ts *TraceSet) Prepare() error {
+	if ts.folded != nil || ts.tplSrc != nil || ts.Traces != nil {
+		return nil
+	}
+	_, err := ts.foldedOrErr()
+	return err
+}
+
 // Flat returns the per-rank flat record traces, materializing (and
 // caching) them from the folded IR if needed.
 func (ts *TraceSet) Flat() ([]*trace.Trace, error) {
@@ -371,6 +389,16 @@ func ReadTraceSetJSON(r io.Reader) (*TraceSet, error) {
 	var tj traceSetJSON
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&tj); err != nil {
+		// The stock error strings drop the decoder's position; surface
+		// it so a corrupt upload names the offending byte.
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			return nil, fmt.Errorf("dperf: decoding trace set at byte offset %d: %w", syn.Offset, err)
+		case errors.As(err, &typ):
+			return nil, fmt.Errorf("dperf: decoding trace set at byte offset %d: %w", typ.Offset, err)
+		}
 		return nil, fmt.Errorf("dperf: decoding trace set: %w", err)
 	}
 	if tj.Version != traceSetVersion {
@@ -522,20 +550,43 @@ func (ts *TraceSet) writeBinary(w io.Writer, tpl *trace.Template) error {
 	return bw.Flush()
 }
 
+// offsetReader counts the bytes consumed from the underlying stream so
+// binary-format errors can name the offending offset — a server store
+// surfacing a bare "unexpected EOF" with no position is undebuggable.
+type offsetReader struct {
+	br  *bufio.Reader
+	off int64
+}
+
+func (o *offsetReader) Read(p []byte) (int, error) {
+	n, err := o.br.Read(p)
+	o.off += int64(n)
+	return n, err
+}
+
+func (o *offsetReader) ReadByte() (byte, error) {
+	b, err := o.br.ReadByte()
+	if err == nil {
+		o.off++
+	}
+	return b, err
+}
+
 // ReadTraceSetBinary loads a trace set written by WriteBinary and
-// validates it like ReadTraceSetJSON. The traces stay folded.
+// validates it like ReadTraceSetJSON. The traces stay folded. Errors
+// carry the byte offset at which decoding failed.
 func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
-	br := bufio.NewReader(r)
+	br := &offsetReader{br: bufio.NewReader(r)}
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("dperf: reading trace set magic: %w", err)
+		return nil, fmt.Errorf("dperf: reading trace set magic at byte offset %d: %w", br.off, err)
 	}
 	if string(magic[:]) != traceSetMagic {
 		return nil, fmt.Errorf("dperf: bad trace set magic %q (want %q)", magic[:], traceSetMagic)
 	}
 	version, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("dperf: reading trace set version: %w", err)
+		return nil, fmt.Errorf("dperf: reading trace set version at byte offset %d: %w", br.off, err)
 	}
 	if version != traceSetBinaryVersion && version != traceSetTemplateVersion {
 		return nil, fmt.Errorf("dperf: trace set binary version %d, want %d or %d",
@@ -543,25 +594,25 @@ func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
 	}
 	nameLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("dperf: reading workload name: %w", err)
+		return nil, fmt.Errorf("dperf: reading workload name at byte offset %d: %w", br.off, err)
 	}
 	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("dperf: workload name length %d out of range", nameLen)
+		return nil, fmt.Errorf("dperf: workload name length %d out of range at byte offset %d", nameLen, br.off)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("dperf: reading workload name: %w", err)
+		return nil, fmt.Errorf("dperf: reading workload name at byte offset %d: %w", br.off, err)
 	}
 	ranks, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("dperf: reading rank count: %w", err)
+		return nil, fmt.Errorf("dperf: reading rank count at byte offset %d: %w", br.off, err)
 	}
 	if ranks < 1 || ranks > 1<<20 {
 		return nil, fmt.Errorf("dperf: trace set claims %d ranks", ranks)
 	}
 	levelRaw, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("dperf: reading level: %w", err)
+		return nil, fmt.Errorf("dperf: reading level at byte offset %d: %w", br.off, err)
 	}
 	level, err := levelFromOrdinal(levelRaw)
 	if err != nil {
@@ -569,11 +620,11 @@ func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
 	}
 	var f64 [8]byte
 	if _, err := io.ReadFull(br, f64[:]); err != nil {
-		return nil, fmt.Errorf("dperf: reading scatter bytes: %w", err)
+		return nil, fmt.Errorf("dperf: reading scatter bytes at byte offset %d: %w", br.off, err)
 	}
 	scatter := math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
 	if _, err := io.ReadFull(br, f64[:]); err != nil {
-		return nil, fmt.Errorf("dperf: reading gather bytes: %w", err)
+		return nil, fmt.Errorf("dperf: reading gather bytes at byte offset %d: %w", br.off, err)
 	}
 	gather := math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
 	if !(scatter >= 0) || !(gather >= 0) || math.IsInf(scatter, 1) || math.IsInf(gather, 1) {
@@ -586,34 +637,35 @@ func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
 		ScatterBytes: scatter,
 		GatherBytes:  gather,
 	}
-	readBlob := func(what string) ([]byte, error) {
+	readBlob := func(what string) ([]byte, int64, error) {
 		blobLen, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("dperf: reading %s length: %w", what, err)
+			return nil, 0, fmt.Errorf("dperf: reading %s length at byte offset %d: %w", what, br.off, err)
 		}
 		if blobLen > maxTraceSetBlob {
-			return nil, fmt.Errorf("dperf: %s blob of %d bytes exceeds %d", what, blobLen, maxTraceSetBlob)
+			return nil, 0, fmt.Errorf("dperf: %s blob of %d bytes at byte offset %d exceeds %d", what, blobLen, br.off, maxTraceSetBlob)
 		}
+		start := br.off
 		blob := make([]byte, blobLen)
 		if _, err := io.ReadFull(br, blob); err != nil {
-			return nil, fmt.Errorf("dperf: reading %s: %w", what, err)
+			return nil, 0, fmt.Errorf("dperf: reading %s at byte offset %d: %w", what, br.off, err)
 		}
-		return blob, nil
+		return blob, start, nil
 	}
 	if version == traceSetTemplateVersion {
-		blob, err := readBlob("template")
+		blob, start, err := readBlob("template")
 		if err != nil {
 			return nil, err
 		}
 		tpl, err := trace.ReadTemplate(bytes.NewReader(blob))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dperf: template blob at byte offset %d: %w", start, err)
 		}
 		if tpl.World != int(ranks) {
 			return nil, fmt.Errorf("dperf: trace set claims %d ranks but template binds %d", ranks, tpl.World)
 		}
 		if _, err := br.ReadByte(); err != io.EOF {
-			return nil, fmt.Errorf("dperf: trailing data after trace set")
+			return nil, fmt.Errorf("dperf: trailing data after trace set at byte offset %d", br.off)
 		}
 		if err := ts.setTemplate(tpl); err != nil {
 			return nil, err
@@ -627,18 +679,18 @@ func ReadTraceSetBinary(r io.Reader) (*TraceSet, error) {
 	}
 	folded := make([]*trace.Folded, ranks)
 	for i := range folded {
-		blob, err := readBlob(fmt.Sprintf("rank %d trace", i))
+		blob, start, err := readBlob(fmt.Sprintf("rank %d trace", i))
 		if err != nil {
 			return nil, err
 		}
 		f, err := trace.ReadBinary(bytes.NewReader(blob))
 		if err != nil {
-			return nil, fmt.Errorf("dperf: rank %d: %w", i, err)
+			return nil, fmt.Errorf("dperf: rank %d trace blob at byte offset %d: %w", i, start, err)
 		}
 		folded[i] = f
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("dperf: trailing data after trace set")
+		return nil, fmt.Errorf("dperf: trailing data after trace set at byte offset %d", br.off)
 	}
 	if err := trace.ValidateFolded(folded); err != nil {
 		return nil, err
@@ -667,78 +719,76 @@ func LoadTraceSet(path string) (*TraceSet, error) {
 		}
 		return &TraceSet{Ranks: len(folded), folded: folded}, nil
 	}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	var magic [8]byte
-	n, err := io.ReadFull(f, magic[:])
-	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
-		return nil, fmt.Errorf("dperf: reading %s: %w", path, err)
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
-	}
-	switch {
-	case n >= 4 && string(magic[:4]) == traceSetMagic:
-		ts, err := ReadTraceSetBinary(f)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return ts, nil
-	case n >= 4 && string(magic[:4]) == trace.Magic:
-		ts, err := loadBareTrace(path, f, magic[:n])
-		if err != nil {
-			return nil, err
-		}
-		return ts, nil
-	case n > 0 && (magic[0] == '{' || magic[0] == ' ' || magic[0] == '\n' || magic[0] == '\t' || magic[0] == '\r'):
-		ts, err := ReadTraceSetJSON(f)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return ts, nil
-	}
-	return nil, fmt.Errorf("dperf: %s is neither a JSON trace set, a binary trace set, a binary trace or template, nor a trace directory", path)
+	return ReadTraceSetData(path, data)
 }
 
-// loadBareTrace loads a single trace.Magic file as a complete set: a
-// v2 stream is a whole templated set; a v1 stream is a single-rank
-// set and must label itself as one — the same rank/world rule the
-// directory loader enforces (the rank-3-of-8 file that a directory
-// load would reject cannot sneak in through the single-file path).
-// f is the already-open file, positioned at the start; the template
-// arm streams from it rather than slurping the file into memory.
-func loadBareTrace(path string, f *os.File, prefix []byte) (*TraceSet, error) {
-	version, err := trace.SniffBinaryVersion(prefix)
+// ReadTraceSetData parses a trace set from an in-memory artifact,
+// auto-detecting the same single-file formats LoadTraceSet accepts
+// (JSON, binary container, bare binary trace or template). name labels
+// errors — a path, an upload digest, a request id — so a failure names
+// both its artifact and, for the binary formats, the offending byte
+// offset. It is the admission path of a trace-set store: the CLI's
+// file loads go through the same parser, so store and CLI accept
+// byte-identical inputs.
+func ReadTraceSetData(name string, data []byte) (*TraceSet, error) {
+	switch {
+	case len(data) >= 4 && string(data[:4]) == traceSetMagic:
+		ts, err := ReadTraceSetBinary(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return ts, nil
+	case len(data) >= 4 && string(data[:4]) == trace.Magic:
+		return readBareTraceData(name, data)
+	case len(data) > 0 && (data[0] == '{' || data[0] == ' ' || data[0] == '\n' || data[0] == '\t' || data[0] == '\r'):
+		ts, err := ReadTraceSetJSON(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return ts, nil
+	}
+	return nil, fmt.Errorf("dperf: %s is neither a JSON trace set, a binary trace set, nor a binary trace or template", name)
+}
+
+// readBareTraceData loads a single trace.Magic stream as a complete
+// set: a v2 stream is a whole templated set; a v1 stream is a
+// single-rank set and must label itself as one — the same rank/world
+// rule the directory loader enforces (the rank-3-of-8 file that a
+// directory load would reject cannot sneak in through the single-file
+// path).
+func readBareTraceData(name string, data []byte) (*TraceSet, error) {
+	version, err := trace.SniffBinaryVersion(data)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	if version == 1 {
-		fd, err := trace.LoadFile(path)
+		fd, err := trace.ReadBinary(bytes.NewReader(data))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		if err := trace.ValidateLabel(0, 1, fd.Rank, fd.Of); err != nil {
-			return nil, fmt.Errorf("%s: not a complete trace set: %w", path, err)
+			return nil, fmt.Errorf("%s: not a complete trace set: %w", name, err)
 		}
 		folded := []*trace.Folded{fd}
 		if err := trace.ValidateFolded(folded); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		return &TraceSet{Ranks: 1, folded: folded}, nil
 	}
-	tpl, err := trace.ReadTemplate(f)
+	tpl, err := trace.ReadTemplate(bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	ts := &TraceSet{Ranks: tpl.World}
 	if err := ts.setTemplate(tpl); err != nil {
 		return nil, err
 	}
 	if err := trace.ValidateSource(ts.tplSrc); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return ts, nil
 }

@@ -51,16 +51,13 @@ package replay
 
 import (
 	"fmt"
+	"io"
 	"math"
-	"os"
 	"sync"
 
 	"repro/internal/p2pdc"
 	"repro/internal/trace"
 )
-
-//dperfvet:allow simpurity read-once debug gate; it toggles stderr tracing only and can never reach a prediction
-var ffDebug = os.Getenv("FF_DEBUG") != ""
 
 // FFMode selects the steady-state fast-forward behaviour of a replay.
 type FFMode int
@@ -228,6 +225,10 @@ type ffController struct {
 	// nil cache (or empty key) disables it.
 	cache   *PeriodCache
 	specKey string
+	// dbg receives boundary-rejection and jump diagnostics when
+	// non-nil (Spec.Debug). Observational only: it can never reach a
+	// prediction.
+	dbg io.Writer
 }
 
 // ffRepKey identifies "the same loop" across ranks: the collectives a
@@ -239,7 +240,7 @@ type ffRepKey struct {
 	count       int
 }
 
-func newFFController(env *p2pdc.Environment, mode FFMode, ranks int, cache *PeriodCache, specKey string) *ffController {
+func newFFController(env *p2pdc.Environment, mode FFMode, ranks int, cache *PeriodCache, specKey string, dbg io.Writer) *ffController {
 	if specKey == "" {
 		cache = nil
 	}
@@ -250,6 +251,7 @@ func newFFController(env *p2pdc.Environment, mode FFMode, ranks int, cache *Peri
 		reps:    make(map[ffRepKey]*repeatCtl),
 		cache:   cache,
 		specKey: specKey,
+		dbg:     dbg,
 	}
 }
 
@@ -368,15 +370,15 @@ func (rc *repeatCtl) boundary(rank, done int) int {
 			return done // not the last arrival
 		}
 		if rc.st[r].done > done {
-			if ffDebug {
-				fmt.Fprintf(os.Stderr, "ff: boundary %d: rank %d ran ahead (%d)\n", done, r, rc.st[r].done)
+			if dbg := rc.ctl.dbg; dbg != nil {
+				fmt.Fprintf(dbg, "ff: boundary %d: rank %d ran ahead (%d)\n", done, r, rc.st[r].done)
 			}
 			rc.ring = rc.ring[:0] // a rank ran ahead: no clean boundary
 			return done
 		}
 		if r != rank && !rc.st[r].parked {
-			if ffDebug {
-				fmt.Fprintf(os.Stderr, "ff: boundary %d: rank %d not parked\n", done, r)
+			if dbg := rc.ctl.dbg; dbg != nil {
+				fmt.Fprintf(dbg, "ff: boundary %d: rank %d not parked\n", done, r)
 			}
 			rc.ring = rc.ring[:0] // a leading compute already finished
 			return done
@@ -390,8 +392,8 @@ func (rc *repeatCtl) boundary(rank, done int) int {
 	if env.Net.ActiveFlows() != 0 ||
 		env.Post.PendingMessages() != 0 ||
 		env.Sim.PendingReal() != rc.ctl.n-1 {
-		if ffDebug {
-			fmt.Fprintf(os.Stderr, "ff: boundary %d: not quiescent: flows=%d msgs=%d pendingReal=%d want %d\n",
+		if dbg := rc.ctl.dbg; dbg != nil {
+			fmt.Fprintf(dbg, "ff: boundary %d: not quiescent: flows=%d msgs=%d pendingReal=%d want %d\n",
 				done, env.Net.ActiveFlows(), env.Post.PendingMessages(), env.Sim.PendingReal(), rc.ctl.n-1)
 		}
 		rc.ring = rc.ring[:0]
@@ -504,8 +506,8 @@ func (rc *repeatCtl) jumpRounds(st *ffRankState, done, p int, shifts []float64) 
 	st.done = done
 	rc.ctl.stats.Jumps++
 	rc.ring = rc.ring[:0]
-	if ffDebug {
-		fmt.Fprintf(os.Stderr, "ff: boundary %d: jumped %d rounds (period %d)\n", done-m, m, p)
+	if dbg := rc.ctl.dbg; dbg != nil {
+		fmt.Fprintf(dbg, "ff: boundary %d: jumped %d rounds (period %d)\n", done-m, m, p)
 	}
 	return done
 }

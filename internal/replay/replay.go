@@ -11,6 +11,7 @@ package replay
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/p2pdc"
 	"repro/internal/p2psap"
@@ -44,6 +45,13 @@ type Spec struct {
 	// empty key disables the cache for this replay.
 	Periods   *PeriodCache
 	PeriodKey string
+	// Debug, when non-nil, receives the fast-forward engine's boundary
+	// and jump diagnostics for this replay. It replaces the old
+	// init-time FF_DEBUG environment gate, which was frozen at process
+	// start and therefore useless in a long-running server; callers
+	// (the CLI reads FF_DEBUG itself) decide per replay. Diagnostics
+	// are observational only and never affect predictions.
+	Debug io.Writer
 }
 
 // Result is the prediction outcome.
@@ -141,6 +149,18 @@ func NewSession(plat *platform.Platform) (*Session, error) {
 // Platform returns the platform the session is bound to.
 func (s *Session) Platform() *platform.Platform { return s.plat }
 
+// Close tears down the session's simulation environment, reaping any
+// process goroutines still parked in the kernel. A closed session is
+// not dead: the next Run rebuilds the environment from the platform,
+// exactly like the rebuild after a failed run. Close is for callers
+// that pool sessions (a long-running server keeping per-platform
+// pools hot) and want to release idle simulation state without
+// discarding the session identity.
+func (s *Session) Close() {
+	s.env.Shutdown()
+	s.dirty = true
+}
+
 // Run replays the traces under spec, reusing the session's simulation
 // environment. spec.Platform must be nil or the session's platform.
 func (s *Session) Run(spec Spec, traces []*trace.Trace) (*Result, error) {
@@ -208,7 +228,7 @@ func (s *Session) run(spec Spec, src trace.Source) (*Result, error) {
 			// boundaries and runs the steady-state protocol. Sources
 			// without op structure fall through to the cursor path
 			// (nothing to fast-forward over).
-			ctl = newFFController(s.env, spec.FastForward, src.Ranks(), spec.Periods, spec.PeriodKey)
+			ctl = newFFController(s.env, spec.FastForward, src.Ranks(), spec.Periods, spec.PeriodKey, spec.Debug)
 			app = func(w *p2pdc.Worker) error {
 				ex := &opsExec{w: w, ctl: ctl}
 				return ex.run(ops.RankOps(w.Rank()), true)

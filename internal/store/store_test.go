@@ -1,0 +1,196 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/dperf"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureBin  []byte
+	fixtureJSON []byte
+	fixtureErr  error
+)
+
+// fixture returns one small trace set serialized in both formats.
+func fixture(t *testing.T) (bin, js []byte) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		w := dperf.ObstacleWorkload{N: 128, Rounds: 4, Sweeps: 2, BenchN: 16}
+		a, err := dperf.New(w).Analyze()
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		ts, err := a.Traces(dperf.WithRanks(2))
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		var b bytes.Buffer
+		if fixtureErr = ts.WriteBinary(&b); fixtureErr != nil {
+			return
+		}
+		fixtureBin = b.Bytes()
+		var j bytes.Buffer
+		if fixtureErr = ts.WriteJSON(&j); fixtureErr != nil {
+			return
+		}
+		fixtureJSON = j.Bytes()
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureBin, fixtureJSON
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	bin, js := fixture(t)
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, created, err := s.Put(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first Put reported an existing entry")
+	}
+	if e.Digest != Digest(bin) {
+		t.Fatalf("digest %s, want %s", e.Digest, Digest(bin))
+	}
+	if e.Size != int64(len(bin)) {
+		t.Fatalf("size %d, want %d", e.Size, len(bin))
+	}
+	if e.Set == nil || e.Set.Ranks != 2 || e.Stats == nil || e.Stats.Ranks != 2 {
+		t.Fatalf("entry not fully admitted: %+v", e)
+	}
+
+	again, created, err := s.Put(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created || again != e {
+		t.Fatal("re-upload did not dedupe to the existing entry")
+	}
+
+	// The JSON serialization of the same set is different bytes, hence
+	// a distinct artifact.
+	ej, created, err := s.Put(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || ej.Digest == e.Digest {
+		t.Fatal("JSON artifact did not get its own entry")
+	}
+
+	if got, ok := s.Get(e.Digest); !ok || got != e {
+		t.Fatal("Get lost the entry")
+	}
+	if _, ok := s.Get(strings.Repeat("0", 64)); ok {
+		t.Fatal("Get invented an entry")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len %d, want 2", s.Len())
+	}
+	list := s.List()
+	if len(list) != 2 || list[0].Digest >= list[1].Digest {
+		t.Fatalf("List not sorted by digest: %v", list)
+	}
+}
+
+func TestPersistReopen(t *testing.T) {
+	bin, _ := fixture(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := s.Put(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ondisk, err := os.ReadFile(filepath.Join(dir, e.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ondisk, bin) {
+		t.Fatal("persisted artifact differs from the uploaded bytes")
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, ok := s2.Get(e.Digest)
+	if !ok {
+		t.Fatal("reopened store lost the entry")
+	}
+	// Stats are recomputed from identical bytes, so they must agree
+	// exactly — the determinism contract extends to admission.
+	if e2.Stats.Records != e.Stats.Records || e2.Stats.Ops != e.Stats.Ops ||
+		e2.Stats.BinaryBytes != e.Stats.BinaryBytes || e2.Stats.TemplateBytes != e.Stats.TemplateBytes {
+		t.Fatalf("reopened stats diverged: %+v vs %+v", e2.Stats, e.Stats)
+	}
+}
+
+func TestOpenRejectsCorrupt(t *testing.T) {
+	bin, _ := fixture(t)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := s.Put(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, e.Digest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupted artifact not rejected: %v", err)
+	}
+}
+
+func TestPutHostile(t *testing.T) {
+	bin, _ := fixture(t)
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	garbage := []byte("not a trace set at all")
+	if _, _, err := s.Put(garbage); err == nil ||
+		!strings.Contains(err.Error(), "traceset "+Digest(garbage)[:12]) {
+		t.Fatalf("garbage admission error lacks the artifact label: %v", err)
+	}
+
+	truncated := bin[:len(bin)/2]
+	_, _, err = s.Put(truncated)
+	if err == nil {
+		t.Fatal("truncated artifact admitted")
+	}
+	if !strings.Contains(err.Error(), "byte offset") {
+		t.Fatalf("truncated admission error lacks the byte offset: %v", err)
+	}
+	if !strings.Contains(err.Error(), "traceset "+Digest(truncated)[:12]) {
+		t.Fatalf("truncated admission error lacks the artifact label: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed admissions left %d entries", s.Len())
+	}
+}
